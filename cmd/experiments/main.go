@@ -1,0 +1,47 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-experiment NAME] [-fast] [-seed N]
+//
+// NAME is one of table1..table8, figure1..figure4, or "all" (default).
+// -fast trims workload repeats for a quick smoke run; the numbers keep
+// their shape but carry more sampling noise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hbbp/internal/harness"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"experiment to run: "+strings.Join(harness.ExperimentNames(), ", ")+", or all")
+	fast := flag.Bool("fast", false, "reduced repeats for a quick run")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	r := harness.New(harness.Config{
+		Out:  os.Stdout,
+		Fast: *fast,
+		Seed: *seed,
+	})
+
+	start := time.Now()
+	var err error
+	if *experiment == "all" {
+		err = r.RunAll()
+	} else {
+		err = r.Run(*experiment)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}

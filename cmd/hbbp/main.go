@@ -1,0 +1,160 @@
+// Command hbbp profiles a built-in workload with Hybrid Basic Block
+// Profiling and prints instruction-mix views — the reproduction's
+// equivalent of running the paper's collector+analyzer tool on a
+// program.
+//
+// Usage:
+//
+//	hbbp -workload NAME [-view top|ext|packing|functions|rings]
+//	     [-top N] [-raw FILE] [-trained] [-seed N]
+//
+// Workloads: any SPEC CPU2006 name (gcc, povray, lbm, ...), test40,
+// hydro-post, kernel-prime, clforward-before, clforward-after,
+// fitter-x87, fitter-sse, fitter-avx, fitter-avxfix.
+//
+// -raw FILE additionally writes the raw collection (perf.data-like) to
+// FILE. -trained trains the decision-tree model on the training corpus
+// first (slower); the default uses the shipped length-18 rule.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hbbp/internal/analyzer"
+	"hbbp/internal/collector"
+	"hbbp/internal/core"
+	"hbbp/internal/pivot"
+	"hbbp/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "test40", "workload to profile")
+	view := flag.String("view", "top", "view: top, ext, packing, functions, rings")
+	topN := flag.Int("top", 20, "rows for top views")
+	rawOut := flag.String("raw", "", "write raw collection data to this file")
+	trained := flag.Bool("trained", false, "train the model on the corpus instead of the shipped rule")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list available workloads")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(workloadNames(), "\n"))
+		return
+	}
+
+	w := lookupWorkload(*workload)
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "hbbp: unknown workload %q (use -list)\n", *workload)
+		os.Exit(1)
+	}
+
+	model := core.DefaultModel()
+	if *trained {
+		fmt.Fprintln(os.Stderr, "training model on the corpus...")
+		m, err := trainModel(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbbp: training: %v\n", err)
+			os.Exit(1)
+		}
+		model = m
+	}
+	fmt.Fprintf(os.Stderr, "model: %s\n", model.Describe())
+
+	opts := core.Options{
+		Collector: collector.Options{
+			Class: w.Class, Scale: w.Scale, Seed: *seed, Repeat: w.Repeat,
+		},
+		KernelLivePatched: true,
+	}
+	if *rawOut != "" {
+		f, err := os.Create(*rawOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbbp: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opts.Collector.RawOut = f
+	}
+
+	fmt.Fprintf(os.Stderr, "profiling %s (%s)...\n", w.Name, w.Description)
+	prof, err := core.Run(w.Prog, w.Entry, model, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hbbp: %v\n", err)
+		os.Exit(1)
+	}
+
+	st := prof.Collection.Stats
+	fmt.Fprintf(os.Stderr,
+		"retired %d instructions (%d kernel), %d EBS samples, %d LBR stacks, overhead %.2f%%\n",
+		st.Retired, st.KernelRetired,
+		len(prof.Collection.EBSIPs), len(prof.Collection.Stacks),
+		(prof.Collection.OverheadFactor()-1)*100)
+
+	tab := analyzer.BuildPivot(w.Prog, prof.BBECs, analyzer.Options{LiveText: true})
+	switch *view {
+	case "top":
+		rows := analyzer.TopMnemonics(tab, *topN)
+		fmt.Print(pivot.Render([]string{"MNEMONIC"}, rows))
+	case "ext":
+		fmt.Print(pivot.Render([]string{"INST SET"}, analyzer.ExtBreakdown(tab)))
+	case "packing":
+		fmt.Print(pivot.Render([]string{"INST SET", "PACKING"}, analyzer.PackingView(tab)))
+	case "functions":
+		fmt.Print(pivot.Render([]string{"FUNCTION"}, analyzer.TopFunctions(tab, *topN)))
+	case "rings":
+		fmt.Print(pivot.Render([]string{"RING"}, analyzer.RingBreakdown(tab)))
+	default:
+		fmt.Fprintf(os.Stderr, "hbbp: unknown view %q\n", *view)
+		os.Exit(1)
+	}
+}
+
+func trainModel(seed int64) (*core.Model, error) {
+	var runs []*core.TrainingRun
+	for i, w := range workloads.TrainingCorpus() {
+		run, err := core.CollectTrainingRun(w.Prog, w.Entry, collector.Options{
+			Class: w.Class, Scale: w.Scale, Seed: seed + int64(100+i), Repeat: w.Repeat,
+		})
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+	return core.Train(runs, core.TrainParams{})
+}
+
+func lookupWorkload(name string) *workloads.Workload {
+	switch name {
+	case "test40":
+		return workloads.Test40()
+	case "hydro-post":
+		return workloads.HydroPost()
+	case "kernel-prime":
+		return workloads.KernelPrime()
+	case "clforward-before":
+		return workloads.CLForward(false)
+	case "clforward-after":
+		return workloads.CLForward(true)
+	case "fitter-x87":
+		return workloads.Fitter(workloads.FitterX87)
+	case "fitter-sse":
+		return workloads.Fitter(workloads.FitterSSE)
+	case "fitter-avx":
+		return workloads.Fitter(workloads.FitterAVX)
+	case "fitter-avxfix":
+		return workloads.Fitter(workloads.FitterAVXFix)
+	}
+	return workloads.SPEC(name)
+}
+
+func workloadNames() []string {
+	names := []string{
+		"test40", "hydro-post", "kernel-prime",
+		"clforward-before", "clforward-after",
+		"fitter-x87", "fitter-sse", "fitter-avx", "fitter-avxfix",
+	}
+	return append(names, workloads.SPECNames()...)
+}

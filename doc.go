@@ -1,0 +1,21 @@
+// Package hbbp is a Go reproduction of "Low-Overhead Dynamic
+// Instruction Mix Generation using Hybrid Basic Block Profiling"
+// (Nowak, Yasin, Szostek, Zwaenepoel — ISPASS 2018).
+//
+// The repository implements the paper's contribution — HBBP, a
+// PMU-based method that produces dynamic instruction mixes by choosing
+// per basic block between Event Based Sampling and Last Branch Record
+// estimates with a learned classification-tree rule — together with
+// every substrate the evaluation needs, simulated in pure Go: a
+// synthetic x86-flavoured ISA and disassembler, a trace-driven CPU with
+// user/kernel rings, a PMU model with skid, shadowing and the LBR
+// entry[0] bias anomaly, a software-instrumentation reference, a
+// perf.data-like collection format, CART decision trees, a pivot-table
+// analyzer, the benchmark workloads, and a harness regenerating every
+// table and figure of the paper.
+//
+// Start at internal/core for the HBBP algorithm, cmd/experiments to
+// regenerate the evaluation, and examples/quickstart for the library's
+// happy path. DESIGN.md maps the paper to the code; EXPERIMENTS.md
+// records paper-vs-measured values.
+package hbbp

@@ -1,0 +1,74 @@
+// Quickstart: profile a workload with HBBP and print its instruction
+// mix.
+//
+// This walks the library's happy path end to end: pick a workload,
+// collect one run with the dual LBR-mode PMU configuration, let HBBP
+// choose per basic block between the EBS and LBR estimates, and render
+// the resulting dynamic instruction mix — then compare it against
+// ground-truth software instrumentation attached to the same run.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbbp/internal/analyzer"
+	"hbbp/internal/collector"
+	"hbbp/internal/core"
+	"hbbp/internal/metrics"
+	"hbbp/internal/pivot"
+	"hbbp/internal/sde"
+	"hbbp/internal/workloads"
+)
+
+func main() {
+	// 1. A workload: the Geant4-like Test40 simulation (short
+	//    object-oriented methods — the hard case for plain EBS).
+	w := workloads.Test40()
+	fmt.Printf("workload: %s — %s\n", w.Name, w.Description)
+
+	// 2. A model: the shipped rule from the paper (block length <= 18
+	//    -> LBR, else EBS). Train your own with core.Train for the full
+	//    Figure 1 pipeline.
+	model := core.DefaultModel()
+	fmt.Printf("model:    %s\n\n", model.Describe())
+
+	// 3. Profile. The sde.Instrumenter rides along only to provide the
+	//    ground truth for the accuracy report below; HBBP itself never
+	//    needs it.
+	ref := sde.New(w.Prog)
+	prof, err := core.Run(w.Prog, w.Entry, model, core.Options{
+		Collector: collector.Options{
+			Class: w.Class, Scale: w.Scale, Seed: 42, Repeat: w.Repeat,
+		},
+		KernelLivePatched: true,
+	}, ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := prof.Collection.Stats
+	fmt.Printf("collected: %d EBS samples + %d LBR stacks over %d retirements (overhead %.2f%%)\n\n",
+		len(prof.Collection.EBSIPs), len(prof.Collection.Stacks),
+		st.Retired, (prof.Collection.OverheadFactor()-1)*100)
+
+	// 4. The instruction mix, as a pivot view.
+	tab := analyzer.BuildPivot(w.Prog, prof.BBECs, analyzer.Options{LiveText: true})
+	fmt.Println("top 10 mnemonics (HBBP):")
+	fmt.Print(pivot.Render([]string{"MNEMONIC"}, analyzer.TopMnemonics(tab, 10)))
+
+	// 5. Accuracy against instrumentation, the paper's Section VI
+	//    metric.
+	refMix := analyzer.ToMix(ref.Mnemonics())
+	opts := analyzer.Options{Scope: analyzer.ScopeUser, LiveText: true}
+	fmt.Printf("\navg weighted error vs instrumentation:\n")
+	fmt.Printf("  HBBP: %.2f%%\n",
+		100*metrics.AvgWeightedError(refMix, analyzer.Mix(w.Prog, prof.BBECs, opts)))
+	fmt.Printf("  EBS:  %.2f%% (raw)\n",
+		100*metrics.AvgWeightedError(refMix, analyzer.Mix(w.Prog, prof.EBS, opts)))
+	fmt.Printf("  LBR:  %.2f%% (raw)\n",
+		100*metrics.AvgWeightedError(refMix, analyzer.Mix(w.Prog, prof.LBR, opts)))
+}

@@ -1,0 +1,304 @@
+// Package bbec turns raw PMU samples into basic block execution count
+// (BBEC) estimates — the EBS and LBR estimators of Section III.
+//
+// Both estimators return per-block expected execution counts in the same
+// units the ground truth uses, so the downstream HBBP chooser and the
+// error metrics can compare them directly.
+package bbec
+
+import (
+	"hbbp/internal/program"
+)
+
+// Branch mirrors one LBR entry (source, target). It is structurally
+// identical to pmu.BranchRecord and perffile.Branch; the estimator keeps
+// its own type so it depends on neither collection path.
+type Branch struct {
+	From, To uint64
+}
+
+// FromEBS computes BBECs from EBS-style IP samples (the paper's enhanced
+// EBS): every sampled IP is credited to all instructions of the
+// enclosing block — if one instruction of the block retired, the whole
+// block did — and the per-block total is divided by the block's
+// instruction length to recover executions. Each sample represents
+// `period` retirements.
+//
+// Samples landing outside any known block (skid past a block boundary
+// into padding, or kernel addresses with no symbols) are dropped and
+// counted in the second return value.
+func FromEBS(p *program.Program, ips []uint64, period uint64) (counts []float64, dropped int) {
+	counts = make([]float64, p.NumBlocks())
+	perBlock := make([]uint64, p.NumBlocks())
+	for _, ip := range ips {
+		blk := p.BlockAt(ip)
+		if blk == nil {
+			dropped++
+			continue
+		}
+		perBlock[blk.ID]++
+	}
+	for id, n := range perBlock {
+		if n == 0 {
+			continue
+		}
+		blk := p.BlockByID(id)
+		counts[id] = float64(n) * float64(period) / float64(blk.Len())
+	}
+	return counts, dropped
+}
+
+// LBROptions configures the LBR stream walker.
+type LBROptions struct {
+	// KernelLivePatched indicates the static kernel text has been
+	// re-patched from the live image (Section III.C's remedy), so
+	// trace-point blocks are known to fall through. When false, the
+	// walker sees a static unconditional JMP mid-stream, concludes the
+	// stream is corrupt and stops crediting blocks past it —
+	// reproducing the undercount the paper observed on kernel code.
+	KernelLivePatched bool
+	// MaxStreamBytes is a sanity bound on the address span of one
+	// stream. Genuine streams are short (code between two taken
+	// branches); corrupt records — merged entries, missed branches —
+	// can span arbitrary code and would smear counts across whole
+	// modules if credited. Streams wider than the bound are dropped.
+	// Zero means DefaultMaxStreamBytes.
+	MaxStreamBytes uint64
+	// ArchDepth is the architectural LBR depth used for weight
+	// normalization. Stacks delivered shorter than the architectural
+	// depth (context switches, the entry[0] anomaly) still normalize
+	// by ArchDepth-1: the missing streams are lost, not re-weighted
+	// onto the survivors. Zero means 16.
+	ArchDepth int
+}
+
+// DefaultMaxStreamBytes is the default stream-span sanity bound.
+const DefaultMaxStreamBytes = 1024
+
+// FromLBR computes BBECs from LBR stack samples. Each stack of N entries
+// (entry[0] oldest) yields N-1 streams <Target[i-1], Source[i]>; every
+// block on the straight-line path covered by a stream executed. To
+// normalize the N-1 streams to a single sample each stream gets weight
+// 1/(N-1); each sample represents `period` retired taken branches, so a
+// block's estimated execution count is its accumulated weight times the
+// period.
+//
+// It returns the per-block estimates and the number of streams dropped
+// because an endpoint was unmapped.
+func FromLBR(p *program.Program, stacks [][]Branch, period uint64, opts LBROptions) (counts []float64, droppedStreams int) {
+	maxSpan := opts.MaxStreamBytes
+	if maxSpan == 0 {
+		maxSpan = DefaultMaxStreamBytes
+	}
+	archDepth := opts.ArchDepth
+	if archDepth == 0 {
+		archDepth = 16
+	}
+	weights := make([]float64, p.NumBlocks())
+	for _, stack := range stacks {
+		if len(stack) < 2 {
+			continue
+		}
+		norm := len(stack) - 1
+		if norm < archDepth-1 {
+			norm = archDepth - 1
+		}
+		w := 1 / float64(norm)
+		for i := 1; i < len(stack); i++ {
+			from, to := stack[i-1].To, stack[i].From
+			if to < from || to-from > maxSpan {
+				droppedStreams++
+				continue
+			}
+			blocks := p.BlocksBetween(from, to)
+			if blocks == nil {
+				droppedStreams++
+				continue
+			}
+			for j, blk := range blocks {
+				weights[blk.ID] += w
+				if !opts.KernelLivePatched && blk.TraceJump && j < len(blocks)-1 {
+					// Static text shows an unconditional JMP here, yet
+					// the stream continues past it: treat the rest as
+					// unreliable.
+					break
+				}
+			}
+		}
+	}
+	counts = make([]float64, p.NumBlocks())
+	for id, w := range weights {
+		counts[id] = w * float64(period)
+	}
+	return counts, droppedStreams
+}
+
+// BiasStat records how often one branch source appeared in sampled
+// stacks and how often it was pinned at entry[0].
+type BiasStat struct {
+	Entry0  uint64 // stacks with this source at entry[0]
+	Present uint64 // stacks containing this source anywhere
+	Copies  uint64 // total entries carrying this source across all stacks
+}
+
+// Entry0Fraction returns Entry0/Present, or 0 when unseen.
+func (s BiasStat) Entry0Fraction() float64 {
+	if s.Present == 0 {
+		return 0
+	}
+	return float64(s.Entry0) / float64(s.Present)
+}
+
+// ExpectedEntry0Fraction returns the entry[0] occupancy an unbiased
+// branch with this occupancy profile would show: a branch holding k of
+// the depth entries of a stack lands at entry[0] with probability k/depth.
+// Tight loops legitimately occupy many entries per stack, so anomaly
+// detection must compare against this baseline rather than 1/depth.
+func (s BiasStat) ExpectedEntry0Fraction(depth int) float64 {
+	if s.Present == 0 || depth <= 0 {
+		return 0
+	}
+	f := float64(s.Copies) / float64(s.Present) / float64(depth)
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// BiasReport is the outcome of LBR bias detection.
+type BiasReport struct {
+	// BlockBias flags, per block ID, blocks terminated by a branch that
+	// shows the entry[0] anomaly — the "bias flag" of Section III.C.
+	BlockBias []bool
+	// Branches holds the per-branch-source statistics.
+	Branches map[uint64]BiasStat
+}
+
+// BiasOptions configures anomaly detection.
+type BiasOptions struct {
+	// Threshold is the factor by which a branch's observed entry[0]
+	// occupancy must exceed its expected occupancy (Copies/Present/
+	// Depth) before it is declared biased, with an absolute floor of
+	// FloorFraction.
+	Threshold float64
+	// FloorFraction is the minimum absolute entry[0] fraction for a
+	// biased verdict, keeping sparse noise out.
+	FloorFraction float64
+	// Depth is the architectural LBR depth used for the expected
+	// occupancy baseline. Zero means 16.
+	Depth int
+	// MinPresent is the minimum number of stacks a branch must appear
+	// in before it can be judged, to avoid flagging noise.
+	MinPresent uint64
+	// DamageShare is the fraction of a block's LBR stream coverage
+	// that must come from streams closing at a biased branch before
+	// the block is flagged. Blocks mostly covered through such streams
+	// lose a large part of their counts to the anomaly; blocks only
+	// occasionally covered are barely affected.
+	DamageShare float64
+}
+
+// DefaultBiasOptions returns the detection thresholds used by the tool.
+func DefaultBiasOptions() BiasOptions {
+	return BiasOptions{
+		Threshold:     2.5,
+		FloorFraction: 0.15,
+		Depth:         16,
+		MinPresent:    8,
+		DamageShare:   0.60,
+	}
+}
+
+// DetectBias scans LBR stacks for branches that occur disproportionately
+// at entry[0] and flags the blocks whose LBR counts the anomaly
+// distorts: a biased branch's closing stream (the blocks between the
+// previous target and the branch) goes uncounted whenever the branch is
+// pinned at entry[0], and the streams adjacent to it absorb the
+// mis-normalised weight. The flag therefore propagates to every block
+// observed in streams ending at or starting just after a biased branch.
+func DetectBias(p *program.Program, stacks [][]Branch, opts BiasOptions) BiasReport {
+	if opts.Threshold == 0 {
+		opts = DefaultBiasOptions()
+	}
+	depth := opts.Depth
+	if depth == 0 {
+		depth = 16
+	}
+	stats := make(map[uint64]BiasStat)
+	seen := make(map[uint64]bool)
+	for _, stack := range stacks {
+		if len(stack) == 0 {
+			continue
+		}
+		clear(seen)
+		for i, rec := range stack {
+			s := stats[rec.From]
+			s.Copies++
+			if !seen[rec.From] {
+				seen[rec.From] = true
+				s.Present++
+				if i == 0 {
+					s.Entry0++
+				}
+			}
+			stats[rec.From] = s
+		}
+	}
+	report := BiasReport{
+		BlockBias: make([]bool, p.NumBlocks()),
+		Branches:  stats,
+	}
+	biased := make(map[uint64]bool)
+	for addr, s := range stats {
+		if s.Present < opts.MinPresent {
+			continue
+		}
+		got := s.Entry0Fraction()
+		want := s.ExpectedEntry0Fraction(depth)
+		if got <= opts.FloorFraction || got <= opts.Threshold*want {
+			continue
+		}
+		biased[addr] = true
+		if blk := p.BlockAt(addr); blk != nil {
+			report.BlockBias[blk.ID] = true
+		}
+	}
+	if len(biased) == 0 {
+		return report
+	}
+	// Propagation pass: when a biased branch is in the LBR window, the
+	// anomalous read can drop every entry older than it, so all
+	// coverage delivered alongside a biased branch is threatened. A
+	// block whose coverage comes mostly from such stacks is
+	// systematically undercounted and gets the flag; blocks with
+	// plenty of coverage away from biased branches do not.
+	damageShare := opts.DamageShare
+	if damageShare == 0 {
+		damageShare = DefaultBiasOptions().DamageShare
+	}
+	threatened := make([]float64, p.NumBlocks())
+	total := make([]float64, p.NumBlocks())
+	for _, stack := range stacks {
+		hasBiased := false
+		for _, rec := range stack {
+			if biased[rec.From] {
+				hasBiased = true
+				break
+			}
+		}
+		for i := 1; i < len(stack); i++ {
+			for _, blk := range p.BlocksBetween(stack[i-1].To, stack[i].From) {
+				total[blk.ID]++
+				if hasBiased {
+					threatened[blk.ID]++
+				}
+			}
+		}
+	}
+	for id := range total {
+		if total[id] > 0 && threatened[id]/total[id] > damageShare {
+			report.BlockBias[id] = true
+		}
+	}
+	return report
+}

@@ -1,0 +1,221 @@
+package bbec
+
+import (
+	"math"
+	"testing"
+
+	"hbbp/internal/isa"
+	"hbbp/internal/program"
+)
+
+// chainProgram builds fn with blocks A(3) -> B(2) -> C(4) -> ret, plus a
+// kernel function with a trace point, for walker tests.
+func chainProgram(t testing.TB) (*program.Program, []*program.Block, []*program.Block) {
+	t.Helper()
+	b := program.NewBuilder("bbec")
+	mod := b.Module("m", program.RingUser)
+	kmod := b.Module("k", program.RingKernel)
+
+	f := b.Function(mod, "f")
+	a := b.Block(f, isa.MOV, isa.ADD)        // +JMP-less: falls through
+	bb := b.Block(f, isa.SUB)                // 1 op
+	c := b.Block(f, isa.CMP, isa.MOV, isa.ADD)
+	b.Fallthrough(a, bb)
+	b.Fallthrough(bb, c)
+	b.Return(c)
+
+	kf := b.Function(kmod, "kfn")
+	k1 := b.Block(kf, isa.MOV)
+	k2 := b.Block(kf, isa.ADD)
+	k3 := b.Block(kf, isa.SUB)
+	b.TracePoint(k1, k2)
+	b.Fallthrough(k2, k3)
+	b.Return(k3)
+
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return p, []*program.Block{a, bb, c}, []*program.Block{k1, k2, k3}
+}
+
+func TestFromEBSDividesByLength(t *testing.T) {
+	p, blocks, _ := chainProgram(t)
+	a := blocks[0] // len 2
+	c := blocks[2] // len 4 (CMP MOV ADD RET)
+	ips := []uint64{
+		a.Addr, a.Addr, a.InstAddrs()[1], // 3 samples in a (len 2)
+		c.Addr, c.InstAddrs()[3], // 2 samples in c (len 4)
+		0xdead,                   // unmapped
+	}
+	counts, dropped := FromEBS(p, ips, 100)
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+	if want := 3.0 * 100 / 2; counts[a.ID] != want {
+		t.Errorf("block a = %v, want %v", counts[a.ID], want)
+	}
+	if want := 2.0 * 100 / 4; counts[c.ID] != want {
+		t.Errorf("block c = %v, want %v", counts[c.ID], want)
+	}
+	if counts[blocks[1].ID] != 0 {
+		t.Errorf("unsampled block = %v, want 0", counts[blocks[1].ID])
+	}
+}
+
+func TestFromLBRStreamCoverage(t *testing.T) {
+	p, blocks, _ := chainProgram(t)
+	a, bb, c := blocks[0], blocks[1], blocks[2]
+	// Stack with 3 entries = 2 streams; the second stream covers a..c's
+	// return: target a.Addr, source c's RET.
+	ret := c.LastAddr()
+	stack := []Branch{
+		{From: 0x999, To: a.Addr},       // entry[0]: source unusable
+		{From: ret, To: 0x111},          // stream 1: a.Addr .. ret
+		{From: ret, To: 0x111},          // stream 2: invalid (0x111 unmapped -> dropped)
+	}
+	counts, dropped := FromLBR(p, [][]Branch{stack}, 50, LBROptions{ArchDepth: 3})
+	// Stream 1 weight = 1/2, so each covered block gets 0.5*50 = 25.
+	for _, blk := range []*program.Block{a, bb, c} {
+		if math.Abs(counts[blk.ID]-25) > 1e-9 {
+			t.Errorf("%v = %v, want 25", blk, counts[blk.ID])
+		}
+	}
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestFromLBRSpanCap(t *testing.T) {
+	p, blocks, _ := chainProgram(t)
+	a := blocks[0]
+	// A stream claiming to span from user code far beyond the cap.
+	stack := []Branch{
+		{From: 1, To: a.Addr},
+		{From: a.Addr + 5000, To: 2},
+	}
+	counts, dropped := FromLBR(p, [][]Branch{stack}, 50, LBROptions{MaxStreamBytes: 1024})
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1 (span cap)", dropped)
+	}
+	if counts[a.ID] != 0 {
+		t.Errorf("capped stream credited block a: %v", counts[a.ID])
+	}
+	// Backward stream also dropped.
+	back := []Branch{
+		{From: 1, To: a.Addr + 100},
+		{From: a.Addr, To: 2},
+	}
+	_, dropped = FromLBR(p, [][]Branch{back}, 50, LBROptions{})
+	if dropped != 1 {
+		t.Errorf("backward stream dropped = %d, want 1", dropped)
+	}
+}
+
+func TestFromLBRTracePointHandling(t *testing.T) {
+	p, _, kblocks := chainProgram(t)
+	k1, k2, k3 := kblocks[0], kblocks[1], kblocks[2]
+	// A stream covering k1..k3 (the live kernel falls through the
+	// patched trace point).
+	stack := []Branch{
+		{From: 0x42, To: k1.Addr},
+		{From: k3.LastAddr(), To: 0x43},
+	}
+	// Without live patching: the walker sees k1's static JMP and stops.
+	counts, _ := FromLBR(p, [][]Branch{stack}, 10, LBROptions{KernelLivePatched: false})
+	if counts[k1.ID] == 0 {
+		t.Error("trace-point block itself should be credited")
+	}
+	if counts[k2.ID] != 0 || counts[k3.ID] != 0 {
+		t.Errorf("blocks past the static JMP credited: k2=%v k3=%v",
+			counts[k2.ID], counts[k3.ID])
+	}
+	// With live patching: the full stream is credited.
+	counts, _ = FromLBR(p, [][]Branch{stack}, 10, LBROptions{KernelLivePatched: true})
+	for _, blk := range kblocks {
+		if counts[blk.ID] == 0 {
+			t.Errorf("%v not credited with live patching", blk)
+		}
+	}
+}
+
+func TestFromLBRShortStacks(t *testing.T) {
+	p, blocks, _ := chainProgram(t)
+	// Single-entry stacks carry no streams and must be ignored.
+	counts, dropped := FromLBR(p, [][]Branch{{{From: 1, To: 2}}}, 10, LBROptions{})
+	if dropped != 0 {
+		t.Errorf("dropped = %d", dropped)
+	}
+	for _, blk := range blocks {
+		if counts[blk.ID] != 0 {
+			t.Errorf("%v credited from empty stream set", blk)
+		}
+	}
+}
+
+func TestDetectBiasFlagsHighEntry0(t *testing.T) {
+	p, blocks, _ := chainProgram(t)
+	c := blocks[2]
+	ret := c.LastAddr()
+	other := blocks[0].Addr // pretend another branch source inside a
+	var stacks [][]Branch
+	// "ret" appears at entry[0] in half its stacks; "other" never does.
+	for i := 0; i < 20; i++ {
+		if i%2 == 0 {
+			stacks = append(stacks, []Branch{{From: ret, To: 1}, {From: other, To: 2}})
+		} else {
+			stacks = append(stacks, []Branch{{From: other, To: 1}, {From: ret, To: 2}})
+		}
+	}
+	rep := DetectBias(p, stacks, BiasOptions{Threshold: 0.2, MinPresent: 5})
+	if !rep.BlockBias[c.ID] {
+		t.Error("block with biased branch not flagged")
+	}
+	st := rep.Branches[ret]
+	if st.Present != 20 || st.Entry0 != 10 {
+		t.Errorf("stats for biased branch: %+v", st)
+	}
+	if f := st.Entry0Fraction(); math.Abs(f-0.5) > 1e-9 {
+		t.Errorf("Entry0Fraction = %v", f)
+	}
+}
+
+func TestDetectBiasIgnoresRareAndUniform(t *testing.T) {
+	p, blocks, _ := chainProgram(t)
+	c := blocks[2]
+	ret := c.LastAddr()
+	// Appears at entry[0] always but only 3 times: below MinPresent.
+	var stacks [][]Branch
+	for i := 0; i < 3; i++ {
+		stacks = append(stacks, []Branch{{From: ret, To: 1}, {From: 0x5, To: 2}})
+	}
+	rep := DetectBias(p, stacks, BiasOptions{Threshold: 0.2, MinPresent: 8})
+	if rep.BlockBias[c.ID] {
+		t.Error("rare branch flagged despite MinPresent")
+	}
+	// Uniform occupancy (1 in 16) stays below the threshold.
+	stacks = nil
+	for i := 0; i < 160; i++ {
+		stack := make([]Branch, 16)
+		for j := range stack {
+			stack[j] = Branch{From: uint64(1000 + j), To: uint64(2000 + j)}
+		}
+		if i%16 == 0 {
+			stack[0] = Branch{From: ret, To: 1}
+		} else {
+			stack[(i%15)+1] = Branch{From: ret, To: 1}
+		}
+		stacks = append(stacks, stack)
+	}
+	rep = DetectBias(p, stacks, DefaultBiasOptions())
+	if rep.BlockBias[c.ID] {
+		t.Error("uniformly placed branch flagged as biased")
+	}
+}
+
+func TestBiasStatZeroValue(t *testing.T) {
+	var s BiasStat
+	if s.Entry0Fraction() != 0 {
+		t.Error("zero-value BiasStat should have fraction 0")
+	}
+}

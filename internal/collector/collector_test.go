@@ -1,0 +1,266 @@
+package collector
+
+import (
+	"bytes"
+	"testing"
+
+	"hbbp/internal/bbec"
+	"hbbp/internal/cpu"
+	"hbbp/internal/isa"
+	"hbbp/internal/metrics"
+	"hbbp/internal/perffile"
+	"hbbp/internal/program"
+	"hbbp/internal/sde"
+)
+
+// mixedProgram builds a workload with a short-block-heavy function and a
+// long-block function, both hot, connected through calls and diamonds —
+// enough structural diversity to surface the EBS/LBR error asymmetry.
+func mixedProgram(t testing.TB) (*program.Program, *program.Function) {
+	t.Helper()
+	b := program.NewBuilder("mixed")
+	mod := b.Module("main", program.RingUser)
+
+	// shortfn: object-oriented style — tiny blocks, a diamond, a DIV.
+	shortfn := b.Function(mod, "shortfn")
+	s0 := b.Block(shortfn, isa.PUSH, isa.MOV)
+	s1 := b.Block(shortfn, isa.CMP)
+	s2 := b.Block(shortfn, isa.ADD, isa.DIV)
+	s3 := b.Block(shortfn, isa.SUB)
+	s4 := b.Block(shortfn, isa.MOV, isa.POP)
+	b.Fallthrough(s0, s1)
+	b.Cond(s1, isa.JNZ, s3, s2, 0.35)
+	b.Fallthrough(s2, s3)
+	b.Fallthrough(s3, s4)
+	b.Return(s4)
+
+	// longfn: one 30-instruction straight-line block.
+	longfn := b.Function(mod, "longfn")
+	longOps := make([]isa.Op, 0, 30)
+	for i := 0; i < 9; i++ {
+		longOps = append(longOps, isa.MOV, isa.ADD, isa.MULSS)
+	}
+	longOps = append(longOps, isa.DIVSS, isa.SUB, isa.CMP)
+	l0 := b.Block(longfn, longOps...)
+	b.Return(l0)
+
+	main := b.Function(mod, "main")
+	entry := b.Block(main, isa.PUSH, isa.MOV)
+	head := b.Block(main, isa.ADD)
+	c1 := b.Block(main, isa.MOV)
+	c2 := b.Block(main, isa.MOV)
+	latch := b.Block(main, isa.INC, isa.CMP)
+	exit := b.Block(main, isa.POP)
+	b.Fallthrough(entry, head)
+	b.Call(head, shortfn, c1)
+	b.Call(c1, longfn, c2)
+	b.Fallthrough(c2, latch)
+	b.Loop(latch, isa.JLE, head, exit, 20000)
+	b.Return(exit)
+
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return p, main
+}
+
+func TestPeriodsForMatchTable4(t *testing.T) {
+	cases := []struct {
+		class    RuntimeClass
+		ebs, lbr uint64
+	}{
+		{ClassSeconds, 1_000_037, 100_003},
+		{ClassMinuteOrTwo, 10_000_019, 1_000_037},
+		{ClassMinutes, 100_000_007, 10_000_019},
+	}
+	for _, c := range cases {
+		ebs, lbr := PeriodsFor(c.class)
+		if ebs != c.ebs || lbr != c.lbr {
+			t.Errorf("%v: periods (%d,%d), want (%d,%d)", c.class, ebs, lbr, c.ebs, c.lbr)
+		}
+		if lbr >= ebs {
+			t.Errorf("%v: LBR period must be smaller than EBS period", c.class)
+		}
+	}
+}
+
+func TestCollectEndToEnd(t *testing.T) {
+	p, main := mixedProgram(t)
+	ref := sde.New(p)
+	res, err := Collect(p, main, Options{
+		Class: ClassSeconds, Scale: 1000, Seed: 42,
+	}, ref)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if len(res.EBSIPs) == 0 || len(res.Stacks) == 0 {
+		t.Fatalf("no samples: %d EBS, %d LBR", len(res.EBSIPs), len(res.Stacks))
+	}
+	if res.PMIs == 0 {
+		t.Fatal("no PMIs recorded")
+	}
+
+	// The raw file must parse and contain metadata + all samples.
+	r, err := perffile.NewReader(bytes.NewReader(res.Raw))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	var comms, mmaps, samples int
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			break
+		}
+		switch rec.(type) {
+		case *perffile.Comm:
+			comms++
+		case *perffile.Mmap:
+			mmaps++
+		case *perffile.Sample:
+			samples++
+		}
+	}
+	if comms != 1 || mmaps != len(p.Modules) {
+		t.Errorf("metadata: %d comms, %d mmaps; want 1, %d", comms, mmaps, len(p.Modules))
+	}
+	if samples != int(res.PMIs) {
+		t.Errorf("file has %d samples, PMIs = %d", samples, res.PMIs)
+	}
+
+	// Collection overhead must be small (paper: ~0.5-2.3%).
+	if ov := res.OverheadFactor(); ov > 1.10 {
+		t.Errorf("collection overhead factor %.3f too large", ov)
+	}
+
+	// Hot-block estimates must be in the right ballpark for both
+	// estimators (within 50% on the hottest block).
+	ebsEst, _ := bbec.FromEBS(p, res.EBSIPs, res.EBSPeriod)
+	lbrEst, _ := bbec.FromLBR(p, res.Stacks, res.LBRPeriod, bbec.LBROptions{})
+	long := p.FuncByName("longfn").Blocks[0]
+	refCount := float64(ref.BlockExec(long.ID))
+	if refCount == 0 {
+		t.Fatal("long block never executed")
+	}
+	for name, est := range map[string][]float64{"EBS": ebsEst, "LBR": lbrEst} {
+		if e := metrics.Error(refCount, est[long.ID]); e > 0.5 {
+			t.Errorf("%s estimate for hot long block off by %.0f%% (ref %.0f, got %.0f)",
+				name, e*100, refCount, est[long.ID])
+		}
+	}
+}
+
+// TestErrorLandscape verifies the core asymmetry HBBP exploits: EBS
+// degrades on short blocks (skid/shadowing leaks samples across nearby
+// boundaries) while staying accurate on long blocks, and LBR's error is
+// roughly length-independent.
+func TestErrorLandscape(t *testing.T) {
+	p, main := mixedProgram(t)
+	ref := sde.New(p)
+	res, err := Collect(p, main, Options{
+		Class: ClassSeconds, Scale: 1000, Seed: 7,
+	}, ref)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	ebsEst, _ := bbec.FromEBS(p, res.EBSIPs, res.EBSPeriod)
+	lbrEst, _ := bbec.FromLBR(p, res.Stacks, res.LBRPeriod, bbec.LBROptions{})
+
+	avgErr := func(est []float64, fn *program.Function) float64 {
+		var sum float64
+		var n int
+		for _, blk := range fn.Blocks {
+			r := float64(ref.BlockExec(blk.ID))
+			if r == 0 {
+				continue
+			}
+			sum += metrics.Error(r, est[blk.ID])
+			n++
+		}
+		return sum / float64(n)
+	}
+	shortFn := p.FuncByName("shortfn")
+	longFn := p.FuncByName("longfn")
+
+	ebsShort, ebsLong := avgErr(ebsEst, shortFn), avgErr(ebsEst, longFn)
+	lbrShort, lbrLong := avgErr(lbrEst, shortFn), avgErr(lbrEst, longFn)
+	t.Logf("EBS: short=%.3f long=%.3f | LBR: short=%.3f long=%.3f",
+		ebsShort, ebsLong, lbrShort, lbrLong)
+
+	if ebsShort <= ebsLong {
+		t.Errorf("EBS error on short blocks (%.3f) should exceed long blocks (%.3f)",
+			ebsShort, ebsLong)
+	}
+	if lbrShort >= ebsShort {
+		t.Errorf("LBR (%.3f) should beat EBS (%.3f) on short blocks", lbrShort, ebsShort)
+	}
+	// Both estimators must be accurate on the long block of this tiny
+	// program; the full corpus-level landscape (including LBR's
+	// long-block penalty that flips the preference to EBS) is asserted
+	// in internal/core's training tests.
+	if ebsLong > 0.05 || lbrLong > 0.05 {
+		t.Errorf("long-block errors EBS %.3f / LBR %.3f should both be small", ebsLong, lbrLong)
+	}
+}
+
+func TestCollectWritesRawOut(t *testing.T) {
+	p, main := mixedProgram(t)
+	var sink bytes.Buffer
+	res, err := Collect(p, main, Options{Class: ClassSeconds, Seed: 1, RawOut: &sink})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if !bytes.Equal(sink.Bytes(), res.Raw) {
+		t.Error("RawOut stream differs from Result.Raw")
+	}
+}
+
+func TestPostProcessSplitsEvents(t *testing.T) {
+	p, main := mixedProgram(t)
+	res, err := Collect(p, main, Options{Class: ClassSeconds, Seed: 3})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	again, err := PostProcess(res.Raw)
+	if err != nil {
+		t.Fatalf("PostProcess: %v", err)
+	}
+	if len(again.EBSIPs) != len(res.EBSIPs) || len(again.Stacks) != len(res.Stacks) {
+		t.Errorf("re-post-process mismatch: %d/%d vs %d/%d",
+			len(again.EBSIPs), len(again.Stacks), len(res.EBSIPs), len(res.Stacks))
+	}
+	for _, st := range again.Stacks {
+		if len(st) == 0 {
+			t.Fatal("empty stack passed post-processing")
+		}
+	}
+}
+
+func TestScaledPeriodsFloorAtOne(t *testing.T) {
+	o := Options{EBSPeriod: 10, LBRPeriod: 5, Scale: 1000}
+	ebs, lbr := o.effectivePeriods()
+	if ebs != 1 || lbr != 1 {
+		t.Errorf("periods (%d,%d), want floor at 1", ebs, lbr)
+	}
+}
+
+// Ground-truth cross-check in the style of the paper's Section VII.B:
+// instrumentation totals must match PMU counting totals.
+func TestSDEMatchesCPUStats(t *testing.T) {
+	p, main := mixedProgram(t)
+	ref := sde.New(p)
+	ref.UserOnly = false
+	oracle := cpu.NewCountingListener(p)
+	stats, err := cpu.Run(p, main, cpu.Config{Seed: 9}, ref, oracle)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ref.Instructions() != stats.Retired {
+		t.Errorf("SDE insts %d != retired %d", ref.Instructions(), stats.Retired)
+	}
+	for id, n := range oracle.Exec {
+		if ref.BlockExec(id) != n {
+			t.Errorf("block %d: SDE %d, oracle %d", id, ref.BlockExec(id), n)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"hbbp/internal/analyzer"
+	"hbbp/internal/bbec"
+	"hbbp/internal/collector"
+	"hbbp/internal/metrics"
+	"hbbp/internal/sde"
+	"hbbp/internal/workloads"
+)
+
+// TestAblations quantifies the contribution of HBBP's design choices on
+// a held-out workload by knocking each out:
+//
+//   - full:       learned tree + bias flags + LBR mass renormalization
+//   - no-renorm:  LBR used raw (no per-module mass calibration)
+//   - no-bias:    bias flags withheld from the chooser
+//   - threshold:  the shipped length<=18 rule instead of the tree
+//   - pure-LBR / pure-EBS: single-source baselines
+//
+// The full pipeline must be at least as good as the crippled variants
+// (within noise), and both single-source baselines must not beat it
+// meaningfully — the ablation counterpart of the paper's Section VIII
+// comparisons.
+func TestAblations(t *testing.T) {
+	runs := trainingRuns(t)
+	model, err := Train(runs, TrainParams{})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+
+	w := workloads.Test40().Scaled(0.5)
+	ref := sde.New(w.Prog)
+	ref.UserOnly = false
+	res, err := collector.Collect(w.Prog, w.Entry, collector.Options{
+		Class: w.Class, Scale: w.Scale, Seed: 777, Repeat: w.Repeat,
+	}, ref)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	refMix := analyzer.ToMix(ref.Mnemonics())
+	score := func(bbecs []float64) float64 {
+		return metrics.AvgWeightedError(refMix,
+			analyzer.Mix(w.Prog, bbecs, analyzer.Options{LiveText: true}))
+	}
+
+	// Shared raw estimates.
+	ebsRaw, _ := bbec.FromEBS(w.Prog, res.EBSIPs, res.EBSPeriod)
+	lbrRaw, _ := bbec.FromLBR(w.Prog, res.Stacks, res.LBRPeriod,
+		bbec.LBROptions{KernelLivePatched: true})
+	bias := bbec.DetectBias(w.Prog, res.Stacks, bbec.DefaultBiasOptions())
+
+	// Full pipeline.
+	full, err := Analyze(w.Prog, model, res, true)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	errFull := score(full.BBECs)
+
+	// Ablation: no renormalization (raw LBR into the same chooser).
+	noRenormCounts, _ := model.Hybrid(w.Prog, ebsRaw, lbrRaw, bias.BlockBias)
+	errNoRenorm := score(noRenormCounts)
+
+	// Ablation: no bias flags.
+	ebsN := append([]float64(nil), ebsRaw...)
+	lbrN := append([]float64(nil), lbrRaw...)
+	normalizeLBRMass(w.Prog, ebsN, lbrN)
+	noBiasCounts, _ := model.Hybrid(w.Prog, ebsN, lbrN, nil)
+	errNoBias := score(noBiasCounts)
+
+	// Ablation: shipped threshold rule instead of the learned tree.
+	thrCounts, _ := DefaultModel().Hybrid(w.Prog, ebsN, lbrN, bias.BlockBias)
+	errThreshold := score(thrCounts)
+
+	// Single-source baselines (renormalized LBR, raw EBS).
+	errLBR := score(lbrN)
+	errEBS := score(ebsN)
+
+	t.Logf("ablations (avg weighted error): full=%.4f no-renorm=%.4f no-bias=%.4f threshold=%.4f | LBR=%.4f EBS=%.4f",
+		errFull, errNoRenorm, errNoBias, errThreshold, errLBR, errEBS)
+
+	// Renormalization is the big lever: removing it must hurt.
+	if errNoRenorm < errFull {
+		t.Errorf("removing LBR renormalization improved accuracy: %.4f < %.4f",
+			errNoRenorm, errFull)
+	}
+	// The remaining knockouts must not beat the full pipeline by more
+	// than noise.
+	for name, e := range map[string]float64{
+		"no-bias": errNoBias, "threshold": errThreshold,
+	} {
+		if e < errFull*0.8 {
+			t.Errorf("ablation %s beat the full pipeline: %.4f vs %.4f", name, e, errFull)
+		}
+	}
+	// And the full pipeline must beat raw EBS clearly on this
+	// short-block workload.
+	if errFull > errEBS {
+		t.Errorf("full pipeline %.4f worse than raw EBS %.4f", errFull, errEBS)
+	}
+}

@@ -1,0 +1,237 @@
+// Package cpu executes programs and produces the retired-instruction
+// stream the profiling stack observes.
+//
+// The paper measures real hardware; its accuracy story hinges on what
+// the retirement stream looks like to the PMU (which instructions
+// retire, which branches are taken, how long-latency operations delay
+// interrupt delivery). This simulator reproduces that stream: it walks a
+// program's basic blocks, resolves counted loops, probabilistic forward
+// branches, calls (including ring transitions into kernel code) and
+// returns, and hands every retired instruction to the registered
+// listeners (ground-truth instrumentation, the PMU model, or both — in
+// the same run, so that reference and measurement observe the identical
+// execution, like a deterministic workload run twice in the paper).
+package cpu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hbbp/internal/isa"
+	"hbbp/internal/program"
+)
+
+// RetireEvent describes one retired instruction.
+type RetireEvent struct {
+	Addr   uint64         // instruction address
+	Op     isa.Op         // retired opcode (live image: trace points retire NOPs)
+	Block  *program.Block // enclosing basic block
+	Ring   program.Ring   // privilege level
+	Cycle  uint64         // retirement cycle
+	Taken  bool           // instruction is a taken branch
+	Target uint64         // branch target when Taken
+}
+
+// Listener consumes the retirement stream.
+type Listener interface {
+	// Retire is called once per retired instruction, in program order.
+	Retire(ev *RetireEvent)
+}
+
+// Stats summarises one run.
+type Stats struct {
+	Retired       uint64 // total retired instructions
+	KernelRetired uint64 // retired in ring 0
+	TakenBranches uint64 // retired taken branches
+	Cycles        uint64 // serial cycle count (sum of latencies)
+}
+
+// Config parameterises a run.
+type Config struct {
+	// Seed drives the probabilistic forward branches. Two runs with the
+	// same seed execute identical paths.
+	Seed int64
+	// Repeat is how many times the entry function is invoked.
+	Repeat int
+	// MaxRetired aborts the run after this many retirements as a guard
+	// against miswired programs. Zero means no limit.
+	MaxRetired uint64
+}
+
+// blockInfo caches per-block layout the hot loop needs.
+type blockInfo struct {
+	addrs   []uint64
+	ops     []isa.Op
+	lastIdx int
+}
+
+// Machine executes one program. It is not safe for concurrent use.
+type Machine struct {
+	prog      *program.Program
+	cfg       Config
+	rng       *rand.Rand
+	listeners []Listener
+	info      []blockInfo
+	loopCount []int
+	callStack []*program.Block
+	stats     Stats
+}
+
+// New prepares a machine for the given program.
+func New(p *program.Program, cfg Config, listeners ...Listener) *Machine {
+	if cfg.Repeat <= 0 {
+		cfg.Repeat = 1
+	}
+	m := &Machine{
+		prog:      p,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		listeners: listeners,
+		info:      make([]blockInfo, p.NumBlocks()),
+		loopCount: make([]int, p.NumBlocks()),
+	}
+	for _, b := range p.Blocks() {
+		ops := b.EffectiveOps()
+		bi := blockInfo{ops: ops, lastIdx: len(ops) - 1}
+		addr := b.Addr
+		for _, op := range ops {
+			bi.addrs = append(bi.addrs, addr)
+			addr += uint64(op.Bytes())
+		}
+		m.info[b.ID] = bi
+	}
+	return m
+}
+
+// Run invokes the entry function cfg.Repeat times and returns run
+// statistics. Every listener sees the full retirement stream.
+func (m *Machine) Run(entry *program.Function) (Stats, error) {
+	for i := 0; i < m.cfg.Repeat; i++ {
+		if err := m.runOnce(entry); err != nil {
+			return m.stats, err
+		}
+	}
+	return m.stats, nil
+}
+
+// ErrRetireLimit is returned when MaxRetired is exceeded.
+var ErrRetireLimit = fmt.Errorf("cpu: retirement limit exceeded")
+
+func (m *Machine) runOnce(entry *program.Function) error {
+	cur := entry.Entry()
+	m.callStack = m.callStack[:0]
+	for cur != nil {
+		if m.cfg.MaxRetired > 0 && m.stats.Retired > m.cfg.MaxRetired {
+			return fmt.Errorf("%w: %d instructions (check loop wiring in %s)",
+				ErrRetireLimit, m.stats.Retired, m.prog.Name)
+		}
+		next, err := m.execBlock(cur)
+		if err != nil {
+			return err
+		}
+		cur = next
+	}
+	return nil
+}
+
+// execBlock retires all instructions of blk, resolves its terminator and
+// returns the next block (nil when the outermost function returned).
+func (m *Machine) execBlock(blk *program.Block) (*program.Block, error) {
+	bi := &m.info[blk.ID]
+	ring := blk.Fn.Mod.Ring
+
+	// Resolve the terminator first so the final instruction can carry
+	// its taken-branch flag.
+	var (
+		next      *program.Block
+		taken     bool
+		target    uint64
+		isControl bool
+	)
+	t := &blk.Term
+	switch t.Kind {
+	case program.TermFallthrough:
+		next = t.Next
+	case program.TermJump:
+		next, taken, target, isControl = t.Target, true, t.Target.Addr, true
+	case program.TermLoop:
+		m.loopCount[blk.ID]++
+		if m.loopCount[blk.ID] < t.Trip {
+			next, taken, target = t.Target, true, t.Target.Addr
+		} else {
+			m.loopCount[blk.ID] = 0
+			next = t.Next
+		}
+		isControl = true
+	case program.TermCond:
+		if m.rng.Float64() < t.Prob {
+			next, taken, target = t.Target, true, t.Target.Addr
+		} else {
+			next = t.Next
+		}
+		isControl = true
+	case program.TermCall:
+		m.callStack = append(m.callStack, t.Next)
+		next, taken, target, isControl = t.Callee.Entry(), true, t.Callee.Addr(), true
+	case program.TermReturn:
+		if n := len(m.callStack); n > 0 {
+			next = m.callStack[n-1]
+			m.callStack = m.callStack[:n-1]
+			target = next.Addr
+		}
+		taken, isControl = true, true
+	default:
+		return nil, fmt.Errorf("cpu: block %s: unknown terminator %v", blk, t.Kind)
+	}
+
+	ev := RetireEvent{Block: blk, Ring: ring}
+	for i, op := range bi.ops {
+		m.stats.Retired++
+		m.stats.Cycles += uint64(op.Latency())
+		if ring == program.RingKernel {
+			m.stats.KernelRetired++
+		}
+		ev.Addr = bi.addrs[i]
+		ev.Op = op
+		ev.Cycle = m.stats.Cycles
+		if i == bi.lastIdx && isControl {
+			ev.Taken = taken
+			ev.Target = target
+			if taken {
+				m.stats.TakenBranches++
+			}
+		} else {
+			ev.Taken = false
+			ev.Target = 0
+		}
+		for _, l := range m.listeners {
+			l.Retire(&ev)
+		}
+	}
+	return next, nil
+}
+
+// Run is a convenience wrapper constructing a Machine and running it.
+func Run(p *program.Program, entry *program.Function, cfg Config, listeners ...Listener) (Stats, error) {
+	return New(p, cfg, listeners...).Run(entry)
+}
+
+// CountingListener counts exact per-block executions — the ground-truth
+// BBEC oracle used to label training data and score estimators. Unlike
+// the SDE model in internal/sde it sees all rings; it exists for tests
+// and calibration rather than as a paper artefact.
+type CountingListener struct {
+	Exec []uint64 // per block ID, incremented at the block's first instruction
+}
+
+// NewCountingListener sizes the counter array for program p.
+func NewCountingListener(p *program.Program) *CountingListener {
+	return &CountingListener{Exec: make([]uint64, p.NumBlocks())}
+}
+
+// Retire implements Listener.
+func (c *CountingListener) Retire(ev *RetireEvent) {
+	if ev.Addr == ev.Block.Addr {
+		c.Exec[ev.Block.ID]++
+	}
+}

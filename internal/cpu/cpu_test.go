@@ -1,0 +1,307 @@
+package cpu
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hbbp/internal/isa"
+	"hbbp/internal/program"
+)
+
+// testProgram builds: main { entry; loop(head..latch x trips); call helper; exit }
+// plus a kernel function reached via a syscall from helper.
+func testProgram(t testing.TB, trips int) (*program.Program, *program.Function) {
+	t.Helper()
+	b := program.NewBuilder("cputest")
+	mod := b.Module("main", program.RingUser)
+	kmod := b.Module("kernel", program.RingKernel)
+
+	kfn := b.Function(kmod, "sys_work")
+	kb := b.Block(kfn, isa.MOV, isa.ADD, isa.CMP)
+	b.Return(kb)
+
+	helper := b.Function(mod, "helper")
+	h1 := b.Block(helper, isa.PUSH, isa.MOV)
+	h2 := b.Block(helper, isa.POP)
+	b.Call(h1, kfn, h2)
+	b.Return(h2)
+
+	main := b.Function(mod, "main")
+	entry := b.Block(main, isa.PUSH, isa.MOV)
+	head := b.Block(main, isa.ADD, isa.MUL)
+	latch := b.Block(main, isa.INC, isa.CMP)
+	callB := b.Block(main, isa.MOV)
+	exit := b.Block(main, isa.POP)
+	b.Fallthrough(entry, head)
+	b.Fallthrough(head, latch)
+	b.Loop(latch, isa.JNZ, head, callB, trips)
+	b.Call(callB, helper, exit)
+	b.Return(exit)
+
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return p, main
+}
+
+func TestLoopTripCounts(t *testing.T) {
+	const trips, repeat = 7, 3
+	p, main := testProgram(t, trips)
+	count := NewCountingListener(p)
+	stats, err := Run(p, main, Config{Repeat: repeat}, count)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	head := p.FuncByName("main").Blocks[1]
+	latch := p.FuncByName("main").Blocks[2]
+	entry := p.FuncByName("main").Blocks[0]
+	if got := count.Exec[entry.ID]; got != repeat {
+		t.Errorf("entry executed %d times, want %d", got, repeat)
+	}
+	if got := count.Exec[head.ID]; got != trips*repeat {
+		t.Errorf("loop head executed %d times, want %d", got, trips*repeat)
+	}
+	if got := count.Exec[latch.ID]; got != trips*repeat {
+		t.Errorf("latch executed %d times, want %d", got, trips*repeat)
+	}
+	if stats.Retired == 0 || stats.Cycles < stats.Retired {
+		t.Errorf("stats look wrong: %+v", stats)
+	}
+}
+
+func TestCallAndKernelRing(t *testing.T) {
+	p, main := testProgram(t, 2)
+	var kernelOps, userOps int
+	var syscallSeen bool
+	lis := listenerFunc(func(ev *RetireEvent) {
+		if ev.Ring == program.RingKernel {
+			kernelOps++
+		} else {
+			userOps++
+		}
+		if ev.Op == isa.SYSCALL && ev.Taken {
+			syscallSeen = true
+			kfn := p.FuncByName("sys_work")
+			if ev.Target != kfn.Addr() {
+				t.Errorf("SYSCALL target %#x, want %#x", ev.Target, kfn.Addr())
+			}
+		}
+	})
+	stats, err := Run(p, main, Config{Repeat: 1}, lis)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !syscallSeen {
+		t.Error("no SYSCALL retired")
+	}
+	// sys_work has 4 instructions (MOV ADD CMP SYSRET), called once.
+	if kernelOps != 4 {
+		t.Errorf("kernel retired %d, want 4", kernelOps)
+	}
+	if stats.KernelRetired != uint64(kernelOps) {
+		t.Errorf("stats.KernelRetired = %d, want %d", stats.KernelRetired, kernelOps)
+	}
+	if userOps == 0 {
+		t.Error("no user instructions retired")
+	}
+}
+
+func TestTakenBranchTargets(t *testing.T) {
+	p, main := testProgram(t, 3)
+	head := p.FuncByName("main").Blocks[1]
+	var backEdges, fallThroughs int
+	lis := listenerFunc(func(ev *RetireEvent) {
+		if ev.Op != isa.JNZ {
+			return
+		}
+		if ev.Taken {
+			backEdges++
+			if ev.Target != head.Addr {
+				t.Errorf("back edge target %#x, want %#x", ev.Target, head.Addr)
+			}
+		} else {
+			fallThroughs++
+		}
+	})
+	if _, err := Run(p, main, Config{Repeat: 5}, lis); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if backEdges != 2*5 {
+		t.Errorf("back edges %d, want 10 (trip-1 per activation x5)", backEdges)
+	}
+	if fallThroughs != 5 {
+		t.Errorf("fallthroughs %d, want 5", fallThroughs)
+	}
+}
+
+func TestCondProbability(t *testing.T) {
+	b := program.NewBuilder("cond")
+	mod := b.Module("m", program.RingUser)
+	f := b.Function(mod, "f")
+	entry := b.Block(f, isa.MOV, isa.CMP)
+	then := b.Block(f, isa.ADD)
+	merge := b.Block(f, isa.MOV)
+	b.Cond(entry, isa.JZ, merge, then, 0.25) // taken -> skip then
+	b.Fallthrough(then, merge)
+	b.Return(merge)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	const n = 200000
+	count := NewCountingListener(p)
+	if _, err := Run(p, f, Config{Repeat: n, Seed: 42}, count); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	gotThen := float64(count.Exec[then.ID]) / n
+	if math.Abs(gotThen-0.75) > 0.01 {
+		t.Errorf("then-block frequency %.4f, want 0.75 +/- 0.01", gotThen)
+	}
+	if count.Exec[merge.ID] != n {
+		t.Errorf("merge executed %d, want %d", count.Exec[merge.ID], n)
+	}
+}
+
+func TestDeterminismBySeed(t *testing.T) {
+	run := func(seed int64) []uint64 {
+		b := program.NewBuilder("det")
+		mod := b.Module("m", program.RingUser)
+		f := b.Function(mod, "f")
+		entry := b.Block(f, isa.MOV)
+		a := b.Block(f, isa.ADD)
+		c := b.Block(f, isa.SUB)
+		b.Cond(entry, isa.JNZ, c, a, 0.5)
+		b.Fallthrough(a, c)
+		b.Return(c)
+		p, err := b.Finish()
+		if err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+		count := NewCountingListener(p)
+		if _, err := Run(p, f, Config{Repeat: 1000, Seed: seed}, count); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return count.Exec
+	}
+	a1, a2, b1 := run(7), run(7), run(8)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed diverged at block %d: %d vs %d", i, a1[i], a2[i])
+		}
+	}
+	same := true
+	for i := range a1 {
+		if a1[i] != b1[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical stochastic counts")
+	}
+}
+
+func TestTracePointRetiresNops(t *testing.T) {
+	b := program.NewBuilder("trace")
+	kmod := b.Module("kernel", program.RingKernel)
+	f := b.Function(kmod, "sys_traced")
+	pre := b.Block(f, isa.MOV, isa.ADD)
+	post := b.Block(f, isa.SUB)
+	b.TracePoint(pre, post)
+	b.Return(post)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	var ops []isa.Op
+	var anyTaken bool
+	lis := listenerFunc(func(ev *RetireEvent) {
+		ops = append(ops, ev.Op)
+		if ev.Block == pre && ev.Taken {
+			anyTaken = true
+		}
+	})
+	if _, err := Run(p, f, Config{}, lis); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Static: MOV ADD JMP | SUB SYSRET. Live: MOV ADD NOP NOP | SUB SYSRET.
+	want := []isa.Op{isa.MOV, isa.ADD, isa.NOP, isa.NOP, isa.SUB, isa.SYSRET}
+	if len(ops) != len(want) {
+		t.Fatalf("retired %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("retired %v, want %v", ops, want)
+		}
+	}
+	if anyTaken {
+		t.Error("trace-point block retired a taken branch; live image should fall through")
+	}
+	// Static text still decodes with a JMP; live text decodes NOPs.
+	static, err := program.Disassemble(kmod.Funcs[0].Mod)
+	if err != nil {
+		t.Fatalf("Disassemble: %v", err)
+	}
+	hasJmp := false
+	for _, d := range static {
+		if d.Op == isa.JMP {
+			hasJmp = true
+		}
+	}
+	if !hasJmp {
+		t.Error("static image lost the trace-point JMP")
+	}
+	live, err := isa.Decode(kmod.LiveText(), kmod.Base)
+	if err != nil {
+		t.Fatalf("decode live text: %v", err)
+	}
+	for _, d := range live {
+		if d.Op == isa.JMP {
+			t.Error("live image still contains the trace-point JMP")
+		}
+	}
+}
+
+func TestRetireLimit(t *testing.T) {
+	b := program.NewBuilder("spin")
+	mod := b.Module("m", program.RingUser)
+	f := b.Function(mod, "f")
+	one := b.Block(f, isa.MOV)
+	two := b.Block(f, isa.ADD, isa.JMP)
+	b.Fallthrough(one, two)
+	two.Term = program.Terminator{Kind: program.TermJump, Target: one}
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	_, err = Run(p, f, Config{MaxRetired: 1000})
+	if !errors.Is(err, ErrRetireLimit) {
+		t.Fatalf("err = %v, want ErrRetireLimit", err)
+	}
+}
+
+func TestCyclesAccumulateLatency(t *testing.T) {
+	b := program.NewBuilder("cyc")
+	mod := b.Module("m", program.RingUser)
+	f := b.Function(mod, "f")
+	blk := b.Block(f, isa.DIV, isa.MOV)
+	b.Return(blk)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	stats, err := Run(p, f, Config{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := uint64(isa.DIV.Latency() + isa.MOV.Latency() + isa.RET_NEAR.Latency())
+	if stats.Cycles != want {
+		t.Errorf("cycles %d, want %d", stats.Cycles, want)
+	}
+}
+
+// listenerFunc adapts a function to the Listener interface.
+type listenerFunc func(ev *RetireEvent)
+
+func (f listenerFunc) Retire(ev *RetireEvent) { f(ev) }

@@ -1,0 +1,294 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (Section VIII). Each experiment has a structured result
+// type (so tests and benchmarks can assert on shapes) and a renderer
+// that prints rows mirroring the paper's layout.
+//
+// Absolute values differ from the paper — the substrate is a simulator,
+// not the authors' Ivy Bridge testbed — but the shapes the paper argues
+// from are reproduced: instrumentation costs multiples while HBBP costs
+// percents; EBS degrades on short-block code and LBR on biased/long
+// blocks; the hybrid tracks the better of the two everywhere.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"hbbp/internal/analyzer"
+	"hbbp/internal/collector"
+	"hbbp/internal/core"
+	"hbbp/internal/metrics"
+	"hbbp/internal/sde"
+	"hbbp/internal/workloads"
+)
+
+// ClockHz converts simulated cycles to wall-clock seconds. The value
+// models the paper's fixed-frequency Xeon E5-2695 v2 with an effective
+// superscalar throughput folded in.
+const ClockHz = 6.0e9
+
+// Config parameterises a Runner.
+type Config struct {
+	// Out receives rendered experiment output. Nil discards it.
+	Out io.Writer
+	// Fast scales workload repeats down (by FastFactor) for quick test
+	// and benchmark runs. Sampling statistics shrink accordingly.
+	Fast bool
+	// FastFactor is the repeat multiplier used when Fast is set.
+	// Zero means 0.25.
+	FastFactor float64
+	// Seed is the base seed for all runs.
+	Seed int64
+}
+
+// Runner executes experiments, caching the trained model and per-suite
+// evaluations across tables that share them.
+type Runner struct {
+	cfg   Config
+	out   io.Writer
+	model *core.Model
+	suite []*WorkloadEval
+}
+
+// New returns a Runner.
+func New(cfg Config) *Runner {
+	if cfg.FastFactor == 0 {
+		cfg.FastFactor = 0.25
+	}
+	out := cfg.Out
+	if out == nil {
+		out = io.Discard
+	}
+	return &Runner{cfg: cfg, out: out}
+}
+
+func (r *Runner) printf(format string, args ...any) {
+	fmt.Fprintf(r.out, format, args...)
+}
+
+// scaled applies the fast factor.
+func (r *Runner) scaled(w *workloads.Workload) *workloads.Workload {
+	if r.cfg.Fast {
+		return w.Scaled(r.cfg.FastFactor)
+	}
+	return w
+}
+
+// Model returns the HBBP model used across experiments, training it on
+// the corpus on first use (the Figure 1 pipeline).
+func (r *Runner) Model() (*core.Model, error) {
+	if r.model != nil {
+		return r.model, nil
+	}
+	var runs []*core.TrainingRun
+	for i, w := range workloads.TrainingCorpus() {
+		w = r.scaled(w)
+		run, err := core.CollectTrainingRun(w.Prog, w.Entry, collector.Options{
+			// Training samples at the same class-based periods used in
+			// production, so the learned rule internalises the sampling
+			// noise the estimators actually carry at analysis time.
+			Class: w.Class,
+			Scale: w.Scale, Seed: r.cfg.Seed + int64(100+i),
+			Repeat: w.Repeat,
+		})
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+	model, err := core.Train(runs, core.TrainParams{})
+	if err != nil {
+		return nil, err
+	}
+	r.model = model
+	return model, nil
+}
+
+// WorkloadEval is one workload's full evaluation: runtime model plus
+// accuracy of every method, scored per Section VI.
+type WorkloadEval struct {
+	Name string
+	// CleanSeconds is the modelled uninstrumented runtime.
+	CleanSeconds float64
+	// SDESeconds is the modelled runtime under software
+	// instrumentation; SDEFactor = SDESeconds / CleanSeconds.
+	SDESeconds float64
+	SDEFactor  float64
+	// HBBPSeconds and HBBPOverhead model the collection cost.
+	HBBPSeconds  float64
+	HBBPOverhead float64 // fraction, e.g. 0.005 = 0.5%
+	// ErrHBBP, ErrEBS and ErrLBR are average weighted errors against
+	// the instrumentation reference (user-mode mixes).
+	ErrHBBP, ErrEBS, ErrLBR float64
+	// SDEBug marks workloads excluded from error aggregation because
+	// the reference tool is known to miscount them.
+	SDEBug bool
+	// Profile carries the HBBP run for further inspection.
+	Profile *core.Profile
+	// RefMix is the reference (instrumentation) user-mode mix.
+	RefMix metrics.Mix
+
+	// refBBECs holds the reference per-block counts (user mode only,
+	// like the real SDE) for block-level tables.
+	refBBECs []float64
+}
+
+// evalWorkload runs one workload once with both the PMU collection and
+// the instrumentation reference attached and scores every method.
+func (r *Runner) evalWorkload(w *workloads.Workload) (*WorkloadEval, error) {
+	model, err := r.Model()
+	if err != nil {
+		return nil, err
+	}
+	w = r.scaled(w)
+	ref := sde.New(w.Prog)
+	prof, err := core.Run(w.Prog, w.Entry, model, core.Options{
+		Collector: collector.Options{
+			Class: w.Class, Scale: w.Scale, Seed: r.cfg.Seed + 7,
+			Repeat: w.Repeat,
+		},
+		KernelLivePatched: true,
+	}, ref)
+	if err != nil {
+		return nil, err
+	}
+
+	stats := prof.Collection.Stats
+	clean := float64(stats.Cycles) * float64(w.Scale) / ClockHz
+	sdeFactor := ref.SlowdownFactor(stats.Cycles)
+	overhead := prof.Collection.OverheadFactor() - 1
+
+	// Accuracy is scored on user-mode mixes, like the paper's
+	// comparisons ("except in Section VIII.D, our accuracy comparisons
+	// consider only user mode instructions").
+	refMix := analyzer.ToMix(ref.Mnemonics())
+	opts := analyzer.Options{Scope: analyzer.ScopeUser, LiveText: true}
+	ev := &WorkloadEval{
+		Name:         w.Name,
+		CleanSeconds: clean,
+		SDESeconds:   clean * sdeFactor,
+		SDEFactor:    sdeFactor,
+		HBBPSeconds:  clean * (1 + overhead),
+		HBBPOverhead: overhead,
+		ErrHBBP:      metrics.AvgWeightedError(refMix, analyzer.Mix(w.Prog, prof.BBECs, opts)),
+		ErrEBS:       metrics.AvgWeightedError(refMix, analyzer.Mix(w.Prog, prof.EBS, opts)),
+		ErrLBR:       metrics.AvgWeightedError(refMix, analyzer.Mix(w.Prog, prof.LBR, opts)),
+		SDEBug:       w.SDEBug,
+		Profile:      prof,
+		RefMix:       refMix,
+	}
+	ev.refBBECs = make([]float64, w.Prog.NumBlocks())
+	for id := range ev.refBBECs {
+		ev.refBBECs[id] = float64(ref.BlockExec(id))
+	}
+	return ev, nil
+}
+
+// SuiteEvals evaluates the full SPEC-like suite once, caching results.
+func (r *Runner) SuiteEvals() ([]*WorkloadEval, error) {
+	if r.suite != nil {
+		return r.suite, nil
+	}
+	for _, w := range workloads.SPECSuite() {
+		ev, err := r.evalWorkload(w)
+		if err != nil {
+			return nil, fmt.Errorf("harness: evaluating %s: %w", w.Name, err)
+		}
+		r.suite = append(r.suite, ev)
+	}
+	return r.suite, nil
+}
+
+// ExperimentNames lists every regenerable experiment in paper order.
+func ExperimentNames() []string {
+	return []string{
+		"table1", "table2", "table3", "table4",
+		"table5", "table6", "table7", "table8",
+		"figure1", "figure2", "figure3", "figure4",
+	}
+}
+
+// Run executes one experiment by name and renders it to the
+// configured output.
+func (r *Runner) Run(name string) error {
+	switch name {
+	case "table1":
+		res, err := r.Table1()
+		if err != nil {
+			return err
+		}
+		r.printf("%s", res.Render())
+	case "table2":
+		r.printf("%s", Table2().Render())
+	case "table3":
+		res, err := r.Table3()
+		if err != nil {
+			return err
+		}
+		r.printf("%s", res.Render())
+	case "table4":
+		r.printf("%s", Table4().Render())
+	case "table5":
+		res, err := r.Table5()
+		if err != nil {
+			return err
+		}
+		r.printf("%s", res.Render())
+	case "table6":
+		res, err := r.Table6()
+		if err != nil {
+			return err
+		}
+		r.printf("%s", res.Render())
+	case "table7":
+		res, err := r.Table7()
+		if err != nil {
+			return err
+		}
+		r.printf("%s", res.Render())
+	case "table8":
+		res, err := r.Table8()
+		if err != nil {
+			return err
+		}
+		r.printf("%s", res.Render())
+	case "figure1":
+		res, err := r.Figure1()
+		if err != nil {
+			return err
+		}
+		r.printf("%s", res.Render())
+	case "figure2":
+		res, err := r.Figure2()
+		if err != nil {
+			return err
+		}
+		r.printf("%s", res.Render())
+	case "figure3":
+		res, err := r.Figure3()
+		if err != nil {
+			return err
+		}
+		r.printf("%s", res.Render())
+	case "figure4":
+		res, err := r.Figure4()
+		if err != nil {
+			return err
+		}
+		r.printf("%s", res.Render())
+	default:
+		return fmt.Errorf("harness: unknown experiment %q (known: %v)", name, ExperimentNames())
+	}
+	return nil
+}
+
+// RunAll executes every experiment in paper order.
+func (r *Runner) RunAll() error {
+	for _, name := range ExperimentNames() {
+		if err := r.Run(name); err != nil {
+			return fmt.Errorf("harness: %s: %w", name, err)
+		}
+		r.printf("\n")
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file is the reproduction's stand-in for XED, the "X86 Encoder
+// Decoder Software Library" the paper's analyzer is built on. Programs
+// are stored as byte streams with variable-length instructions; the
+// decoder recovers opcode identity and instruction boundaries, which is
+// all the analyzer needs to build static basic block maps.
+//
+// Encoding: every instruction starts with a 2-byte little-endian opcode
+// followed by Info.Bytes-2 padding bytes (0x90). Opcodes whose declared
+// length is below 3 bytes use a compact single-byte form: 0xC0|op for
+// 1-byte instructions and 0x80|op-prefixed 2-byte forms. The compact
+// ranges keep encoded block sizes matching the instruction table's byte
+// counts, so address arithmetic behaves like real x86 code layout.
+
+const (
+	compact1Prefix = 0xC0 // single-byte instructions: 0xC0 | compact index
+	compact2Prefix = 0x80 // two-byte instructions: 0x80 | compact index, pad
+	wideMarker     = 0x02 // wide instructions: marker, op lo, op hi, padding
+	padByte        = 0x90
+)
+
+// compact1 and compact2 list the opcodes eligible for the short forms.
+// They are derived from the table at init time, so adding instructions
+// cannot silently break the codec.
+var (
+	compact1      []Op
+	compact2      []Op
+	compact1Index map[Op]int
+	compact2Index map[Op]int
+)
+
+func init() {
+	compact1Index = make(map[Op]int)
+	compact2Index = make(map[Op]int)
+	for op := Op(1); op < numOps; op++ {
+		switch infoTable[op].Bytes {
+		case 1:
+			compact1Index[op] = len(compact1)
+			compact1 = append(compact1, op)
+		case 2:
+			compact2Index[op] = len(compact2)
+			compact2 = append(compact2, op)
+		}
+	}
+	if len(compact1) > 0x3F || len(compact2) > 0x3F {
+		panic("isa: too many compact opcodes for single-byte index space")
+	}
+}
+
+// Decoded is one instruction recovered from a byte stream.
+type Decoded struct {
+	Op   Op     // decoded opcode
+	Addr uint64 // address of the first byte
+	Len  int    // encoded length in bytes
+}
+
+// AppendEncode appends the encoding of op to dst and returns the extended
+// slice. The encoded length always equals op.Info().Bytes.
+func AppendEncode(dst []byte, op Op) []byte {
+	info := op.Info()
+	switch info.Bytes {
+	case 1:
+		return append(dst, byte(compact1Prefix|compact1Index[op]))
+	case 2:
+		return append(dst, byte(compact2Prefix|compact2Index[op]), padByte)
+	default:
+		dst = append(dst, wideMarker)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(op))
+		for i := 3; i < info.Bytes; i++ {
+			dst = append(dst, padByte)
+		}
+		return dst
+	}
+}
+
+// Encode encodes a sequence of opcodes into a fresh byte slice.
+func Encode(ops []Op) []byte {
+	n := 0
+	for _, op := range ops {
+		n += op.Info().Bytes
+	}
+	buf := make([]byte, 0, n)
+	for _, op := range ops {
+		buf = AppendEncode(buf, op)
+	}
+	return buf
+}
+
+// DecodeOne decodes the instruction at the start of code, which is laid
+// out at address addr. It returns the decoded instruction and the number
+// of bytes consumed.
+func DecodeOne(code []byte, addr uint64) (Decoded, error) {
+	if len(code) == 0 {
+		return Decoded{}, fmt.Errorf("isa: decode at %#x: empty code", addr)
+	}
+	b := code[0]
+	switch {
+	case b&compact1Prefix == compact1Prefix:
+		idx := int(b &^ compact1Prefix)
+		if idx >= len(compact1) {
+			return Decoded{}, fmt.Errorf("isa: decode at %#x: bad compact1 index %d", addr, idx)
+		}
+		return Decoded{Op: compact1[idx], Addr: addr, Len: 1}, nil
+	case b&compact2Prefix == compact2Prefix:
+		idx := int(b &^ compact2Prefix)
+		if idx >= len(compact2) {
+			return Decoded{}, fmt.Errorf("isa: decode at %#x: bad compact2 index %d", addr, idx)
+		}
+		if len(code) < 2 {
+			return Decoded{}, fmt.Errorf("isa: decode at %#x: truncated 2-byte instruction", addr)
+		}
+		return Decoded{Op: compact2[idx], Addr: addr, Len: 2}, nil
+	case b == wideMarker:
+		if len(code) < 3 {
+			return Decoded{}, fmt.Errorf("isa: decode at %#x: truncated wide instruction", addr)
+		}
+		op := Op(binary.LittleEndian.Uint16(code[1:3]))
+		if !op.Valid() {
+			return Decoded{}, fmt.Errorf("isa: decode at %#x: invalid opcode %d", addr, uint16(op))
+		}
+		n := op.Info().Bytes
+		if len(code) < n {
+			return Decoded{}, fmt.Errorf("isa: decode at %#x: need %d bytes, have %d", addr, n, len(code))
+		}
+		return Decoded{Op: op, Addr: addr, Len: n}, nil
+	default:
+		return Decoded{}, fmt.Errorf("isa: decode at %#x: unknown leading byte %#x", addr, b)
+	}
+}
+
+// Decode disassembles a full byte stream laid out at base. It fails on
+// the first malformed instruction.
+func Decode(code []byte, base uint64) ([]Decoded, error) {
+	var out []Decoded
+	off := 0
+	for off < len(code) {
+		d, err := DecodeOne(code[off:], base+uint64(off))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+		off += d.Len
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+// Package isa defines the synthetic x86-flavoured instruction set used by
+// the HBBP reproduction.
+//
+// The paper consumes real x86 binaries through the XED disassembler; what
+// its pipeline actually needs from an ISA is (a) a stable mnemonic
+// identity per instruction, (b) static attributes (ISA extension,
+// category, packed/scalar flags, operand and memory behaviour) that the
+// analyzer folds into instruction mixes, and (c) encoded instruction
+// lengths so basic blocks occupy realistic address ranges. This package
+// provides exactly that: a fixed instruction table spanning the BASE,
+// X87, SSE and AVX extensions that appear in the paper's evaluation, a
+// byte-level encoder/decoder standing in for XED, and helpers for
+// building custom instruction taxonomies.
+package isa
+
+import "fmt"
+
+// Ext identifies the ISA extension an instruction belongs to. The paper's
+// Fitter and CLForward case studies break mixes down by exactly these
+// families (Table 6, Table 8).
+type Ext uint8
+
+// ISA extensions.
+const (
+	Base Ext = iota // scalar integer x86
+	X87             // legacy floating point stack
+	SSE             // 128-bit vector extension
+	AVX             // 256-bit vector extension
+	numExt
+)
+
+// String returns the conventional family name.
+func (e Ext) String() string {
+	switch e {
+	case Base:
+		return "BASE"
+	case X87:
+		return "X87"
+	case SSE:
+		return "SSE"
+	case AVX:
+		return "AVX"
+	}
+	return fmt.Sprintf("Ext(%d)", uint8(e))
+}
+
+// Category is a coarse behavioural class. Categories drive the secondary
+// attributes the analyzer derives (Section V.B of the paper) and the
+// branch handling in the CPU and PMU models.
+type Category uint8
+
+// Instruction categories.
+const (
+	CatArith    Category = iota // add/sub/mul and friends
+	CatDivide                   // long-latency division
+	CatSqrt                     // long-latency square root
+	CatLogic                    // and/or/xor/shift
+	CatMove                     // register and memory moves
+	CatCompare                  // cmp/test/ucomiss
+	CatConvert                  // int<->float conversions
+	CatCondBranch               // conditional jumps
+	CatJump                     // unconditional jumps
+	CatCall                     // calls
+	CatReturn                   // returns
+	CatStack                    // push/pop
+	CatNop                      // nops and padding
+	CatSync                     // locked/atomic operations
+	CatOther                    // anything else
+	numCategory
+)
+
+// String returns the category name.
+func (c Category) String() string {
+	switch c {
+	case CatArith:
+		return "arith"
+	case CatDivide:
+		return "divide"
+	case CatSqrt:
+		return "sqrt"
+	case CatLogic:
+		return "logic"
+	case CatMove:
+		return "move"
+	case CatCompare:
+		return "compare"
+	case CatConvert:
+		return "convert"
+	case CatCondBranch:
+		return "cond-branch"
+	case CatJump:
+		return "jump"
+	case CatCall:
+		return "call"
+	case CatReturn:
+		return "return"
+	case CatStack:
+		return "stack"
+	case CatNop:
+		return "nop"
+	case CatSync:
+		return "sync"
+	case CatOther:
+		return "other"
+	}
+	return fmt.Sprintf("Category(%d)", uint8(c))
+}
+
+// Packing describes the SIMD shape of an instruction, mirroring the
+// PACKING axis of the paper's CLForward pivot view (Table 8).
+type Packing uint8
+
+// Packing values.
+const (
+	NoPacking Packing = iota // not a floating-point/SIMD operation
+	Scalar                   // scalar FP operation
+	Packed                   // packed (vectorized) operation
+)
+
+// String returns the packing label used in pivot views.
+func (p Packing) String() string {
+	switch p {
+	case NoPacking:
+		return "NONE"
+	case Scalar:
+		return "SCALAR"
+	case Packed:
+		return "PACKED"
+	}
+	return fmt.Sprintf("Packing(%d)", uint8(p))
+}
+
+// Info holds the static attributes of one instruction. All fields are
+// immutable once the table is built.
+type Info struct {
+	Name     string   // canonical mnemonic, e.g. "VADDPS"
+	Ext      Ext      // ISA extension family
+	Cat      Category // behavioural category
+	Packing  Packing  // SIMD shape
+	Latency  int      // nominal execution latency in cycles
+	Bytes    int      // encoded length in bytes (1..15, like x86)
+	Operands int      // number of explicit operands
+	VecBits  int      // vector width in bits (0 for scalar integer)
+	ReadsMem bool     // instruction may read memory
+	WritesMem bool    // instruction may write memory
+	FLOPs    int      // floating point operations per execution
+}
+
+// IsBranch reports whether the instruction redirects control flow
+// (conditional or unconditional jumps, calls and returns).
+func (in Info) IsBranch() bool {
+	switch in.Cat {
+	case CatCondBranch, CatJump, CatCall, CatReturn:
+		return true
+	}
+	return false
+}
+
+// IsLongLatency reports whether the instruction's latency is at or above
+// the threshold the PMU shadowing model keys on. Divisions, square roots
+// and x87 transcendental-class operations qualify — the same instruction
+// population the paper's "long latency instructions" taxonomy targets.
+func (in Info) IsLongLatency() bool { return in.Latency >= LongLatencyThreshold }
+
+// LongLatencyThreshold is the cycle latency at and above which an
+// instruction is considered long-latency for shadowing and taxonomy
+// purposes.
+const LongLatencyThreshold = 10

@@ -1,0 +1,234 @@
+package mltree
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// thresholdDataset labels rows by whether feature 0 exceeds cut, with a
+// noisy irrelevant feature 1.
+func thresholdDataset(n int, cut float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{
+		FeatureNames: []string{"block_len", "noise"},
+		ClassNames:   []string{"LBR", "EBS"},
+	}
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 40
+		y := 0
+		if x > cut {
+			y = 1
+		}
+		ds.X = append(ds.X, []float64{x, rng.Float64()})
+		ds.Y = append(ds.Y, y)
+	}
+	return ds
+}
+
+func TestLearnsThreshold(t *testing.T) {
+	ds := thresholdDataset(2000, 18, 1)
+	tree, err := Train(ds, Params{MaxDepth: 3})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if tree.Root.IsLeaf() {
+		t.Fatal("tree did not split")
+	}
+	if tree.Root.Feature != 0 {
+		t.Fatalf("root split on feature %d, want 0", tree.Root.Feature)
+	}
+	if math.Abs(tree.Root.Threshold-18) > 1.0 {
+		t.Errorf("root threshold %.2f, want about 18", tree.Root.Threshold)
+	}
+	// Perfect separability: predictions match labels.
+	for i, x := range ds.X {
+		if got := tree.Predict(x); got != ds.Y[i] {
+			t.Fatalf("row %d: predicted %d, want %d", i, got, ds.Y[i])
+		}
+	}
+	imp := tree.FeatureImportances()
+	if imp[0] < 0.9 {
+		t.Errorf("block_len importance %.3f, want > 0.9", imp[0])
+	}
+	if got := tree.PredictName([]float64{5, 0.5}); got != "LBR" {
+		t.Errorf("PredictName(5) = %q, want LBR", got)
+	}
+	if got := tree.PredictName([]float64{30, 0.5}); got != "EBS" {
+		t.Errorf("PredictName(30) = %q, want EBS", got)
+	}
+}
+
+func TestWeightsDecideMajority(t *testing.T) {
+	// Identical feature values force a mixed leaf; sample weights must
+	// decide its class, mirroring the paper's execution-count weighting.
+	train := func(w []float64) string {
+		ds := &Dataset{
+			FeatureNames: []string{"f"},
+			ClassNames:   []string{"A", "B"},
+			X:            [][]float64{{1}, {1}},
+			Y:            []int{0, 1},
+			W:            w,
+		}
+		tree, err := Train(ds, Params{MaxDepth: 3})
+		if err != nil {
+			t.Fatalf("Train: %v", err)
+		}
+		if !tree.Root.IsLeaf() {
+			t.Fatal("identical features must not split")
+		}
+		return tree.PredictName([]float64{1})
+	}
+	if got := train([]float64{1, 10}); got != "B" {
+		t.Errorf("weights (1,10) predicted %q, want B", got)
+	}
+	if got := train([]float64{10, 1}); got != "A" {
+		t.Errorf("weights (10,1) predicted %q, want A", got)
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	ds := thresholdDataset(500, 10, 2)
+	for _, depth := range []int{1, 2, 3} {
+		tree, err := Train(ds, Params{MaxDepth: depth})
+		if err != nil {
+			t.Fatalf("Train: %v", err)
+		}
+		if got := tree.Depth(); got > depth {
+			t.Errorf("depth %d exceeds max %d", got, depth)
+		}
+	}
+}
+
+func TestMinLeafWeight(t *testing.T) {
+	ds := thresholdDataset(200, 20, 3)
+	tree, err := Train(ds, Params{MaxDepth: 8, MinLeafWeight: 30})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	var check func(n *Node)
+	check = func(n *Node) {
+		if n.IsLeaf() {
+			if n.Weight < 30 {
+				t.Errorf("leaf weight %.0f below minimum 30", n.Weight)
+			}
+			return
+		}
+		check(n.Left)
+		check(n.Right)
+	}
+	check(tree.Root)
+}
+
+func TestPureNodeStops(t *testing.T) {
+	ds := &Dataset{
+		FeatureNames: []string{"f"},
+		ClassNames:   []string{"A", "B"},
+		X:            [][]float64{{1}, {2}, {3}, {4}},
+		Y:            []int{0, 0, 0, 0},
+	}
+	tree, err := Train(ds, Params{MaxDepth: 5})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if !tree.Root.IsLeaf() {
+		t.Error("pure dataset should produce a leaf-only tree")
+	}
+	if tree.Root.Gini != 0 {
+		t.Errorf("pure node gini %.3f, want 0", tree.Root.Gini)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []*Dataset{
+		{FeatureNames: []string{"f"}, ClassNames: []string{"A"}},                                                      // empty
+		{FeatureNames: []string{"f"}, ClassNames: []string{"A"}, X: [][]float64{{1}}, Y: []int{0, 1}},                 // len mismatch
+		{FeatureNames: []string{"f"}, ClassNames: []string{"A"}, X: [][]float64{{1, 2}}, Y: []int{0}},                 // row width
+		{FeatureNames: []string{"f"}, ClassNames: []string{"A"}, X: [][]float64{{1}}, Y: []int{3}},                    // label range
+		{FeatureNames: []string{"f"}, ClassNames: []string{"A"}, X: [][]float64{{1}}, Y: []int{0}, W: []float64{-1}},  // bad weight
+		{FeatureNames: []string{"f"}, ClassNames: []string{"A"}, X: [][]float64{{1}}, Y: []int{0}, W: []float64{1, 2}}, // weight len
+	}
+	for i, ds := range cases {
+		if _, err := Train(ds, Params{}); err == nil {
+			t.Errorf("case %d: Train accepted invalid dataset", i)
+		}
+	}
+}
+
+func TestRenderContainsGiniAndSamples(t *testing.T) {
+	ds := thresholdDataset(300, 18, 4)
+	tree, err := Train(ds, Params{MaxDepth: 2})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	out := tree.Render()
+	for _, want := range []string{"gini", "samples", "block_len", "class = "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q:\n%s", want, out)
+		}
+	}
+	rule := tree.RootRule()
+	if !strings.Contains(rule, "block_len <=") {
+		t.Errorf("RootRule() = %q", rule)
+	}
+}
+
+func TestGiniComputation(t *testing.T) {
+	if g := gini([]float64{5, 5}, 10); math.Abs(g-0.5) > 1e-12 {
+		t.Errorf("gini(5,5) = %f, want 0.5", g)
+	}
+	if g := gini([]float64{10, 0}, 10); g != 0 {
+		t.Errorf("gini(10,0) = %f, want 0", g)
+	}
+	if g := gini(nil, 0); g != 0 {
+		t.Errorf("gini(empty) = %f, want 0", g)
+	}
+}
+
+// Property: on any separable single-feature dataset, training achieves
+// zero training error with enough depth.
+func TestQuickSeparable(t *testing.T) {
+	f := func(seed int64, cutRaw uint8) bool {
+		cut := float64(cutRaw%30) + 1
+		ds := thresholdDataset(300, cut, seed)
+		tree, err := Train(ds, Params{MaxDepth: 6})
+		if err != nil {
+			return false
+		}
+		for i, x := range ds.X {
+			if tree.Predict(x) != ds.Y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: feature importances are non-negative and sum to ~1 when any
+// split happened.
+func TestQuickImportancesNormalized(t *testing.T) {
+	f := func(seed int64) bool {
+		ds := thresholdDataset(200, 15, seed)
+		tree, err := Train(ds, Params{MaxDepth: 4})
+		if err != nil {
+			return false
+		}
+		imp := tree.FeatureImportances()
+		var sum float64
+		for _, v := range imp {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return tree.Root.IsLeaf() || math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

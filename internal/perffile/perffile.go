@@ -1,0 +1,318 @@
+// Package perffile implements the raw collection file format — the
+// reproduction's stand-in for Linux perf.data.
+//
+// The paper's collector "gathers raw data from perf at runtime, which is
+// later processed to extract EBS and LBR samples". Keeping a real binary
+// serialization boundary between collection and analysis preserves that
+// pipeline shape: the collector only ever appends records, and the
+// analyzer reconstructs everything from the file, including the process
+// and memory-map metadata needed to attribute samples to modules.
+//
+// Format (all integers little-endian):
+//
+//	header:  magic "HBBPERF1" | uint32 version
+//	record:  uint8 type | uint32 payloadLen | payload
+//
+// Record payloads:
+//
+//	Comm:   uint32 pid | uint16 len | name bytes
+//	Mmap:   uint32 pid | uint64 start | uint64 size | uint8 ring |
+//	        uint16 len | module name bytes
+//	Sample: uint8 event | uint64 ip | uint8 ring | uint64 cycle |
+//	        uint16 nbranch | nbranch x (uint64 from | uint64 to)
+//	Lost:   uint64 count
+package perffile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic identifies the file format.
+const Magic = "HBBPERF1"
+
+// Version is the current format version.
+const Version uint32 = 1
+
+// RecordType discriminates record payloads.
+type RecordType uint8
+
+// Record types.
+const (
+	RecordComm RecordType = iota + 1
+	RecordMmap
+	RecordSample
+	RecordLost
+)
+
+// String names the record type.
+func (t RecordType) String() string {
+	switch t {
+	case RecordComm:
+		return "COMM"
+	case RecordMmap:
+		return "MMAP"
+	case RecordSample:
+		return "SAMPLE"
+	case RecordLost:
+		return "LOST"
+	}
+	return fmt.Sprintf("RecordType(%d)", uint8(t))
+}
+
+// Comm announces a process.
+type Comm struct {
+	PID  uint32
+	Name string
+}
+
+// Mmap announces a module mapping, used for address-to-module
+// attribution at analysis time.
+type Mmap struct {
+	PID    uint32
+	Start  uint64
+	Size   uint64
+	Ring   uint8
+	Module string
+}
+
+// Branch is one LBR entry in a sample record.
+type Branch struct {
+	From, To uint64
+}
+
+// Sample is one PMI capture.
+type Sample struct {
+	Event uint8
+	IP    uint64
+	Ring  uint8
+	Cycle uint64
+	Stack []Branch
+}
+
+// Lost reports dropped samples.
+type Lost struct {
+	Count uint64
+}
+
+// Writer appends records to an underlying stream.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, err
+	}
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], Version)
+	if _, err := bw.Write(v[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+func (w *Writer) record(t RecordType, payload []byte) {
+	if w.err != nil {
+		return
+	}
+	var hdr [5]byte
+	hdr[0] = byte(t)
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		w.err = err
+		return
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		w.err = err
+	}
+}
+
+// WriteComm appends a process record.
+func (w *Writer) WriteComm(c Comm) {
+	b := w.buf[:0]
+	b = binary.LittleEndian.AppendUint32(b, c.PID)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(c.Name)))
+	b = append(b, c.Name...)
+	w.buf = b
+	w.record(RecordComm, b)
+}
+
+// WriteMmap appends a mapping record.
+func (w *Writer) WriteMmap(m Mmap) {
+	b := w.buf[:0]
+	b = binary.LittleEndian.AppendUint32(b, m.PID)
+	b = binary.LittleEndian.AppendUint64(b, m.Start)
+	b = binary.LittleEndian.AppendUint64(b, m.Size)
+	b = append(b, m.Ring)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(m.Module)))
+	b = append(b, m.Module...)
+	w.buf = b
+	w.record(RecordMmap, b)
+}
+
+// WriteSample appends a sample record.
+func (w *Writer) WriteSample(s Sample) {
+	b := w.buf[:0]
+	b = append(b, s.Event)
+	b = binary.LittleEndian.AppendUint64(b, s.IP)
+	b = append(b, s.Ring)
+	b = binary.LittleEndian.AppendUint64(b, s.Cycle)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s.Stack)))
+	for _, br := range s.Stack {
+		b = binary.LittleEndian.AppendUint64(b, br.From)
+		b = binary.LittleEndian.AppendUint64(b, br.To)
+	}
+	w.buf = b
+	w.record(RecordSample, b)
+}
+
+// WriteLost appends a lost-samples record.
+func (w *Writer) WriteLost(l Lost) {
+	b := w.buf[:0]
+	b = binary.LittleEndian.AppendUint64(b, l.Count)
+	w.buf = b
+	w.record(RecordLost, b)
+}
+
+// Flush flushes buffered records and reports any deferred write error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader iterates over a file's records.
+type Reader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// ErrBadMagic reports a stream that is not a perffile.
+var ErrBadMagic = errors.New("perffile: bad magic")
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(Magic)+4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("perffile: reading header: %w", err)
+	}
+	if string(head[:len(Magic)]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(head[len(Magic):]); v != Version {
+		return nil, fmt.Errorf("perffile: unsupported version %d", v)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next record as one of *Comm, *Mmap, *Sample or
+// *Lost. It returns io.EOF at end of stream.
+func (r *Reader) Next() (any, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r.r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("perffile: reading record type: %w", err)
+	}
+	if _, err := io.ReadFull(r.r, hdr[1:]); err != nil {
+		return nil, fmt.Errorf("perffile: reading record length: %w", err)
+	}
+	t := RecordType(hdr[0])
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > 1<<24 {
+		return nil, fmt.Errorf("perffile: implausible record size %d", n)
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	payload := r.buf[:n]
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		return nil, fmt.Errorf("perffile: reading %v payload: %w", t, err)
+	}
+	switch t {
+	case RecordComm:
+		return parseComm(payload)
+	case RecordMmap:
+		return parseMmap(payload)
+	case RecordSample:
+		return parseSample(payload)
+	case RecordLost:
+		return parseLost(payload)
+	}
+	return nil, fmt.Errorf("perffile: unknown record type %d", hdr[0])
+}
+
+func parseComm(b []byte) (*Comm, error) {
+	if len(b) < 6 {
+		return nil, errors.New("perffile: short COMM record")
+	}
+	n := int(binary.LittleEndian.Uint16(b[4:6]))
+	if len(b) < 6+n {
+		return nil, errors.New("perffile: truncated COMM name")
+	}
+	return &Comm{
+		PID:  binary.LittleEndian.Uint32(b),
+		Name: string(b[6 : 6+n]),
+	}, nil
+}
+
+func parseMmap(b []byte) (*Mmap, error) {
+	if len(b) < 23 {
+		return nil, errors.New("perffile: short MMAP record")
+	}
+	n := int(binary.LittleEndian.Uint16(b[21:23]))
+	if len(b) < 23+n {
+		return nil, errors.New("perffile: truncated MMAP name")
+	}
+	return &Mmap{
+		PID:    binary.LittleEndian.Uint32(b),
+		Start:  binary.LittleEndian.Uint64(b[4:]),
+		Size:   binary.LittleEndian.Uint64(b[12:]),
+		Ring:   b[20],
+		Module: string(b[23 : 23+n]),
+	}, nil
+}
+
+func parseSample(b []byte) (*Sample, error) {
+	if len(b) < 20 {
+		return nil, errors.New("perffile: short SAMPLE record")
+	}
+	s := &Sample{
+		Event: b[0],
+		IP:    binary.LittleEndian.Uint64(b[1:]),
+		Ring:  b[9],
+		Cycle: binary.LittleEndian.Uint64(b[10:]),
+	}
+	nb := int(binary.LittleEndian.Uint16(b[18:20]))
+	if len(b) < 20+16*nb {
+		return nil, errors.New("perffile: truncated SAMPLE stack")
+	}
+	if nb > 0 {
+		s.Stack = make([]Branch, nb)
+		off := 20
+		for i := 0; i < nb; i++ {
+			s.Stack[i].From = binary.LittleEndian.Uint64(b[off:])
+			s.Stack[i].To = binary.LittleEndian.Uint64(b[off+8:])
+			off += 16
+		}
+	}
+	return s, nil
+}
+
+func parseLost(b []byte) (*Lost, error) {
+	if len(b) < 8 {
+		return nil, errors.New("perffile: short LOST record")
+	}
+	return &Lost{Count: binary.LittleEndian.Uint64(b)}, nil
+}

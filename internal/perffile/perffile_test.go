@@ -1,0 +1,168 @@
+package perffile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	w.WriteComm(Comm{PID: 42, Name: "fitter"})
+	w.WriteMmap(Mmap{PID: 42, Start: 0x400000, Size: 0x2000, Ring: 0, Module: "fitter"})
+	w.WriteMmap(Mmap{PID: 0, Start: 0xffffffff81000000, Size: 0x100000, Ring: 1, Module: "vmlinux"})
+	w.WriteSample(Sample{Event: 1, IP: 0x400123, Ring: 0, Cycle: 999,
+		Stack: []Branch{{From: 0x400100, To: 0x400050}, {From: 0x400080, To: 0x400100}}})
+	w.WriteSample(Sample{Event: 2, IP: 0x400999, Ring: 0, Cycle: 1234})
+	w.WriteLost(Lost{Count: 7})
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	rec1, err := r.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	c, ok := rec1.(*Comm)
+	if !ok || c.PID != 42 || c.Name != "fitter" {
+		t.Fatalf("record 1 = %#v", rec1)
+	}
+	rec2, _ := r.Next()
+	m, ok := rec2.(*Mmap)
+	if !ok || m.Start != 0x400000 || m.Module != "fitter" {
+		t.Fatalf("record 2 = %#v", rec2)
+	}
+	rec3, _ := r.Next()
+	k := rec3.(*Mmap)
+	if k.Ring != 1 || k.Module != "vmlinux" {
+		t.Fatalf("record 3 = %#v", rec3)
+	}
+	rec4, _ := r.Next()
+	s := rec4.(*Sample)
+	if s.Event != 1 || s.IP != 0x400123 || len(s.Stack) != 2 || s.Stack[1].From != 0x400080 {
+		t.Fatalf("record 4 = %#v", rec4)
+	}
+	rec5, _ := r.Next()
+	if s := rec5.(*Sample); s.Stack != nil {
+		t.Fatalf("record 5 should have empty stack: %#v", rec5)
+	}
+	rec6, _ := r.Next()
+	if l := rec6.(*Lost); l.Count != 7 {
+		t.Fatalf("record 6 = %#v", rec6)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("NOTAPERF\x01\x00\x00\x00")))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte(Magic + "\x09\x00\x00\x00")))
+	if err == nil {
+		t.Fatal("unsupported version accepted")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.WriteSample(Sample{Event: 1, IP: 1, Cycle: 2, Stack: []Branch{{1, 2}}})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop the stream mid-record at several points; the reader must
+	// error rather than fabricate data.
+	for cut := len(Magic) + 5; cut < len(full)-1; cut += 3 {
+		r, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			continue // header itself truncated: acceptable failure
+		}
+		if _, err := r.Next(); err == nil {
+			t.Errorf("cut at %d: truncated record parsed without error", cut)
+		}
+	}
+}
+
+// Property: arbitrary batches of samples round-trip exactly.
+func TestQuickSampleRoundTrip(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count)%32 + 1
+		in := make([]Sample, n)
+		for i := range in {
+			s := Sample{
+				Event: uint8(rng.Intn(3)),
+				IP:    rng.Uint64(),
+				Ring:  uint8(rng.Intn(2)),
+				Cycle: rng.Uint64(),
+			}
+			for j := rng.Intn(17); j > 0; j-- {
+				s.Stack = append(s.Stack, Branch{From: rng.Uint64(), To: rng.Uint64()})
+			}
+			in[i] = s
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, s := range in {
+			w.WriteSample(s)
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		for _, want := range in {
+			rec, err := r.Next()
+			if err != nil {
+				return false
+			}
+			got, ok := rec.(*Sample)
+			if !ok || got.Event != want.Event || got.IP != want.IP ||
+				got.Ring != want.Ring || got.Cycle != want.Cycle ||
+				len(got.Stack) != len(want.Stack) {
+				return false
+			}
+			for i := range want.Stack {
+				if got.Stack[i] != want.Stack[i] {
+					return false
+				}
+			}
+		}
+		_, err = r.Next()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordTypeString(t *testing.T) {
+	for _, rt := range []RecordType{RecordComm, RecordMmap, RecordSample, RecordLost} {
+		if rt.String() == "" {
+			t.Errorf("RecordType(%d) has empty name", rt)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package pivot implements a small pivot-table engine.
+//
+// The paper's analyzer emits instruction mixes "as a pivot table, a
+// format frequently used for exploratory data analysis, with
+// user-configurable headers and values": the user groups, filters and
+// sorts the (dynamic count x static attribute) records to build views
+// like top functions, top mnemonics or instruction family breakdowns in
+// a few clicks. This package provides that engine: records carry string
+// dimensions and a float value; queries select group-by dimensions,
+// equality filters, ordering and limits.
+package pivot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Record is one data point: named dimensions plus a value.
+type Record struct {
+	Dims  map[string]string
+	Value float64
+}
+
+// Table accumulates records.
+type Table struct {
+	records []Record
+	dims    map[string]bool
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{dims: make(map[string]bool)}
+}
+
+// Add appends one record. The dims map is copied.
+func (t *Table) Add(dims map[string]string, value float64) {
+	cp := make(map[string]string, len(dims))
+	for k, v := range dims {
+		cp[k] = v
+		t.dims[k] = true
+	}
+	t.records = append(t.records, Record{Dims: cp, Value: value})
+}
+
+// Len returns the number of records.
+func (t *Table) Len() int { return len(t.records) }
+
+// Dimensions returns the dimension names seen so far, sorted.
+func (t *Table) Dimensions() []string {
+	out := make([]string, 0, len(t.dims))
+	for d := range t.dims {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Order controls result ordering.
+type Order uint8
+
+// Orders.
+const (
+	// OrderByValueDesc sorts by aggregated value, largest first (the
+	// "top mnemonics" style view).
+	OrderByValueDesc Order = iota
+	// OrderByKey sorts lexicographically by group keys.
+	OrderByKey
+)
+
+// Query describes one pivot view.
+type Query struct {
+	// GroupBy lists the dimensions forming the row key, in order.
+	GroupBy []string
+	// Filter keeps only records whose dimensions equal every entry.
+	Filter map[string]string
+	// Sort selects the row ordering (default: by value, descending).
+	Sort Order
+	// Limit truncates the result to the first N rows (0: no limit).
+	Limit int
+}
+
+// ResultRow is one aggregated output row.
+type ResultRow struct {
+	Keys  []string // group-by dimension values, in GroupBy order
+	Value float64  // summed values
+}
+
+// Pivot runs a query and returns aggregated rows.
+func (t *Table) Pivot(q Query) []ResultRow {
+	type agg struct {
+		keys []string
+		sum  float64
+	}
+	groups := make(map[string]*agg)
+	var orderKeys []string
+	var sb strings.Builder
+record:
+	for _, r := range t.records {
+		for dim, want := range q.Filter {
+			if r.Dims[dim] != want {
+				continue record
+			}
+		}
+		sb.Reset()
+		keys := make([]string, len(q.GroupBy))
+		for i, dim := range q.GroupBy {
+			keys[i] = r.Dims[dim]
+			sb.WriteString(keys[i])
+			sb.WriteByte(0)
+		}
+		k := sb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &agg{keys: keys}
+			groups[k] = g
+			orderKeys = append(orderKeys, k)
+		}
+		g.sum += r.Value
+	}
+	rows := make([]ResultRow, 0, len(groups))
+	sort.Strings(orderKeys)
+	for _, k := range orderKeys {
+		g := groups[k]
+		rows = append(rows, ResultRow{Keys: g.keys, Value: g.sum})
+	}
+	if q.Sort == OrderByValueDesc {
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i].Value > rows[j].Value })
+	}
+	if q.Limit > 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	return rows
+}
+
+// Total sums the values of all records matching the filter.
+func (t *Table) Total(filter map[string]string) float64 {
+	var sum float64
+record:
+	for _, r := range t.records {
+		for dim, want := range filter {
+			if r.Dims[dim] != want {
+				continue record
+			}
+		}
+		sum += r.Value
+	}
+	return sum
+}
+
+// Render formats rows as an aligned text table with the given headers
+// (one per group-by dimension, plus an implied value column).
+func Render(headers []string, rows []ResultRow) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	cells := make([][]string, len(rows))
+	valueW := len("VALUE")
+	for ri, r := range rows {
+		cells[ri] = r.Keys
+		for i, k := range r.Keys {
+			if i < len(widths) && len(k) > widths[i] {
+				widths[i] = len(k)
+			}
+		}
+		if v := len(formatValue(r.Value)); v > valueW {
+			valueW = v
+		}
+	}
+	var sb strings.Builder
+	for i, h := range headers {
+		fmt.Fprintf(&sb, "%-*s  ", widths[i], h)
+	}
+	fmt.Fprintf(&sb, "%*s\n", valueW, "VALUE")
+	for _, r := range rows {
+		for i, k := range r.Keys {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&sb, "%-*s  ", w, k)
+		}
+		fmt.Fprintf(&sb, "%*s\n", valueW, formatValue(r.Value))
+	}
+	return sb.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fB", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -1,0 +1,188 @@
+package pivot
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTable() *Table {
+	t := New()
+	t.Add(map[string]string{"fn": "a", "mnemonic": "MOV", "ext": "BASE"}, 100)
+	t.Add(map[string]string{"fn": "a", "mnemonic": "ADD", "ext": "BASE"}, 50)
+	t.Add(map[string]string{"fn": "b", "mnemonic": "MOV", "ext": "BASE"}, 30)
+	t.Add(map[string]string{"fn": "b", "mnemonic": "VADDPS", "ext": "AVX"}, 70)
+	t.Add(map[string]string{"fn": "b", "mnemonic": "VADDPS", "ext": "AVX"}, 5)
+	return t
+}
+
+func TestGroupBySingleDim(t *testing.T) {
+	rows := sampleTable().Pivot(Query{GroupBy: []string{"mnemonic"}})
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	// Default order: by value descending: MOV 130, VADDPS 75, ADD 50.
+	if rows[0].Keys[0] != "MOV" || rows[0].Value != 130 {
+		t.Errorf("row 0 = %v", rows[0])
+	}
+	if rows[1].Keys[0] != "VADDPS" || rows[1].Value != 75 {
+		t.Errorf("row 1 = %v", rows[1])
+	}
+	if rows[2].Keys[0] != "ADD" || rows[2].Value != 50 {
+		t.Errorf("row 2 = %v", rows[2])
+	}
+}
+
+func TestGroupByTwoDims(t *testing.T) {
+	rows := sampleTable().Pivot(Query{
+		GroupBy: []string{"fn", "ext"},
+		Sort:    OrderByKey,
+	})
+	want := []struct {
+		fn, ext string
+		v       float64
+	}{
+		{"a", "BASE", 150}, {"b", "AVX", 75}, {"b", "BASE", 30},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for i, w := range want {
+		if rows[i].Keys[0] != w.fn || rows[i].Keys[1] != w.ext || rows[i].Value != w.v {
+			t.Errorf("row %d = %v, want %v", i, rows[i], w)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	rows := sampleTable().Pivot(Query{
+		GroupBy: []string{"mnemonic"},
+		Filter:  map[string]string{"fn": "b"},
+	})
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[0].Keys[0] != "VADDPS" || rows[0].Value != 75 {
+		t.Errorf("row 0 = %v", rows[0])
+	}
+}
+
+func TestLimit(t *testing.T) {
+	rows := sampleTable().Pivot(Query{GroupBy: []string{"mnemonic"}, Limit: 1})
+	if len(rows) != 1 || rows[0].Keys[0] != "MOV" {
+		t.Fatalf("limit 1: %v", rows)
+	}
+}
+
+func TestTotal(t *testing.T) {
+	tab := sampleTable()
+	if got := tab.Total(nil); got != 255 {
+		t.Errorf("Total() = %v, want 255", got)
+	}
+	if got := tab.Total(map[string]string{"ext": "AVX"}); got != 75 {
+		t.Errorf("Total(AVX) = %v, want 75", got)
+	}
+}
+
+func TestDimensions(t *testing.T) {
+	dims := sampleTable().Dimensions()
+	want := []string{"ext", "fn", "mnemonic"}
+	if len(dims) != len(want) {
+		t.Fatalf("dims = %v", dims)
+	}
+	for i := range want {
+		if dims[i] != want[i] {
+			t.Fatalf("dims = %v, want %v", dims, want)
+		}
+	}
+}
+
+func TestRenderAligned(t *testing.T) {
+	rows := sampleTable().Pivot(Query{GroupBy: []string{"fn", "mnemonic"}, Sort: OrderByKey})
+	out := Render([]string{"FUNCTION", "MNEMONIC"}, rows)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+4 {
+		t.Fatalf("render produced %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "FUNCTION") || !strings.Contains(lines[0], "VALUE") {
+		t.Errorf("header line %q", lines[0])
+	}
+	// All lines equally... at least every data line mentions its fn.
+	for _, l := range lines[1:] {
+		if !strings.HasPrefix(l, "a") && !strings.HasPrefix(l, "b") {
+			t.Errorf("data line %q does not start with a group key", l)
+		}
+	}
+}
+
+func TestFormatValueUnits(t *testing.T) {
+	cases := map[float64]string{
+		12:      "12",
+		54321:   "54.3k",
+		2500000: "2.50M",
+		3.2e9:   "3.20B",
+	}
+	for v, want := range cases {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// Property: the sum of any grouped pivot equals the filtered total.
+func TestQuickGroupSumsPreserveTotal(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := New()
+		fns := []string{"a", "b", "c"}
+		ops := []string{"MOV", "ADD", "MUL", "DIV"}
+		var total float64
+		for i := 0; i < int(n)%50+1; i++ {
+			v := float64(rng.Intn(1000))
+			total += v
+			tab.Add(map[string]string{
+				"fn":       fns[rng.Intn(len(fns))],
+				"mnemonic": ops[rng.Intn(len(ops))],
+			}, v)
+		}
+		for _, group := range [][]string{{"fn"}, {"mnemonic"}, {"fn", "mnemonic"}} {
+			var sum float64
+			for _, row := range tab.Pivot(Query{GroupBy: group}) {
+				sum += row.Value
+			}
+			if math.Abs(sum-total) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: filtering then totalling equals summing matching records.
+func TestQuickFilterConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := New()
+		var wantA float64
+		for i := 0; i < 40; i++ {
+			fn := "a"
+			if rng.Intn(2) == 1 {
+				fn = "b"
+			}
+			v := float64(rng.Intn(100))
+			if fn == "a" {
+				wantA += v
+			}
+			tab.Add(map[string]string{"fn": fn}, v)
+		}
+		return math.Abs(tab.Total(map[string]string{"fn": "a"})-wantA) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

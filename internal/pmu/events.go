@@ -1,0 +1,184 @@
+// Package pmu models the CPU's Performance Monitoring Unit: programmable
+// counters, event-based sampling with skid and shadowing, and the Last
+// Branch Record facility including the entry[0] bias anomaly the paper
+// reports (Section III.C).
+//
+// The model is deliberately behavioural rather than microarchitectural:
+// it reproduces the *symptoms* documented in the paper and its references
+// (Nowak et al. ATC'15, Chen et al.) with calibrated magnitudes, so that
+// the downstream HBBP machinery faces the same estimation problem the
+// real tool faced on Ivy Bridge hardware.
+package pmu
+
+import "fmt"
+
+// Event identifies a performance event. The two sampling events are the
+// ones the paper's collector programs; the counting-only events model
+// the dwindling set of instruction-specific counters (Table 2).
+type Event uint8
+
+// Performance events.
+const (
+	// InstRetired counts all retired instructions (non-precise variant,
+	// larger skid).
+	InstRetired Event = iota
+	// InstRetiredPrecDist is INST_RETIRED.PREC_DIST — the precisely
+	// distributed variant the paper samples for EBS. Reduced, but not
+	// zero, skid and shadowing.
+	InstRetiredPrecDist
+	// BrInstRetiredNearTaken is BR_INST_RETIRED.NEAR_TAKEN — retired
+	// taken branches, the paper's LBR sampling trigger.
+	BrInstRetiredNearTaken
+	// DivCycles counts cycles spent in the divider (counting mode only).
+	DivCycles
+	// MathSSEFP counts SSE floating-point computational instructions.
+	MathSSEFP
+	// MathAVXFP counts AVX floating-point computational instructions.
+	MathAVXFP
+	// IntSIMD counts integer SIMD instructions.
+	IntSIMD
+	// X87Ops counts retired x87 operations.
+	X87Ops
+	numEvents
+)
+
+// String returns the event's canonical name in perf-style notation.
+func (e Event) String() string {
+	switch e {
+	case InstRetired:
+		return "INST_RETIRED:ANY"
+	case InstRetiredPrecDist:
+		return "INST_RETIRED:PREC_DIST"
+	case BrInstRetiredNearTaken:
+		return "BR_INST_RETIRED:NEAR_TAKEN"
+	case DivCycles:
+		return "ARITH:DIV_CYCLES"
+	case MathSSEFP:
+		return "FP_COMP_OPS_EXE:SSE_FP"
+	case MathAVXFP:
+		return "SIMD_FP_256:PACKED"
+	case IntSIMD:
+		return "SIMD_INT_128:ANY"
+	case X87Ops:
+		return "FP_COMP_OPS_EXE:X87"
+	}
+	return fmt.Sprintf("Event(%d)", uint8(e))
+}
+
+// Precise reports whether the event supports precise sampling
+// (PEBS-style). Only the PREC_DIST variant qualifies, and x86 allows it
+// on a single counter at a time — the constraint that forces the paper's
+// two-parallel-LBR-collections design.
+func (e Event) Precise() bool { return e == InstRetiredPrecDist }
+
+// Generation identifies a processor family for the event-support matrix
+// of Table 2.
+type Generation uint8
+
+// Processor generations from the paper's Table 2.
+const (
+	Westmere  Generation = iota // 2010
+	IvyBridge                   // 2013
+	Haswell                     // 2015
+	numGenerations
+)
+
+// String returns the generation's marketing name.
+func (g Generation) String() string {
+	switch g {
+	case Westmere:
+		return "Westmere"
+	case IvyBridge:
+		return "Ivy Bridge"
+	case Haswell:
+		return "Haswell"
+	}
+	return fmt.Sprintf("Generation(%d)", uint8(g))
+}
+
+// Year returns the generation's server launch year as used in Table 2.
+func (g Generation) Year() int {
+	switch g {
+	case Westmere:
+		return 2010
+	case IvyBridge:
+		return 2013
+	default:
+		return 2015
+	}
+}
+
+// Support describes the availability of an instruction-specific event on
+// a generation.
+type Support uint8
+
+// Support levels.
+const (
+	Unsupported Support = iota // event absent from the PMU
+	Supported                  // event present
+	NotApplicable              // ISA extension predates the event (AVX on Westmere)
+)
+
+// String renders the support level the way Table 2 marks it.
+func (s Support) String() string {
+	switch s {
+	case Supported:
+		return "yes"
+	case NotApplicable:
+		return "N/A"
+	}
+	return "-"
+}
+
+// capabilityMatrix mirrors the paper's Table 2: instruction-specific
+// event support shrinks with newer families ("a general trend of
+// reducing PMU complexity"). Haswell retains only divider cycles.
+var capabilityMatrix = map[Generation]map[Event]Support{
+	Westmere: {
+		DivCycles: Supported,
+		MathSSEFP: Supported,
+		MathAVXFP: NotApplicable,
+		IntSIMD:   Supported,
+		X87Ops:    Supported,
+	},
+	IvyBridge: {
+		DivCycles: Supported,
+		MathSSEFP: Supported,
+		MathAVXFP: Supported,
+		IntSIMD:   Unsupported,
+		X87Ops:    Supported,
+	},
+	Haswell: {
+		DivCycles: Supported,
+		MathSSEFP: Unsupported,
+		MathAVXFP: Unsupported,
+		IntSIMD:   Unsupported,
+		X87Ops:    Unsupported,
+	},
+}
+
+// Supports reports the support level of an instruction-specific event on
+// generation g. Sampling events are supported everywhere.
+func Supports(g Generation, e Event) Support {
+	switch e {
+	case InstRetired, InstRetiredPrecDist, BrInstRetiredNearTaken:
+		return Supported
+	}
+	if m, ok := capabilityMatrix[g]; ok {
+		if s, ok := m[e]; ok {
+			return s
+		}
+	}
+	return Unsupported
+}
+
+// InstructionSpecificEvents lists the counting-only events in Table 2
+// row order.
+func InstructionSpecificEvents() []Event {
+	return []Event{DivCycles, MathSSEFP, MathAVXFP, IntSIMD, X87Ops}
+}
+
+// Generations lists the generations in Table 2 column order.
+func Generations() []Generation {
+	return []Generation{Westmere, IvyBridge, Haswell}
+}

@@ -1,0 +1,83 @@
+package pmu
+
+// BranchRecord is one LBR entry: the address of a retired taken branch
+// and its target.
+type BranchRecord struct {
+	From uint64 // branch instruction address (source)
+	To   uint64 // branch target address
+}
+
+// lbrRing keeps more history than the architectural LBR depth so the
+// bias anomaly can deliver stale windows: when a bias-prone branch is
+// present at sufficient depth, a snapshot may be aligned so that branch
+// sits at entry[0] — the position whose source cannot be paired with any
+// preceding target, which is exactly the distortion Section III.C
+// describes (branches appearing at entry[0] up to 50% of the time).
+type lbrRing struct {
+	buf   []BranchRecord
+	head  int // next write position
+	count int // total records ever written
+}
+
+func newLBRRing(historyDepth int) *lbrRing {
+	return &lbrRing{buf: make([]BranchRecord, historyDepth)}
+}
+
+// push records a retired taken branch.
+func (r *lbrRing) push(rec BranchRecord) {
+	r.buf[r.head] = rec
+	r.head = (r.head + 1) % len(r.buf)
+	r.count++
+}
+
+// at returns the record age positions back from the newest (age 0 =
+// newest). The caller must ensure age < min(count, len(buf)).
+func (r *lbrRing) at(age int) BranchRecord {
+	idx := r.head - 1 - age
+	idx %= len(r.buf)
+	if idx < 0 {
+		idx += len(r.buf)
+	}
+	return r.buf[idx]
+}
+
+// available returns how many records can be read back.
+func (r *lbrRing) available() int {
+	if r.count < len(r.buf) {
+		return r.count
+	}
+	return len(r.buf)
+}
+
+// snapshot returns the newest depth records ordered oldest-first
+// (entry[0] = oldest), i.e. the stack layout the paper's stream
+// extraction assumes. offset shifts the window into the past: offset 0
+// is the architectural snapshot; offset k returns the window ending k
+// branches ago. Returns nil when not enough history is available.
+func (r *lbrRing) snapshot(depth, offset int) []BranchRecord {
+	if r.available() < depth+offset {
+		return nil
+	}
+	out := make([]BranchRecord, depth)
+	for i := 0; i < depth; i++ {
+		// entry[depth-1] is the newest within the window.
+		out[depth-1-i] = r.at(i + offset)
+	}
+	return out
+}
+
+// findProne returns the age (0 = newest) of the most recent bias-prone
+// branch within the architectural window of the given depth, or false
+// when none is present.
+func (r *lbrRing) findProne(depth int, prone func(uint64) bool) (int, bool) {
+	avail := r.available()
+	if avail > depth {
+		avail = depth
+	}
+	for age := 0; age < avail; age++ {
+		if prone(r.at(age).From) {
+			return age, true
+		}
+	}
+	return 0, false
+}

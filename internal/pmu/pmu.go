@@ -1,0 +1,349 @@
+package pmu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hbbp/internal/cpu"
+	"hbbp/internal/isa"
+	"hbbp/internal/program"
+)
+
+// Sample is one PMI delivery. Both sampling events capture everything
+// the hardware offers — the eventing IP and the LBR stack — mirroring
+// the paper's collector, which runs both counters in LBR mode and lets
+// the analysis phase discard the half it does not need per event.
+type Sample struct {
+	Event Event          // triggering event
+	IP    uint64         // eventing IP (skid/shadowing applied)
+	Stack []BranchRecord // LBR snapshot, entry[0] oldest; nil if unavailable
+	Ring  program.Ring   // ring at delivery
+	Cycle uint64         // cycle at delivery
+}
+
+// Sampling programs one counter for event-based sampling.
+type Sampling struct {
+	Event   Event
+	Period  uint64
+	Handler func(Sample)
+}
+
+// Config calibrates the PMU pathologies. The magnitudes are chosen so
+// that EBS accuracy degrades like skid/blockLength (bad on short blocks)
+// while LBR accuracy is roughly length-independent but suffers on blocks
+// whose branches are bias-prone — the landscape in which the paper's
+// "length cutoff near 18" rule is optimal.
+type Config struct {
+	Seed int64
+
+	// LBRDepth is the architectural stack depth (16 on Ivy Bridge).
+	LBRDepth int
+	// HistoryDepth is how much branch history the model retains so the
+	// bias anomaly can deliver stale windows. Must be >= 2*LBRDepth.
+	HistoryDepth int
+
+	// SkidPreciseMin/Max bound the uniform base skid, in retired
+	// instructions, for precise events. Non-precise events use
+	// SkidMin/Max. Even PREC_DIST skids: "even precise variants are
+	// affected by these undesirable phenomena, although to a lesser
+	// extent".
+	SkidPreciseMin, SkidPreciseMax int
+	SkidMin, SkidMax               int
+
+	// Shadowing, when true, prevents samples from landing on
+	// long-latency instructions; the pending PMI slides to the next
+	// instruction after them, piling samples up behind DIV/SQRT-class
+	// operations.
+	Shadowing bool
+
+	// BiasStrength is the probability that a snapshot containing a
+	// bias-prone branch is read starting at that branch, pinning it to
+	// entry[0] of a truncated stack (the Section III.C anomaly).
+	BiasStrength float64
+	// BiasProne classifies branch source addresses as prone to the
+	// entry[0] anomaly. Nil disables the anomaly.
+	BiasProne func(addr uint64) bool
+
+	// BranchSkidMax bounds the uniform delivery skid of the branch
+	// counter, in retired taken branches.
+	BranchSkidMax int
+
+	// EntryDropProb is the probability that a delivered LBR snapshot is
+	// missing one interior entry (speculation/interrupt interference in
+	// real hardware — see Weaver's non-determinism studies). The two
+	// streams adjacent to the dropped entry merge into one spurious
+	// stream spanning code that did not execute straight-line, which
+	// over-credits the blocks in between. Blocks covering more address
+	// space intersect more such spans, so this noise grows mildly with
+	// block length — part of why the paper finds EBS preferable on long
+	// blocks.
+	EntryDropProb float64
+}
+
+// DefaultConfig returns the calibrated Ivy Bridge-like model used across
+// the evaluation.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:            seed,
+		LBRDepth:        16,
+		HistoryDepth:    64,
+		SkidPreciseMin:  1,
+		SkidPreciseMax:  4,
+		SkidMin:         4,
+		SkidMax:         12,
+		Shadowing:       true,
+		BiasStrength:    0.5,
+		BiasProne:       DefaultBiasProne,
+		BranchSkidMax:   2,
+		EntryDropProb:   0.15,
+	}
+}
+
+// DefaultBiasProne marks roughly 1 in 32 branch sites as bias-prone,
+// deterministically by address, matching the paper's observation that
+// the anomaly is tied to particular branches.
+func DefaultBiasProne(addr uint64) bool {
+	h := addr
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h%32 == 0
+}
+
+// pendingPMI tracks an in-flight interrupt between counter overflow and
+// sample capture.
+type pendingPMI struct {
+	active   bool
+	skidLeft int
+}
+
+// counterState is one programmed sampling counter.
+type counterState struct {
+	cfg     Sampling
+	value   uint64
+	pending pendingPMI
+	dropped uint64 // overflows lost because a PMI was already in flight
+	total   uint64 // total event occurrences (counting mode view)
+}
+
+// PMU consumes the retirement stream and delivers samples. It implements
+// cpu.Listener.
+type PMU struct {
+	cfg      Config
+	rng      *rand.Rand
+	lbr      *lbrRing
+	counters []*counterState
+
+	// Counting-mode totals for the instruction-specific events, used
+	// for PMU-vs-instrumentation cross-checks like the paper's.
+	counts [numEvents]uint64
+}
+
+// New builds a PMU with the given config and sampling programmings. At
+// most one precise event may be programmed, matching x86.
+func New(cfg Config, samplings ...Sampling) (*PMU, error) {
+	if cfg.LBRDepth <= 1 {
+		return nil, fmt.Errorf("pmu: LBR depth %d too small", cfg.LBRDepth)
+	}
+	if cfg.HistoryDepth < 2*cfg.LBRDepth {
+		return nil, fmt.Errorf("pmu: history depth %d < 2x LBR depth", cfg.HistoryDepth)
+	}
+	precise := 0
+	p := &PMU{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		lbr: newLBRRing(cfg.HistoryDepth),
+	}
+	for _, s := range samplings {
+		if s.Period == 0 {
+			return nil, fmt.Errorf("pmu: event %v has zero period", s.Event)
+		}
+		if s.Handler == nil {
+			return nil, fmt.Errorf("pmu: event %v has no handler", s.Event)
+		}
+		if s.Event.Precise() {
+			precise++
+			if precise > 1 {
+				return nil, fmt.Errorf("pmu: precise events limited to one counter")
+			}
+		}
+		p.counters = append(p.counters, &counterState{cfg: s})
+	}
+	return p, nil
+}
+
+// Retire implements cpu.Listener.
+func (p *PMU) Retire(ev *cpu.RetireEvent) {
+	info := ev.Op.Info()
+
+	// Counting-mode events.
+	p.counts[InstRetired]++
+	if ev.Taken {
+		p.counts[BrInstRetiredNearTaken]++
+		p.lbr.push(BranchRecord{From: ev.Addr, To: ev.Target})
+	}
+	switch {
+	case info.Cat == isa.CatDivide:
+		p.counts[DivCycles] += uint64(info.Latency)
+	}
+	switch info.Ext {
+	case isa.SSE:
+		if info.FLOPs > 0 {
+			p.counts[MathSSEFP]++
+		}
+		if info.VecBits == 128 && info.FLOPs == 0 && info.Packing == isa.Packed {
+			p.counts[IntSIMD]++
+		}
+	case isa.AVX:
+		if info.FLOPs > 0 {
+			p.counts[MathAVXFP]++
+		}
+	case isa.X87:
+		p.counts[X87Ops]++
+	}
+
+	for _, c := range p.counters {
+		p.step(c, ev, info)
+	}
+}
+
+// step advances one sampling counter for the retirement ev.
+func (p *PMU) step(c *counterState, ev *cpu.RetireEvent, info isa.Info) {
+	occurred := false
+	switch c.cfg.Event {
+	case InstRetired, InstRetiredPrecDist:
+		occurred = true
+	case BrInstRetiredNearTaken:
+		occurred = ev.Taken
+	}
+	if occurred {
+		c.total++
+		c.value++
+		if c.value >= c.cfg.Period {
+			c.value = 0
+			p.overflow(c, ev.Addr)
+		}
+	}
+	// Advance an in-flight PMI. The skid currency differs by event: the
+	// branch counter's delivery slips in retired taken branches, the
+	// instruction counters' in retired instructions.
+	if !c.pending.active {
+		return
+	}
+	branchCounter := c.cfg.Event == BrInstRetiredNearTaken
+	if branchCounter && !ev.Taken {
+		return
+	}
+	c.pending.skidLeft--
+	if c.pending.skidLeft > 0 {
+		return
+	}
+	if !branchCounter && p.cfg.Shadowing && info.IsLongLatency() {
+		// The PMI cannot land on an instruction hiding in the shadow of
+		// a long-latency operation; it slides to the next retirement.
+		return
+	}
+	c.pending.active = false
+	p.deliver(c, ev)
+}
+
+// overflow arms a pending PMI with the event-appropriate skid. Skid is
+// largely deterministic for a given code location — it reflects the
+// microarchitectural state the overflow finds, not a dice roll — with
+// one instruction of jitter. The determinism matters: it lets sampling
+// alias against loop periods, the systematic EBS pathology that made
+// the paper pick prime sampling periods, and it keeps per-location
+// displacement stable the way Weaver's determinism studies describe.
+func (p *PMU) overflow(c *counterState, addr uint64) {
+	if c.pending.active {
+		c.dropped++
+		return
+	}
+	var skid int
+	switch {
+	case c.cfg.Event == BrInstRetiredNearTaken:
+		skid = 1 + p.rng.Intn(p.cfg.BranchSkidMax+1)
+	case c.cfg.Event.Precise():
+		// A per-location component (the microarchitectural state an
+		// overflow finds at a given IP is stable) plus jitter.
+		span := p.cfg.SkidPreciseMax - p.cfg.SkidPreciseMin + 1
+		skid = p.cfg.SkidPreciseMin + int((addrHash(addr)+uint64(p.rng.Intn(3)))%uint64(span))
+	default:
+		skid = p.cfg.SkidMin + p.rng.Intn(p.cfg.SkidMax-p.cfg.SkidMin+1)
+	}
+	if skid < 1 {
+		skid = 1
+	}
+	c.pending = pendingPMI{active: true, skidLeft: skid}
+}
+
+// addrHash mixes an instruction address into a stable per-location
+// value.
+func addrHash(addr uint64) uint64 {
+	h := addr * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return h
+}
+
+// deliver captures the sample at the current retirement.
+func (p *PMU) deliver(c *counterState, ev *cpu.RetireEvent) {
+	depth := p.cfg.LBRDepth
+	// The entry[0] bias anomaly (Section III.C): when a bias-prone
+	// branch sits in the architectural window, the ring read may start
+	// at that branch, delivering a truncated stack with the prone
+	// branch pinned at entry[0]. Its own source — and every entry older
+	// than it — is lost to the analysis, so the streams closing at and
+	// before the prone branch go systematically uncounted.
+	if p.cfg.BiasProne != nil && p.cfg.BiasStrength > 0 {
+		if age, ok := p.lbr.findProne(depth, p.cfg.BiasProne); ok {
+			if p.rng.Float64() < p.cfg.BiasStrength {
+				depth = age + 1
+			}
+		}
+	}
+	stack := p.lbr.snapshot(depth, 0)
+	if stack != nil && p.cfg.EntryDropProb > 0 && len(stack) > 3 &&
+		p.rng.Float64() < p.cfg.EntryDropProb {
+		// Drop one interior entry; its neighbours' streams merge.
+		i := 1 + p.rng.Intn(len(stack)-2)
+		stack = append(stack[:i], stack[i+1:]...)
+	}
+	c.cfg.Handler(Sample{
+		Event: c.cfg.Event,
+		IP:    ev.Addr,
+		Stack: stack,
+		Ring:  ev.Ring,
+		Cycle: ev.Cycle,
+	})
+}
+
+// Count returns the counting-mode total for an event — what a PMU
+// counter programmed in counting (non-sampling) mode would read. Used to
+// cross-check instrumentation results like the paper does.
+func (p *PMU) Count(e Event) uint64 { return p.counts[e] }
+
+// Dropped returns how many overflows of event e were lost to PMI
+// collisions.
+func (p *PMU) Dropped(e Event) uint64 {
+	var n uint64
+	for _, c := range p.counters {
+		if c.cfg.Event == e {
+			n += c.dropped
+		}
+	}
+	return n
+}
+
+// Overflows returns how many overflows event e generated (delivered or
+// dropped).
+func (p *PMU) Overflows(e Event) uint64 {
+	var n uint64
+	for _, c := range p.counters {
+		if c.cfg.Event == e {
+			n += c.total / c.cfg.Period
+		}
+	}
+	return n
+}
+
+var _ cpu.Listener = (*PMU)(nil)

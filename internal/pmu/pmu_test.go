@@ -1,0 +1,399 @@
+package pmu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hbbp/internal/cpu"
+	"hbbp/internal/isa"
+	"hbbp/internal/program"
+)
+
+func TestEventStrings(t *testing.T) {
+	for e := Event(0); e < numEvents; e++ {
+		if e.String() == "" {
+			t.Errorf("Event(%d) has empty name", e)
+		}
+	}
+	if !InstRetiredPrecDist.Precise() {
+		t.Error("PREC_DIST must be precise")
+	}
+	if InstRetired.Precise() || BrInstRetiredNearTaken.Precise() {
+		t.Error("only PREC_DIST is precise")
+	}
+}
+
+func TestCapabilityMatrixShrinks(t *testing.T) {
+	// Table 2's trend: support declines with newer generations.
+	supported := func(g Generation) int {
+		n := 0
+		for _, e := range InstructionSpecificEvents() {
+			if Supports(g, e) == Supported {
+				n++
+			}
+		}
+		return n
+	}
+	w, i, h := supported(Westmere), supported(IvyBridge), supported(Haswell)
+	if !(w >= i && i > h) {
+		t.Errorf("support counts W=%d I=%d H=%d do not decline", w, i, h)
+	}
+	if Supports(Westmere, MathAVXFP) != NotApplicable {
+		t.Error("AVX events must be N/A on Westmere")
+	}
+	if Supports(Haswell, DivCycles) != Supported {
+		t.Error("divider cycles should survive on Haswell")
+	}
+	for _, g := range Generations() {
+		if Supports(g, InstRetiredPrecDist) != Supported {
+			t.Errorf("%v should support sampling events", g)
+		}
+	}
+}
+
+func TestLBRRing(t *testing.T) {
+	r := newLBRRing(8)
+	if r.snapshot(4, 0) != nil {
+		t.Error("snapshot of empty ring should be nil")
+	}
+	for i := 0; i < 10; i++ {
+		r.push(BranchRecord{From: uint64(i), To: uint64(100 + i)})
+	}
+	if got := r.available(); got != 8 {
+		t.Fatalf("available = %d, want 8", got)
+	}
+	s := r.snapshot(4, 0)
+	// Newest is From=9; entry[0] is the oldest of the window: From=6.
+	want := []uint64{6, 7, 8, 9}
+	for i, rec := range s {
+		if rec.From != want[i] {
+			t.Errorf("entry[%d].From = %d, want %d", i, rec.From, want[i])
+		}
+	}
+	// Offset 2 shifts the window two branches into the past.
+	s = r.snapshot(4, 2)
+	want = []uint64{4, 5, 6, 7}
+	for i, rec := range s {
+		if rec.From != want[i] {
+			t.Errorf("offset snapshot entry[%d].From = %d, want %d", i, rec.From, want[i])
+		}
+	}
+	// Too deep an offset returns nil.
+	if r.snapshot(8, 1) != nil {
+		t.Error("snapshot past available history should be nil")
+	}
+}
+
+func TestFindProne(t *testing.T) {
+	r := newLBRRing(32)
+	for i := 0; i < 24; i++ {
+		r.push(BranchRecord{From: uint64(i)})
+	}
+	// Newest is 23; From=20 is at age 3 and inside a depth-8 window.
+	age, ok := r.findProne(8, func(addr uint64) bool { return addr == 20 })
+	if !ok || age != 3 {
+		t.Fatalf("findProne = (%d,%v), want (3,true)", age, ok)
+	}
+	// Truncated snapshot starting at the prone branch pins it to
+	// entry[0].
+	s := r.snapshot(age+1, 0)
+	if s[0].From != 20 || len(s) != 4 {
+		t.Errorf("pinned snapshot = %v", s)
+	}
+	// A prone branch outside the architectural window is not found.
+	if _, ok := r.findProne(4, func(addr uint64) bool { return addr == 2 }); ok {
+		t.Error("prone branch found outside the window")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig(1)
+	h := func(Sample) {}
+	if _, err := New(cfg, Sampling{Event: InstRetiredPrecDist, Period: 0, Handler: h}); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := New(cfg, Sampling{Event: InstRetiredPrecDist, Period: 10}); err == nil {
+		t.Error("nil handler accepted")
+	}
+	if _, err := New(cfg,
+		Sampling{Event: InstRetiredPrecDist, Period: 10, Handler: h},
+		Sampling{Event: InstRetiredPrecDist, Period: 10, Handler: h}); err == nil {
+		t.Error("two precise counters accepted")
+	}
+	bad := cfg
+	bad.HistoryDepth = 3
+	if _, err := New(bad, Sampling{Event: InstRetired, Period: 10, Handler: h}); err == nil {
+		t.Error("tiny history accepted")
+	}
+}
+
+// loopProgram builds a single hot loop with a long-latency DIV followed
+// by cheap instructions, used to observe skid and shadowing.
+func loopProgram(t testing.TB, trips int) (*program.Program, *program.Function) {
+	t.Helper()
+	b := program.NewBuilder("pmu-loop")
+	mod := b.Module("m", program.RingUser)
+	f := b.Function(mod, "f")
+	entry := b.Block(f, isa.MOV)
+	body := b.Block(f, isa.DIV, isa.ADD, isa.SUB, isa.MOV, isa.CMP)
+	exit := b.Block(f, isa.MOV)
+	b.Fallthrough(entry, body)
+	b.Loop(body, isa.JNZ, body, exit, trips)
+	b.Return(exit)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return p, f
+}
+
+func TestSamplingRateAndCounts(t *testing.T) {
+	p, f := loopProgram(t, 5000)
+	var samples []Sample
+	cfg := DefaultConfig(3)
+	pm, err := New(cfg, Sampling{
+		Event: InstRetiredPrecDist, Period: 100,
+		Handler: func(s Sample) { samples = append(samples, s) },
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	stats, err := cpu.Run(p, f, cpu.Config{Seed: 1}, pm)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if pm.Count(InstRetired) != stats.Retired {
+		t.Errorf("counting mode %d != retired %d", pm.Count(InstRetired), stats.Retired)
+	}
+	if pm.Count(BrInstRetiredNearTaken) != stats.TakenBranches {
+		t.Errorf("branch count %d != taken %d", pm.Count(BrInstRetiredNearTaken), stats.TakenBranches)
+	}
+	wantSamples := stats.Retired / 100
+	got := uint64(len(samples)) + pm.Dropped(InstRetiredPrecDist)
+	if got < wantSamples-2 || got > wantSamples+2 {
+		t.Errorf("samples+dropped = %d, want about %d", got, wantSamples)
+	}
+	for _, s := range samples {
+		if s.Event != InstRetiredPrecDist {
+			t.Fatalf("sample has event %v", s.Event)
+		}
+		if p.BlockAt(s.IP) == nil {
+			t.Errorf("sample IP %#x outside program", s.IP)
+		}
+	}
+}
+
+func TestShadowingAvoidsLongLatency(t *testing.T) {
+	p, f := loopProgram(t, 20000)
+	divAddr := p.FuncByName("f").Blocks[1].Addr // DIV is first in body
+	var onDiv, afterDiv, total int
+	cfg := DefaultConfig(7)
+	pm, err := New(cfg, Sampling{
+		Event: InstRetiredPrecDist, Period: 97,
+		Handler: func(s Sample) {
+			total++
+			if s.IP == divAddr {
+				onDiv++
+			}
+			if s.IP == divAddr+uint64(isa.DIV.Bytes()) {
+				afterDiv++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := cpu.Run(p, f, cpu.Config{Seed: 2}, pm); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if onDiv != 0 {
+		t.Errorf("%d samples landed on the DIV despite shadowing", onDiv)
+	}
+	if total == 0 {
+		t.Fatal("no samples delivered")
+	}
+	// The instruction after the DIV collects a disproportionate share:
+	// with 6 instructions in the loop a uniform sampler would put ~1/6
+	// of samples there; shadowing should push it well above that.
+	if frac := float64(afterDiv) / float64(total); frac < 0.2 {
+		t.Errorf("post-DIV pile-up fraction %.3f, want > 0.2", frac)
+	}
+}
+
+func TestLBRStackStreamsAreConsistent(t *testing.T) {
+	p, f := loopProgram(t, 20000)
+	var stacks [][]BranchRecord
+	cfg := DefaultConfig(11)
+	cfg.BiasProne = nil    // disable anomalies: verify clean semantics
+	cfg.EntryDropProb = 0
+	pm, err := New(cfg, Sampling{
+		Event: BrInstRetiredNearTaken, Period: 53,
+		Handler: func(s Sample) {
+			if s.Stack != nil {
+				stacks = append(stacks, s.Stack)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := cpu.Run(p, f, cpu.Config{Seed: 5}, pm); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(stacks) == 0 {
+		t.Fatal("no stacks captured")
+	}
+	for _, st := range stacks {
+		if len(st) != cfg.LBRDepth {
+			t.Fatalf("stack depth %d, want %d", len(st), cfg.LBRDepth)
+		}
+		for i := 1; i < len(st); i++ {
+			// Stream <Target[i-1], Source[i]>: execution between the
+			// two is sequential, so the source must not precede the
+			// target in addresses.
+			if st[i].From < st[i-1].To {
+				t.Fatalf("stream %d inconsistent: target %#x > source %#x",
+					i, st[i-1].To, st[i].From)
+			}
+		}
+	}
+}
+
+// multiBranchProgram builds an outer loop whose body runs four small
+// inner loops, so LBR stacks contain a mix of distinct branch sources.
+func multiBranchProgram(t testing.TB) (*program.Program, *program.Function, []*program.Block) {
+	t.Helper()
+	b := program.NewBuilder("pmu-multi")
+	mod := b.Module("m", program.RingUser)
+	f := b.Function(mod, "f")
+	entry := b.Block(f, isa.MOV)
+	outerHead := b.Block(f, isa.ADD)
+	var latches []*program.Block
+	prev := outerHead
+	for i := 0; i < 4; i++ {
+		head := b.Block(f, isa.MOV, isa.ADD)
+		latch := b.Block(f, isa.SUB, isa.CMP)
+		b.Fallthrough(prev, head)
+		b.Fallthrough(head, latch)
+		next := b.Block(f, isa.MOV)
+		b.Loop(latch, isa.JNZ, head, next, 3)
+		latches = append(latches, latch)
+		prev = next
+	}
+	outerLatch := b.Block(f, isa.INC, isa.CMP)
+	exit := b.Block(f, isa.MOV)
+	b.Fallthrough(prev, outerLatch)
+	b.Loop(outerLatch, isa.JLE, outerHead, exit, 4000)
+	b.Return(exit)
+	b.Fallthrough(entry, outerHead)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return p, f, latches
+}
+
+func TestBiasAnomalyPinsProneBranch(t *testing.T) {
+	p, f, latches := multiBranchProgram(t)
+	proneAddr := latches[1].LastAddr() // inner loop 2's JNZ
+	prone := func(addr uint64) bool { return addr == proneAddr }
+
+	countEntry0 := func(strength float64, seed int64) (entry0, totalStacks int) {
+		cfg := DefaultConfig(seed)
+		cfg.BiasProne = prone
+		cfg.BiasStrength = strength
+		pm, err := New(cfg, Sampling{
+			Event: BrInstRetiredNearTaken, Period: 53,
+			Handler: func(s Sample) {
+				if s.Stack == nil {
+					return
+				}
+				totalStacks++
+				if s.Stack[0].From == proneAddr {
+					entry0++
+				}
+			},
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if _, err := cpu.Run(p, f, cpu.Config{Seed: 5}, pm); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return entry0, totalStacks
+	}
+
+	e0Off, totalOff := countEntry0(0, 13)
+	e0On, totalOn := countEntry0(0.9, 13)
+	if totalOff == 0 || totalOn == 0 {
+		t.Fatal("no stacks")
+	}
+	fracOff := float64(e0Off) / float64(totalOff)
+	fracOn := float64(e0On) / float64(totalOn)
+	if fracOn < 2*fracOff {
+		t.Errorf("bias did not pin branch to entry[0]: off=%.3f on=%.3f", fracOff, fracOn)
+	}
+}
+
+func TestInstructionSpecificCounts(t *testing.T) {
+	b := program.NewBuilder("events")
+	mod := b.Module("m", program.RingUser)
+	f := b.Function(mod, "f")
+	blk := b.Block(f, isa.DIV, isa.ADDPS, isa.MULSS, isa.VADDPS, isa.FADD, isa.PADDD, isa.MOV)
+	b.Return(blk)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	pm, err := New(DefaultConfig(1))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const n = 10
+	if _, err := cpu.Run(p, f, cpu.Config{Repeat: n}, pm); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := pm.Count(DivCycles); got != uint64(n*isa.DIV.Latency()) {
+		t.Errorf("DivCycles = %d, want %d", got, n*isa.DIV.Latency())
+	}
+	if got := pm.Count(MathSSEFP); got != 2*n {
+		t.Errorf("MathSSEFP = %d, want %d", got, 2*n)
+	}
+	if got := pm.Count(MathAVXFP); got != n {
+		t.Errorf("MathAVXFP = %d, want %d", got, n)
+	}
+	if got := pm.Count(X87Ops); got != n {
+		t.Errorf("X87Ops = %d, want %d", got, n)
+	}
+	if got := pm.Count(IntSIMD); got != n {
+		t.Errorf("IntSIMD = %d, want %d", got, n)
+	}
+}
+
+// Property: snapshots never invent records — every entry of any
+// snapshot was previously pushed.
+func TestQuickSnapshotOnlyRealRecords(t *testing.T) {
+	f := func(pushes []uint8, depth8, offset8 uint8) bool {
+		depth := int(depth8)%6 + 2
+		offset := int(offset8) % 8
+		r := newLBRRing(32)
+		seen := map[uint64]bool{}
+		for _, v := range pushes {
+			r.push(BranchRecord{From: uint64(v), To: uint64(v) + 1})
+			seen[uint64(v)] = true
+		}
+		s := r.snapshot(depth, offset)
+		if s == nil {
+			return r.available() < depth+offset
+		}
+		for _, rec := range s {
+			if !seen[rec.From] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package sde
+
+import (
+	"testing"
+
+	"hbbp/internal/cpu"
+	"hbbp/internal/isa"
+	"hbbp/internal/program"
+)
+
+func buildMixedRingProgram(t testing.TB) (*program.Program, *program.Function) {
+	t.Helper()
+	b := program.NewBuilder("sdetest")
+	mod := b.Module("main", program.RingUser)
+	kmod := b.Module("kernel", program.RingKernel)
+
+	kfn := b.Function(kmod, "sys_x")
+	kb := b.Block(kfn, isa.MOV, isa.ADD)
+	b.Return(kb)
+
+	main := b.Function(mod, "main")
+	entry := b.Block(main, isa.PUSH, isa.MOV, isa.DIV)
+	loopB := b.Block(main, isa.ADD, isa.CMP)
+	callB := b.Block(main, isa.MOV)
+	exit := b.Block(main, isa.POP)
+	b.Fallthrough(entry, loopB)
+	b.Loop(loopB, isa.JNZ, loopB, callB, 5)
+	b.Call(callB, kfn, exit)
+	b.Return(exit)
+
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return p, main
+}
+
+func TestExactCountsUserOnly(t *testing.T) {
+	p, main := buildMixedRingProgram(t)
+	in := New(p)
+	oracle := cpu.NewCountingListener(p)
+	stats, err := cpu.Run(p, main, cpu.Config{Repeat: 3}, in, oracle)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	loopB := p.FuncByName("main").Blocks[1]
+	if got := in.BlockExec(loopB.ID); got != 15 {
+		t.Errorf("loop block: SDE counted %d, want 15", got)
+	}
+	// Kernel block invisible to SDE but visible to the oracle.
+	kb := p.FuncByName("sys_x").Blocks[0]
+	if got := in.BlockExec(kb.ID); got != 0 {
+		t.Errorf("kernel block: SDE counted %d, want 0 (user-only)", got)
+	}
+	if oracle.Exec[kb.ID] != 3 {
+		t.Errorf("oracle kernel count = %d, want 3", oracle.Exec[kb.ID])
+	}
+	if in.Instructions() != stats.Retired-stats.KernelRetired {
+		t.Errorf("SDE saw %d insts, want %d", in.Instructions(), stats.Retired-stats.KernelRetired)
+	}
+	m := in.Mnemonics()
+	if m[isa.SYSRET] != 0 {
+		t.Error("SDE should not see SYSRET")
+	}
+	if m[isa.SYSCALL] != 3 {
+		t.Errorf("SYSCALL count %d, want 3 (retires in user mode)", m[isa.SYSCALL])
+	}
+	if m[isa.DIV] != 3 {
+		t.Errorf("DIV count %d, want 3", m[isa.DIV])
+	}
+}
+
+func TestSlowdownGrowsWithBlockFragmentation(t *testing.T) {
+	// Two programs retiring the same instruction count: one as a single
+	// long block, one fragmented into 2-instruction blocks. The
+	// fragmented program must show a larger modelled slowdown, which is
+	// the Table 1 mechanism (povray/Hydro-post vs the SPEC average).
+	run := func(frag bool) float64 {
+		b := program.NewBuilder("slow")
+		mod := b.Module("m", program.RingUser)
+		f := b.Function(mod, "f")
+		if frag {
+			var blocks []*program.Block
+			for i := 0; i < 12; i++ {
+				blocks = append(blocks, b.Block(f, isa.ADD, isa.MOV))
+			}
+			for i := 0; i+1 < len(blocks); i++ {
+				b.Fallthrough(blocks[i], blocks[i+1])
+			}
+			b.Return(blocks[len(blocks)-1])
+		} else {
+			ops := make([]isa.Op, 0, 24)
+			for i := 0; i < 12; i++ {
+				ops = append(ops, isa.ADD, isa.MOV)
+			}
+			blk := b.Block(f, ops...)
+			b.Return(blk)
+		}
+		p, err := b.Finish()
+		if err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+		in := New(p)
+		stats, err := cpu.Run(p, f, cpu.Config{Repeat: 100}, in)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return in.SlowdownFactor(stats.Cycles)
+	}
+	whole, frag := run(false), run(true)
+	if frag <= whole {
+		t.Errorf("fragmented slowdown %.2f <= whole-block slowdown %.2f", frag, whole)
+	}
+	if whole < 1.5 {
+		t.Errorf("instrumentation slowdown %.2f implausibly low", whole)
+	}
+}

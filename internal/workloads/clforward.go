@@ -1,0 +1,105 @@
+package workloads
+
+import (
+	"hbbp/internal/collector"
+	"hbbp/internal/isa"
+	"hbbp/internal/program"
+)
+
+// CLForward models the online HPC code of Section VIII.E / Table 8: a
+// forward-projection kernel that initially compiled to scalar AVX
+// instructions because of an #omp simd reduction issue. HBBP's packing
+// view exposed the scalar hotspot; after the fix, a large number of
+// scalar instructions is replaced by a smaller number of packed ones
+// and total instruction volume drops (19.2B -> 15.8B in the paper).
+//
+// CLForward(false) is the pre-fix build, CLForward(true) the
+// vectorized one.
+func CLForward(fixed bool) *Workload {
+	name := "clforward-before"
+	if fixed {
+		name = "clforward-after"
+	}
+	b := program.NewBuilder(name)
+	mod := b.Module("clforward", program.RingUser)
+
+	kernel := b.Function(mod, "forward_project")
+	entry := b.Block(kernel, isa.PUSH, isa.MOV)
+
+	var loopBody []isa.Op
+	var trips int
+	if fixed {
+		// Packed: 8 lanes per operation, 2 iterations, plus the
+		// unpacked AVX housekeeping (VZEROUPPER and friends) the fix
+		// introduced — Table 8's NONE bucket going from 0.0 to 3.3.
+		loopBody = []isa.Op{
+			isa.VMOVAPS, isa.VBROADCASTSS,
+			isa.VFMADD231PS, isa.VMULPS, isa.VADDPS, isa.VSUBPS,
+			isa.VMOVUPS, isa.VFMADD231PS, isa.VMULPS, isa.VADDPS,
+			isa.VZEROUPPER, isa.VZEROUPPER,
+			isa.MOV,
+		}
+		trips = 2
+	} else {
+		// Scalar: one lane at a time, 10 iterations of scalar AVX ops
+		// with extra scalar integer bookkeeping per element.
+		loopBody = []isa.Op{
+			isa.VMOVSS, isa.VMOVSS,
+			isa.VFMADD231SS, isa.VMULSS, isa.VADDSS,
+			isa.VFMADD231SS, isa.VMULSS, isa.VADDSS,
+			isa.VMULSS, isa.VADDSS,
+			isa.MOV, isa.ADD,
+		}
+		trips = 5
+	}
+
+	head := b.Block(kernel, loopBody...)
+	latch := b.Block(kernel, isa.INC, isa.CMP)
+	exit := b.Block(kernel, isa.MOV, isa.POP)
+	b.Fallthrough(entry, head)
+	b.Fallthrough(head, latch)
+	b.Loop(latch, isa.JNZ, head, exit, trips)
+	b.Return(exit)
+
+	main := b.Function(mod, "main")
+	mentry := b.Block(main, isa.PUSH, isa.MOV)
+	mhead := b.Block(main, isa.MOV)
+	after := b.Block(main, isa.MOV)
+	mlatch := b.Block(main, isa.ADD, isa.CMP)
+	mexit := b.Block(main, isa.POP)
+	b.Fallthrough(mentry, mhead)
+	b.Call(mhead, kernel, after)
+	b.Fallthrough(after, mlatch)
+	b.Loop(mlatch, isa.JLE, mhead, mexit, 500)
+	b.Return(mexit)
+
+	w := &Workload{
+		Name:        name,
+		Prog:        mustFinish(b, name),
+		Entry:       main,
+		Class:       collector.ClassMinuteOrTwo,
+		Scale:       20_000,
+		Description: "online HPC forward projection, vectorization case study (Table 8)",
+	}
+	// Both builds perform the same number of kernel invocations — the
+	// fix's point is that the same work takes fewer instructions
+	// (Table 8's shrinking TOTAL row) — so the invocation count is
+	// calibrated on the pre-fix build only.
+	if fixed {
+		w.Repeat = clforwardRepeat()
+	} else {
+		w.calibrateRepeat(2_500_000)
+	}
+	return w
+}
+
+// clforwardRepeat returns the invocation count calibrated on the
+// pre-fix build, caching the dry run.
+var clforwardRepeatCached int
+
+func clforwardRepeat() int {
+	if clforwardRepeatCached == 0 {
+		clforwardRepeatCached = CLForward(false).Repeat
+	}
+	return clforwardRepeatCached
+}

@@ -1,0 +1,130 @@
+package workloads
+
+import (
+	"hbbp/internal/collector"
+	"hbbp/internal/isa"
+	"hbbp/internal/program"
+)
+
+// kernelEntryPad aligns hello_k; see buildPrimeSearch.
+const kernelEntryPad = 1
+
+// KernelPrime builds the synthetic kernel benchmark of Section VIII.D:
+// a small prime-number trial-division search that exists twice in the
+// same program — once as a user-space function (hello_u, visible to
+// both SDE and HBBP) and once inside a kernel module (hello_k, visible
+// only to HBBP), triggered from user space through a syscall. Calls to
+// the kernel are separated in time by user-side filler, as in the
+// paper. The kernel copy additionally carries trace points (patched
+// JMP/NOP sites), exercising the self-modifying-kernel handling of
+// Section III.C.
+//
+// Both copies use the instruction vocabulary of Table 7: ADD, CDQE,
+// CMP, IMUL, JLE, JNLE, JNZ, JZ, MOV, MOVSXD, SUB, TEST.
+func KernelPrime() *Workload {
+	b := program.NewBuilder("kernel-prime")
+	umod := b.Module("hello", program.RingUser)
+	kmod := b.Module("hello.ko", program.RingKernel)
+
+	helloU := buildPrimeSearch(b, umod, "hello_u", false)
+	helloK := buildPrimeSearch(b, kmod, "hello_k", true)
+
+	main := b.Function(umod, "main")
+	entry := b.Block(main, isa.PUSH, isa.MOV)
+	head := b.Block(main, isa.MOV)
+	afterU := b.Block(main, isa.MOV)
+	// User-side separation between kernel triggers, as in the paper
+	// ("calls to kernel code are separated in time").
+	fillHead := b.Block(main, isa.ADD, isa.MOV)
+	fillLatch := b.Block(main, isa.SUB, isa.CMP)
+	sysBlk := b.Block(main, isa.MOV)
+	afterK := b.Block(main, isa.MOV)
+	latch := b.Block(main, isa.ADD, isa.CMP)
+	exit := b.Block(main, isa.POP)
+
+	b.Fallthrough(entry, head)
+	b.Call(head, helloU, afterU)
+	b.Fallthrough(afterU, fillHead)
+	b.Fallthrough(fillHead, fillLatch)
+	b.Loop(fillLatch, isa.JNZ, fillHead, sysBlk, 12)
+	b.Call(sysBlk, helloK, afterK)
+	b.Fallthrough(afterK, latch)
+	b.Loop(latch, isa.JLE, head, exit, 50)
+	b.Return(exit)
+
+	w := &Workload{
+		Name:        "kernel-prime",
+		Prog:        mustFinish(b, "kernel-prime"),
+		Entry:       main,
+		Class:       collector.ClassSeconds,
+		Scale:       1000,
+		Description: "prime search in user space and as a kernel module (Table 7)",
+	}
+	w.calibrateRepeat(3_000_000)
+	return w
+}
+
+// buildPrimeSearch emits the trial-division prime counter. The block
+// structure mirrors a compiled C loop nest:
+//
+//	for cand in candidates:        (outer loop)
+//	    limit = cand*cand (IMUL/CDQE once per candidate)
+//	    for d in divisors:         (divisor loop)
+//	        r = cand mod d         (mod loop: repeated subtraction)
+//	        if r == 0: composite   (diamond)
+//	    count += is_prime          (tail diamond)
+func buildPrimeSearch(b *program.Builder, mod *program.Module, name string, traced bool) *program.Function {
+	f := b.Function(mod, name)
+	entryOps := []isa.Op{isa.MOV, isa.MOV}
+	if traced {
+		// Alignment padding (compilers routinely pad kernel entry
+		// points); the chosen count also keeps the module's hot
+		// branches off bias-prone addresses, matching the benign
+		// hardware behaviour the paper observed on this workload.
+		for i := 0; i < kernelEntryPad; i++ {
+			entryOps = append(entryOps, isa.NOP)
+		}
+	}
+	entry := b.Block(f, entryOps...)
+
+	candHead := b.Block(f, isa.MOV, isa.CDQE, isa.IMUL, isa.CMP)
+
+	divHead := b.Block(f, isa.MOVSXD, isa.MOV, isa.CMP)
+	modHead := b.Block(f, isa.ADD, isa.ADD, isa.MOV, isa.ADD)
+	modLatch := b.Block(f, isa.ADD, isa.SUB, isa.CMP)
+	check := b.Block(f, isa.MOV, isa.TEST)
+	composite := b.Block(f, isa.ADD, isa.MOV)
+	divLatch := b.Block(f, isa.ADD, isa.CMP)
+
+	tail := b.Block(f, isa.MOV, isa.TEST)
+	notPrime := b.Block(f, isa.ADD)
+	var tracePre, tracePost *program.Block
+	if traced {
+		// Kernel builds carry a trace point between the per-candidate
+		// tail and the outer latch.
+		tracePre = b.Block(f, isa.MOV)
+		tracePost = b.Block(f, isa.ADD)
+	}
+	candLatch := b.Block(f, isa.ADD, isa.CMP)
+	exit := b.Block(f, isa.MOV)
+
+	b.Fallthrough(entry, candHead)
+	b.Fallthrough(candHead, divHead)
+	b.Fallthrough(divHead, modHead)
+	b.Fallthrough(modHead, modLatch)
+	b.Loop(modLatch, isa.JNZ, modHead, check, 3)
+	b.Cond(check, isa.JZ, divLatch, composite, 0.6) // 40% hit the composite path
+	b.Fallthrough(composite, divLatch)
+	b.Loop(divLatch, isa.JLE, divHead, tail, 4)
+	b.Cond(tail, isa.JNLE, candLatch, notPrime, 0.55)
+	if traced {
+		b.Fallthrough(notPrime, tracePre)
+		b.TracePoint(tracePre, tracePost)
+		b.Fallthrough(tracePost, candLatch)
+	} else {
+		b.Fallthrough(notPrime, candLatch)
+	}
+	b.Loop(candLatch, isa.JNZ, candHead, exit, 25)
+	b.Return(exit)
+	return f
+}

@@ -1,0 +1,336 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hbbp/internal/isa"
+	"hbbp/internal/program"
+)
+
+// MixProfile weights the instruction-class pools a generator draws from.
+// Zero-valued profiles produce pure scalar integer code.
+type MixProfile struct {
+	Base      float64 // scalar integer ALU/moves
+	SSEScalar float64 // ADDSS-class scalar SSE
+	SSEPacked float64 // ADDPS-class packed SSE
+	AVXScalar float64 // VADDSS-class scalar AVX
+	AVXPacked float64 // VADDPS-class packed AVX
+	X87       float64 // legacy FP stack
+	IntSIMD   float64 // PADDD-class integer SIMD
+}
+
+// normalize returns cumulative weights for sampling; all-zero profiles
+// degrade to pure Base.
+func (m MixProfile) normalize() MixProfile {
+	total := m.Base + m.SSEScalar + m.SSEPacked + m.AVXScalar + m.AVXPacked + m.X87 + m.IntSIMD
+	if total == 0 {
+		return MixProfile{Base: 1}
+	}
+	return MixProfile{
+		Base:      m.Base / total,
+		SSEScalar: m.SSEScalar / total,
+		SSEPacked: m.SSEPacked / total,
+		AVXScalar: m.AVXScalar / total,
+		AVXPacked: m.AVXPacked / total,
+		X87:       m.X87 / total,
+		IntSIMD:   m.IntSIMD / total,
+	}
+}
+
+// Instruction pools per class. Pools deliberately reuse the mnemonics
+// that appear in the paper's tables and figures.
+var (
+	poolBase = []isa.Op{
+		isa.MOV, isa.MOV, isa.MOV, isa.ADD, isa.ADD, isa.SUB, isa.LEA,
+		isa.CMP, isa.TEST, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR,
+		isa.MOVZX, isa.MOVSXD, isa.INC, isa.DEC, isa.IMUL, isa.CDQE,
+	}
+	poolSSEScalar = []isa.Op{
+		isa.MOVSS, isa.ADDSS, isa.MULSS, isa.SUBSS, isa.UCOMISS,
+		isa.CVTSI2SS, isa.CVTSI2SD, isa.MOVSD_X, isa.SQRTSS,
+	}
+	poolSSEPacked = []isa.Op{
+		isa.MOVAPS, isa.ADDPS, isa.MULPS, isa.SUBPS, isa.XORPS,
+		isa.MINPS, isa.MAXPS, isa.SHUFPS, isa.UNPCKLPS, isa.CMPPS,
+	}
+	poolAVXScalar = []isa.Op{
+		isa.VMOVSS, isa.VADDSS, isa.VMULSS, isa.VUCOMISS, isa.VCVTSI2SS,
+		isa.VFMADD231SS,
+	}
+	poolAVXPacked = []isa.Op{
+		isa.VMOVAPS, isa.VADDPS, isa.VMULPS, isa.VSUBPS, isa.VXORPS,
+		isa.VFMADD231PS, isa.VMINPS, isa.VMAXPS, isa.VBROADCASTSS,
+		isa.VSHUFPS,
+	}
+	poolX87 = []isa.Op{
+		isa.FLD, isa.FSTP, isa.FADD, isa.FMUL, isa.FSUB, isa.FXCH,
+		isa.FCOMI, isa.FILD,
+	}
+	poolIntSIMD = []isa.Op{
+		isa.PADDD, isa.PSUBD, isa.PMULLD, isa.PAND, isa.POR, isa.PCMPEQD,
+		isa.MOVD,
+	}
+	poolDiv = []isa.Op{isa.DIV, isa.IDIV, isa.DIVSS, isa.FDIV, isa.DIVPS, isa.SQRTSS}
+	poolCondBr = []isa.Op{
+		isa.JZ, isa.JNZ, isa.JLE, isa.JNLE, isa.JL, isa.JNL, isa.JB, isa.JS,
+	}
+)
+
+// opPicker draws instructions according to a mix profile.
+type opPicker struct {
+	rng *rand.Rand
+	mix MixProfile
+}
+
+func newOpPicker(rng *rand.Rand, mix MixProfile) *opPicker {
+	return &opPicker{rng: rng, mix: mix.normalize()}
+}
+
+func (p *opPicker) fromPool(pool []isa.Op) isa.Op {
+	return pool[p.rng.Intn(len(pool))]
+}
+
+// pick draws one non-branch instruction.
+func (p *opPicker) pick() isa.Op {
+	r := p.rng.Float64()
+	m := p.mix
+	switch {
+	case r < m.Base:
+		return p.fromPool(poolBase)
+	case r < m.Base+m.SSEScalar:
+		return p.fromPool(poolSSEScalar)
+	case r < m.Base+m.SSEScalar+m.SSEPacked:
+		return p.fromPool(poolSSEPacked)
+	case r < m.Base+m.SSEScalar+m.SSEPacked+m.AVXScalar:
+		return p.fromPool(poolAVXScalar)
+	case r < m.Base+m.SSEScalar+m.SSEPacked+m.AVXScalar+m.AVXPacked:
+		return p.fromPool(poolAVXPacked)
+	case r < m.Base+m.SSEScalar+m.SSEPacked+m.AVXScalar+m.AVXPacked+m.X87:
+		return p.fromPool(poolX87)
+	default:
+		return p.fromPool(poolIntSIMD)
+	}
+}
+
+// condBranch draws a conditional branch opcode.
+func (p *opPicker) condBranch() isa.Op { return p.fromPool(poolCondBr) }
+
+// div draws a long-latency opcode.
+func (p *opPicker) div() isa.Op { return p.fromPool(poolDiv) }
+
+// Profile parameterises a synthetic function/program generator.
+type Profile struct {
+	// MeanBlockLen and BlockLenSpread control block body sizes
+	// (uniform in [Mean-Spread, Mean+Spread], floored at 1).
+	MeanBlockLen   int
+	BlockLenSpread int
+	// Segments is the number of structural segments per function body.
+	Segments int
+	// DiamondFrac, LoopFrac and CallFrac are the per-segment
+	// probabilities of emitting an if/else diamond, an inner counted
+	// loop, or a call (remainder: straight-line block).
+	DiamondFrac, LoopFrac, CallFrac float64
+	// DivFrac is the probability a block body includes one
+	// long-latency instruction.
+	DivFrac float64
+	// InnerTripMin/Max bound inner loop trip counts.
+	InnerTripMin, InnerTripMax int
+	// TakenProbMin/Max bound diamond taken-probabilities.
+	TakenProbMin, TakenProbMax float64
+	// Mix selects the instruction-class pools.
+	Mix MixProfile
+}
+
+func (pr Profile) withDefaults() Profile {
+	if pr.MeanBlockLen == 0 {
+		pr.MeanBlockLen = 6
+	}
+	if pr.Segments == 0 {
+		pr.Segments = 6
+	}
+	if pr.InnerTripMin == 0 {
+		pr.InnerTripMin = 2
+	}
+	if pr.InnerTripMax < pr.InnerTripMin {
+		pr.InnerTripMax = pr.InnerTripMin + 6
+	}
+	if pr.TakenProbMax == 0 {
+		pr.TakenProbMin, pr.TakenProbMax = 0.15, 0.85
+	}
+	return pr
+}
+
+// blockLen draws a block body length.
+func (pr Profile) blockLen(rng *rand.Rand) int {
+	n := pr.MeanBlockLen
+	if pr.BlockLenSpread > 0 {
+		n += rng.Intn(2*pr.BlockLenSpread+1) - pr.BlockLenSpread
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// synthesizer builds structured functions into one builder.
+type synthesizer struct {
+	b    *program.Builder
+	rng  *rand.Rand
+	pick *opPicker
+	prof Profile
+}
+
+func newSynthesizer(b *program.Builder, seed int64, prof Profile) *synthesizer {
+	prof = prof.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	return &synthesizer{b: b, rng: rng, pick: newOpPicker(rng, prof.Mix), prof: prof}
+}
+
+// body draws a block body of the profile's length distribution.
+func (s *synthesizer) body(minLen int) []isa.Op {
+	n := s.prof.blockLen(s.rng)
+	if n < minLen {
+		n = minLen
+	}
+	ops := make([]isa.Op, 0, n)
+	divAt := -1
+	if s.prof.DivFrac > 0 && s.rng.Float64() < s.prof.DivFrac {
+		divAt = s.rng.Intn(n)
+	}
+	for i := 0; i < n; i++ {
+		if i == divAt {
+			ops = append(ops, s.pick.div())
+			continue
+		}
+		ops = append(ops, s.pick.pick())
+	}
+	return ops
+}
+
+// genFunction builds one function with the profile's structure. Calls
+// target a uniformly drawn member of callees; pass nil for leaf
+// functions.
+func (s *synthesizer) genFunction(mod *program.Module, name string, callees []*program.Function) *program.Function {
+	f := s.b.Function(mod, name)
+	entry := s.b.Block(f, isa.PUSH, isa.MOV)
+	open := entry // block whose terminator still needs wiring
+
+	link := func(next *program.Block) {
+		s.b.Fallthrough(open, next)
+		open = next
+	}
+
+	for seg := 0; seg < s.prof.Segments; seg++ {
+		r := s.rng.Float64()
+		switch {
+		case r < s.prof.DiamondFrac:
+			// cond -> (skip | then) -> merge
+			cond := s.b.Block(f, s.body(1)...)
+			then := s.b.Block(f, s.body(1)...)
+			merge := s.b.Block(f, s.body(1)...)
+			link(cond)
+			p := s.prof.TakenProbMin +
+				s.rng.Float64()*(s.prof.TakenProbMax-s.prof.TakenProbMin)
+			s.b.Cond(cond, s.pick.condBranch(), merge, then, p)
+			s.b.Fallthrough(then, merge)
+			open = merge
+		case r < s.prof.DiamondFrac+s.prof.LoopFrac:
+			head := s.b.Block(f, s.body(1)...)
+			latch := s.b.Block(f, s.body(1)...)
+			after := s.b.Block(f, s.body(1)...)
+			link(head)
+			s.b.Fallthrough(head, latch)
+			trip := s.prof.InnerTripMin +
+				s.rng.Intn(s.prof.InnerTripMax-s.prof.InnerTripMin+1)
+			s.b.Loop(latch, s.pick.condBranch(), head, after, trip)
+			open = after
+		case r < s.prof.DiamondFrac+s.prof.LoopFrac+s.prof.CallFrac && len(callees) > 0:
+			callBlk := s.b.Block(f, s.body(1)...)
+			after := s.b.Block(f, s.body(1)...)
+			link(callBlk)
+			callee := callees[s.rng.Intn(len(callees))]
+			s.b.Call(callBlk, callee, after)
+			open = after
+		default:
+			link(s.b.Block(f, s.body(1)...))
+		}
+	}
+	exit := s.b.Block(f, isa.POP)
+	s.b.Fallthrough(open, exit)
+	s.b.Return(exit)
+	return f
+}
+
+// genMain builds a driver: entry -> outer loop over a call fan-out to
+// the given functions -> exit. Each outer iteration calls every target
+// once.
+func (s *synthesizer) genMain(mod *program.Module, name string, targets []*program.Function, outerTrips int) *program.Function {
+	f := s.b.Function(mod, name)
+	entry := s.b.Block(f, isa.PUSH, isa.MOV)
+	head := s.b.Block(f, isa.ADD)
+	s.b.Fallthrough(entry, head)
+	open := head
+	for _, tgt := range targets {
+		callBlk := s.b.Block(f, isa.MOV)
+		after := s.b.Block(f, isa.MOV)
+		s.b.Fallthrough(open, callBlk)
+		s.b.Call(callBlk, tgt, after)
+		open = after
+	}
+	latch := s.b.Block(f, isa.INC, isa.CMP)
+	exit := s.b.Block(f, isa.POP)
+	s.b.Fallthrough(open, latch)
+	s.b.Loop(latch, isa.JLE, head, exit, outerTrips)
+	s.b.Return(exit)
+	return f
+}
+
+// SynthSpec describes a whole synthetic program.
+type SynthSpec struct {
+	Name       string
+	Seed       int64
+	Funcs      int     // helper function count
+	Profile    Profile // per-function structure
+	OuterTrips int     // main loop iterations per entry invocation
+	// LeafFrac is the fraction of helpers that are leaves; the rest may
+	// call leaves.
+	LeafFrac float64
+}
+
+// Synthesize builds a program from a spec and returns it with its entry
+// function.
+func Synthesize(spec SynthSpec) (*program.Program, *program.Function) {
+	b := program.NewBuilder(spec.Name)
+	mod := b.Module(spec.Name, program.RingUser)
+	s := newSynthesizer(b, spec.Seed, spec.Profile)
+
+	if spec.Funcs < 1 {
+		spec.Funcs = 1
+	}
+	if spec.OuterTrips < 1 {
+		spec.OuterTrips = 1
+	}
+	nLeaf := int(float64(spec.Funcs) * spec.LeafFrac)
+	if nLeaf < 1 {
+		nLeaf = 1
+	}
+	var leaves, uppers []*program.Function
+	for i := 0; i < spec.Funcs; i++ {
+		if i < nLeaf {
+			leaves = append(leaves, s.genFunction(mod, fnName(spec.Name, i), nil))
+		} else {
+			uppers = append(uppers, s.genFunction(mod, fnName(spec.Name, i), leaves))
+		}
+	}
+	targets := uppers
+	if len(targets) == 0 {
+		targets = leaves
+	}
+	main := s.genMain(mod, spec.Name+"_main", targets, spec.OuterTrips)
+	return mustFinish(b, spec.Name), main
+}
+
+func fnName(base string, i int) string {
+	return fmt.Sprintf("%s_f%02d", base, i)
+}

@@ -1,0 +1,99 @@
+// Package workloads provides deterministic synthetic workload generators
+// standing in for the paper's benchmark suite: the SPEC CPU2006
+// workloads of Figure 2, the Geant4-based Test40, the Fitter variants
+// (x87/SSE/AVX, including the broken-inlining AVX build of Table 6), the
+// CLForward vectorization case study (Table 8), the Hydro-post
+// benchmark (Table 1) and the synthetic user+kernel prime search of
+// Table 7.
+//
+// None of the real codes can run here (no x86 binaries, no Pin, no
+// hardware PMU), but the evaluation never depends on their semantics —
+// only on their *shape*: basic-block length distributions, branch and
+// call densities, ISA-class mixes, and total retirement volume. Each
+// generator reproduces the shape the paper attributes to its workload,
+// with a fixed seed so every run is reproducible.
+package workloads
+
+import (
+	"fmt"
+
+	"hbbp/internal/collector"
+	"hbbp/internal/cpu"
+	"hbbp/internal/program"
+)
+
+// Workload is a runnable benchmark: a program, its entry point and its
+// execution scaling.
+type Workload struct {
+	// Name identifies the workload (e.g. "povray", "test40").
+	Name string
+	// Prog is the static program.
+	Prog *program.Program
+	// Entry is the function invoked Repeat times per run.
+	Entry *program.Function
+	// Repeat is the calibrated invocation count for a full run.
+	Repeat int
+	// Class selects the Table 4 sampling periods.
+	Class collector.RuntimeClass
+	// Scale maps simulated retirements to real ones: the real workload
+	// retired Scale times more instructions than the simulator does.
+	Scale uint64
+	// SDEBug marks workloads for which the reference tool produces
+	// corrupt results (the paper's x264ref footnote); they are excluded
+	// from error aggregation.
+	SDEBug bool
+	// Description summarises what the workload models.
+	Description string
+}
+
+// String returns the workload name.
+func (w *Workload) String() string { return w.Name }
+
+// InstructionsPerRun returns the retirements of a single entry
+// invocation, measured by a dry run. The result is deterministic.
+func (w *Workload) InstructionsPerRun() uint64 {
+	stats, err := cpu.Run(w.Prog, w.Entry, cpu.Config{Seed: 1, Repeat: 1})
+	if err != nil {
+		panic(fmt.Sprintf("workloads: %s dry run failed: %v", w.Name, err))
+	}
+	return stats.Retired
+}
+
+// calibrateRepeat sets Repeat so a full run retires about target
+// simulated instructions.
+func (w *Workload) calibrateRepeat(target uint64) {
+	per := w.InstructionsPerRun()
+	if per == 0 {
+		w.Repeat = 1
+		return
+	}
+	w.Repeat = int(target / per)
+	if w.Repeat < 1 {
+		w.Repeat = 1
+	}
+}
+
+// Scaled returns a copy of the workload with Repeat multiplied by
+// factor (0 < factor <= 1), for fast test runs. Sampling statistics
+// shrink proportionally.
+func (w *Workload) Scaled(factor float64) *Workload {
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("workloads: bad scale factor %g", factor))
+	}
+	out := *w
+	out.Repeat = int(float64(w.Repeat) * factor)
+	if out.Repeat < 1 {
+		out.Repeat = 1
+	}
+	return &out
+}
+
+// mustFinish panics on builder errors: generator bugs are programming
+// errors, not runtime conditions.
+func mustFinish(b *program.Builder, name string) *program.Program {
+	p, err := b.Finish()
+	if err != nil {
+		panic(fmt.Sprintf("workloads: building %s: %v", name, err))
+	}
+	return p
+}

@@ -1,0 +1,317 @@
+package workloads
+
+import (
+	"testing"
+
+	"hbbp/internal/cpu"
+	"hbbp/internal/isa"
+	"hbbp/internal/program"
+	"hbbp/internal/sde"
+)
+
+func runMix(t testing.TB, w *Workload, repeatCap int) (map[isa.Op]uint64, cpu.Stats) {
+	t.Helper()
+	repeat := w.Repeat
+	if repeat > repeatCap {
+		repeat = repeatCap
+	}
+	in := sde.New(w.Prog)
+	in.UserOnly = false
+	stats, err := cpu.Run(w.Prog, w.Entry, cpu.Config{Seed: 1, Repeat: repeat, MaxRetired: 200_000_000}, in)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	return in.Mnemonics(), stats
+}
+
+func TestSPECSuiteBuildsAndRuns(t *testing.T) {
+	names := SPECNames()
+	if len(names) != 29 {
+		t.Fatalf("suite has %d benchmarks, want 29 (SPEC CPU2006)", len(names))
+	}
+	for _, d := range specDefs {
+		w := buildSPEC(0, d) // seed by def only for speed of this loop
+		if w.Repeat < 1 {
+			t.Errorf("%s: repeat %d", w.Name, w.Repeat)
+		}
+		_, stats := runMix(t, w, 2)
+		if stats.Retired == 0 {
+			t.Errorf("%s: no instructions retired", w.Name)
+		}
+		if stats.KernelRetired != 0 {
+			t.Errorf("%s: SPEC workloads must be pure user mode", w.Name)
+		}
+	}
+}
+
+func TestSPECByName(t *testing.T) {
+	w := SPEC("povray")
+	if w == nil || w.Name != "povray" {
+		t.Fatal("SPEC(povray) lookup failed")
+	}
+	if SPEC("doom") != nil {
+		t.Fatal("unknown benchmark returned non-nil")
+	}
+	if !SPEC("h264ref").SDEBug {
+		t.Error("h264ref must carry the SDE bug flag (paper's footnote 2)")
+	}
+}
+
+func TestPovrayShorterBlocksThanLbm(t *testing.T) {
+	pov, lbm := SPEC("povray"), SPEC("lbm")
+	meanLen := func(w *Workload) float64 {
+		var insts, blocks int
+		for _, blk := range w.Prog.Blocks() {
+			insts += blk.Len()
+			blocks++
+		}
+		return float64(insts) / float64(blocks)
+	}
+	if meanLen(pov) >= meanLen(lbm) {
+		t.Errorf("povray mean block %.1f should be shorter than lbm %.1f",
+			meanLen(pov), meanLen(lbm))
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, b := SPEC("gcc"), SPEC("gcc")
+	if a.Prog.NumBlocks() != b.Prog.NumBlocks() {
+		t.Fatal("generation is not deterministic")
+	}
+	for i, blk := range a.Prog.Blocks() {
+		other := b.Prog.Blocks()[i]
+		if blk.Addr != other.Addr || blk.Len() != other.Len() {
+			t.Fatalf("block %d differs between generations", i)
+		}
+	}
+}
+
+func TestFitterVariantShapes(t *testing.T) {
+	classTotals := func(v FitterVariant) (x87, sse, avx, calls uint64) {
+		mix, _ := runMix(t, Fitter(v), 10)
+		for op, n := range mix {
+			switch op.Info().Ext {
+			case isa.X87:
+				x87 += n
+			case isa.SSE:
+				sse += n
+			case isa.AVX:
+				avx += n
+			}
+			if op == isa.CALL {
+				calls += n
+			}
+		}
+		return
+	}
+	x87x, sseX, _, callsX := classTotals(FitterX87)
+	_, sseS, _, callsS := classTotals(FitterSSE)
+	x87B, _, avxB, callsB := classTotals(FitterAVX)
+	x87F, _, avxF, callsF := classTotals(FitterAVXFix)
+
+	// Scalar build: scalar SSE dominates, x87 is a small residue.
+	if sseX < 5*x87x {
+		t.Errorf("x87 build: SSE %d should dwarf x87 %d", sseX, x87x)
+	}
+	// SSE packs 4-wide: the math volume drops by roughly 4x.
+	if ratio := float64(sseX) / float64(sseS); ratio < 2.5 || ratio > 6 {
+		t.Errorf("scalar/SSE instruction ratio %.1f, want ~4", ratio)
+	}
+	// Broken AVX build: calls explode (Table 6: 99 -> 6150) and x87
+	// spill code appears from nowhere (367 -> 3425).
+	if callsB < 10*callsF {
+		t.Errorf("broken AVX calls %d should dwarf fixed %d", callsB, callsF)
+	}
+	if x87B < 5*x87F+1 {
+		t.Errorf("broken AVX x87 %d should dwarf fixed %d", x87B, x87F)
+	}
+	if callsX == 0 || callsS == 0 {
+		t.Error("all variants should make some calls")
+	}
+	// Fixed AVX keeps the AVX math without the call/spill overhead.
+	if avxF == 0 || avxB < avxF {
+		t.Errorf("AVX volumes: broken %d, fixed %d", avxB, avxF)
+	}
+}
+
+func TestFitterBrokenBuildSlower(t *testing.T) {
+	perTrack := func(v FitterVariant) float64 {
+		w := Fitter(v)
+		stats, err := cpu.Run(w.Prog, w.Entry, cpu.Config{Seed: 1, Repeat: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		return float64(stats.Cycles) / float64(3*fitterTracks)
+	}
+	x87c, ssec, avxBroken, avxFix := perTrack(FitterX87), perTrack(FitterSSE),
+		perTrack(FitterAVX), perTrack(FitterAVXFix)
+	// Expected half of Table 6: x87 slowest of the healthy builds, AVX
+	// fastest; the broken build is many times slower than the fix.
+	if !(x87c > ssec && ssec > avxFix) {
+		t.Errorf("cycles/track: x87 %.0f, SSE %.0f, AVXfix %.0f — want descending", x87c, ssec, avxFix)
+	}
+	if avxBroken < 3*avxFix {
+		t.Errorf("broken AVX %.0f cycles/track should be several times fixed %.0f", avxBroken, avxFix)
+	}
+}
+
+func TestKernelPrimeRings(t *testing.T) {
+	w := KernelPrime()
+	in := sde.New(w.Prog) // faithful: user-only
+	all := sde.New(w.Prog)
+	all.UserOnly = false
+	stats, err := cpu.Run(w.Prog, w.Entry, cpu.Config{Seed: 1, Repeat: 2}, in, all)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.KernelRetired == 0 {
+		t.Fatal("kernel function never ran")
+	}
+	uf := w.Prog.FuncByName("hello_u")
+	kf := w.Prog.FuncByName("hello_k")
+	if uf == nil || kf == nil {
+		t.Fatal("hello_u/hello_k missing")
+	}
+	// SDE sees the user copy but not the kernel copy.
+	if in.BlockExec(uf.Blocks[1].ID) == 0 {
+		t.Error("SDE blind to user copy")
+	}
+	if in.BlockExec(kf.Blocks[1].ID) != 0 {
+		t.Error("SDE saw kernel blocks")
+	}
+	// The two copies execute the same algorithm: the candidate-head
+	// blocks should run the same number of times.
+	if u, k := all.BlockExec(uf.Blocks[1].ID), all.BlockExec(kf.Blocks[1].ID); u != k {
+		t.Errorf("user %d vs kernel %d executions of the candidate loop", u, k)
+	}
+	// The kernel copy carries a trace point; the user copy does not.
+	hasTrace := func(f *program.Function) bool {
+		for _, blk := range f.Blocks {
+			if blk.TraceJump {
+				return true
+			}
+		}
+		return false
+	}
+	if hasTrace(uf) || !hasTrace(kf) {
+		t.Error("trace points misplaced")
+	}
+	// Vocabulary check: the user copy retires only Table 7 mnemonics
+	// plus the call/return scaffolding.
+	allowed := map[isa.Op]bool{
+		isa.ADD: true, isa.CDQE: true, isa.CMP: true, isa.IMUL: true,
+		isa.JLE: true, isa.JNLE: true, isa.JNZ: true, isa.JZ: true,
+		isa.MOV: true, isa.MOVSXD: true, isa.SUB: true, isa.TEST: true,
+		isa.CALL: true, isa.RET_NEAR: true, isa.PUSH: true, isa.POP: true,
+		isa.SYSCALL: true, isa.INC: true,
+	}
+	for op := range in.Mnemonics() {
+		if !allowed[op] {
+			t.Errorf("unexpected mnemonic %v in kernel-prime user code", op)
+		}
+	}
+}
+
+func TestCLForwardShape(t *testing.T) {
+	mixB, statsB := runMix(t, CLForward(false), 20)
+	mixF, statsF := runMix(t, CLForward(true), 20)
+	classify := func(mix map[isa.Op]uint64) (scalarAVX, packedAVX, total uint64) {
+		for op, n := range mix {
+			info := op.Info()
+			total += n
+			if info.Ext == isa.AVX {
+				switch info.Packing {
+				case isa.Scalar:
+					scalarAVX += n
+				case isa.Packed:
+					packedAVX += n
+				}
+			}
+		}
+		return
+	}
+	sB, pB, tB := classify(mixB)
+	sF, pF, tF := classify(mixF)
+	// Table 8: scalar 14.7 -> 0.4, packed 1.5 -> 10.6, total shrinks.
+	if sB <= pB {
+		t.Errorf("before: scalar AVX %d should dominate packed %d", sB, pB)
+	}
+	if pF <= sF {
+		t.Errorf("after: packed AVX %d should dominate scalar %d", pF, sF)
+	}
+	perRunB := float64(tB) / float64(min(20, CLForward(false).Repeat))
+	perRunF := float64(tF) / float64(min(20, CLForward(true).Repeat))
+	_ = perRunB
+	_ = perRunF
+	// Normalize per entry invocation: the fix reduces instruction volume.
+	nb := float64(statsB.Retired) / float64(min(20, CLForward(false).Repeat))
+	nf := float64(statsF.Retired) / float64(min(20, CLForward(true).Repeat))
+	if nf >= nb {
+		t.Errorf("fix should reduce per-run instructions: before %.0f, after %.0f", nb, nf)
+	}
+}
+
+func TestTrainingCorpusDiversity(t *testing.T) {
+	corpus := TrainingCorpus()
+	if len(corpus) < 8 {
+		t.Fatalf("corpus has %d workloads", len(corpus))
+	}
+	var totalBlocks int
+	var sawShort, sawLong bool
+	for _, w := range corpus {
+		totalBlocks += w.Prog.NumBlocks()
+		for _, blk := range w.Prog.Blocks() {
+			if blk.Len() <= 3 {
+				sawShort = true
+			}
+			if blk.Len() >= 25 {
+				sawLong = true
+			}
+		}
+	}
+	// The paper trains on ~1,100 blocks.
+	if totalBlocks < 800 || totalBlocks > 2500 {
+		t.Errorf("corpus has %d blocks, want on the order of 1,100", totalBlocks)
+	}
+	if !sawShort || !sawLong {
+		t.Error("corpus must span short and long blocks")
+	}
+}
+
+func TestScaledWorkload(t *testing.T) {
+	w := Test40()
+	half := w.Scaled(0.5)
+	if half.Repeat != w.Repeat/2 {
+		t.Errorf("Scaled(0.5): repeat %d, want %d", half.Repeat, w.Repeat/2)
+	}
+	if w.Repeat == half.Repeat && w.Repeat > 1 {
+		t.Error("scaling did nothing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Scaled(0) should panic")
+		}
+	}()
+	w.Scaled(0)
+}
+
+func TestTest40IsShortBlockHeavy(t *testing.T) {
+	w := Test40()
+	var short, all int
+	for _, blk := range w.Prog.Blocks() {
+		all++
+		if blk.Len() <= 6 {
+			short++
+		}
+	}
+	if frac := float64(short) / float64(all); frac < 0.6 {
+		t.Errorf("only %.0f%% of Test40 blocks are short; it models short-method OO code", frac*100)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
