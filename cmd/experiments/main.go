@@ -2,11 +2,13 @@
 //
 // Usage:
 //
-//	experiments [-experiment NAME] [-fast] [-seed N]
+//	experiments [-experiment NAME] [-fast] [-seed N] [-parallel N]
 //
 // NAME is one of table1..table8, figure1..figure4, or "all" (default).
 // -fast trims workload repeats for a quick smoke run; the numbers keep
-// their shape but carry more sampling noise.
+// their shape but carry more sampling noise. -parallel bounds the
+// worker pool evaluating independent runs (0 = all cores, 1 =
+// sequential); the rendered numbers are identical at any setting.
 package main
 
 import (
@@ -24,12 +26,14 @@ func main() {
 		"experiment to run: "+strings.Join(harness.ExperimentNames(), ", ")+", or all")
 	fast := flag.Bool("fast", false, "reduced repeats for a quick run")
 	seed := flag.Int64("seed", 1, "base random seed")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
 	r := harness.New(harness.Config{
-		Out:  os.Stdout,
-		Fast: *fast,
-		Seed: *seed,
+		Out:         os.Stdout,
+		Fast:        *fast,
+		Seed:        *seed,
+		Parallelism: *parallel,
 	})
 
 	start := time.Now()

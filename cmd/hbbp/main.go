@@ -6,15 +6,19 @@
 // Usage:
 //
 //	hbbp -workload NAME [-view top|ext|packing|functions|rings]
-//	     [-top N] [-raw FILE] [-trained] [-seed N]
+//	     [-top N] [-raw FILE] [-replay FILE] [-trained] [-seed N]
 //
 // Workloads: any SPEC CPU2006 name (gcc, povray, lbm, ...), test40,
 // hydro-post, kernel-prime, clforward-before, clforward-after,
 // fitter-x87, fitter-sse, fitter-avx, fitter-avxfix.
 //
 // -raw FILE additionally writes the raw collection (perf.data-like) to
-// FILE. -trained trains the decision-tree model on the training corpus
-// first (slower); the default uses the shipped length-18 rule.
+// FILE; -replay FILE skips the run and analyzes such a file instead,
+// streaming its records through the same sinks a live collection uses
+// (the workload still selects the program image and sampling periods,
+// which the file does not record). -trained trains the decision-tree
+// model on the training corpus first (slower); the default uses the
+// shipped length-18 rule.
 package main
 
 import (
@@ -35,6 +39,7 @@ func main() {
 	view := flag.String("view", "top", "view: top, ext, packing, functions, rings")
 	topN := flag.Int("top", 20, "rows for top views")
 	rawOut := flag.String("raw", "", "write raw collection data to this file")
+	replay := flag.String("replay", "", "analyze a previously written raw file instead of running")
 	trained := flag.Bool("trained", false, "train the model on the corpus instead of the shipped rule")
 	seed := flag.Int64("seed", 1, "random seed")
 	list := flag.Bool("list", false, "list available workloads")
@@ -69,29 +74,52 @@ func main() {
 		},
 		KernelLivePatched: true,
 	}
-	if *rawOut != "" {
-		f, err := os.Create(*rawOut)
+
+	var prof *core.Profile
+	var err error
+	if *replay != "" {
+		if *rawOut != "" {
+			fmt.Fprintln(os.Stderr, "hbbp: -raw cannot be combined with -replay (the raw file already exists)")
+			os.Exit(1)
+		}
+		f, err2 := os.Open(*replay)
+		if err2 != nil {
+			fmt.Fprintf(os.Stderr, "hbbp: %v\n", err2)
+			os.Exit(1)
+		}
+		defer f.Close()
+		fmt.Fprintf(os.Stderr, "replaying %s for %s (%s)...\n", *replay, w.Name, w.Description)
+		prof, err = core.AnalyzeReplay(w.Prog, model, f, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hbbp: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		opts.Collector.RawOut = f
+		fmt.Fprintf(os.Stderr, "replayed %d EBS samples, %d LBR stacks (%d+%d lost)\n",
+			len(prof.Collection.EBSIPs), len(prof.Collection.Stacks),
+			prof.Collection.LostEBS, prof.Collection.LostLBR)
+	} else {
+		if *rawOut != "" {
+			f, err2 := os.Create(*rawOut)
+			if err2 != nil {
+				fmt.Fprintf(os.Stderr, "hbbp: %v\n", err2)
+				os.Exit(1)
+			}
+			defer f.Close()
+			opts.Collector.RawOut = f
+		}
+		fmt.Fprintf(os.Stderr, "profiling %s (%s)...\n", w.Name, w.Description)
+		prof, err = core.Run(w.Prog, w.Entry, model, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbbp: %v\n", err)
+			os.Exit(1)
+		}
+		st := prof.Collection.Stats
+		fmt.Fprintf(os.Stderr,
+			"retired %d instructions (%d kernel), %d EBS samples, %d LBR stacks, overhead %.2f%%\n",
+			st.Retired, st.KernelRetired,
+			len(prof.Collection.EBSIPs), len(prof.Collection.Stacks),
+			(prof.Collection.OverheadFactor()-1)*100)
 	}
-
-	fmt.Fprintf(os.Stderr, "profiling %s (%s)...\n", w.Name, w.Description)
-	prof, err := core.Run(w.Prog, w.Entry, model, opts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "hbbp: %v\n", err)
-		os.Exit(1)
-	}
-
-	st := prof.Collection.Stats
-	fmt.Fprintf(os.Stderr,
-		"retired %d instructions (%d kernel), %d EBS samples, %d LBR stacks, overhead %.2f%%\n",
-		st.Retired, st.KernelRetired,
-		len(prof.Collection.EBSIPs), len(prof.Collection.Stacks),
-		(prof.Collection.OverheadFactor()-1)*100)
 
 	tab := analyzer.BuildPivot(w.Prog, prof.BBECs, analyzer.Options{LiveText: true})
 	switch *view {

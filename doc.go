@@ -10,9 +10,12 @@
 // synthetic x86-flavoured ISA and disassembler, a trace-driven CPU with
 // user/kernel rings, a PMU model with skid, shadowing and the LBR
 // entry[0] bias anomaly, a software-instrumentation reference, a
-// perf.data-like collection format, CART decision trees, a pivot-table
-// analyzer, the benchmark workloads, and a harness regenerating every
-// table and figure of the paper.
+// perf.data-like collection format with a streaming sink pipeline
+// (samples dispatch straight to the estimators' sinks; serialization
+// and replay are opt-in paths over the same interface), CART decision
+// trees, a pivot-table analyzer, the benchmark workloads, and a
+// harness regenerating every table and figure of the paper on a
+// deterministic parallel scheduler.
 //
 // Start at internal/core for the HBBP algorithm, cmd/experiments to
 // regenerate the evaluation, and examples/quickstart for the library's

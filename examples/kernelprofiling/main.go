@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"sort"
@@ -30,14 +31,19 @@ func main() {
 	w := workloads.KernelPrime()
 	fmt.Printf("workload: %s — %s\n\n", w.Name, w.Description)
 
-	// Instrumentation reference, faithfully user-mode only.
+	// Instrumentation reference, faithfully user-mode only. RawOut
+	// captures the perf.data-like byte stream as it is written, so the
+	// same collection can be re-analyzed from "disk" below.
+	var raw bytes.Buffer
 	ref := sde.New(w.Prog)
-	prof, err := core.Run(w.Prog, w.Entry, core.DefaultModel(), core.Options{
+	opts := core.Options{
 		Collector: collector.Options{
 			Class: w.Class, Scale: w.Scale, Seed: 11, Repeat: w.Repeat,
+			RawOut: &raw,
 		},
 		KernelLivePatched: true,
-	}, ref)
+	}
+	prof, err := core.Run(w.Prog, w.Entry, core.DefaultModel(), opts, ref)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,4 +100,25 @@ func main() {
 		staticJmps, liveJmps)
 	fmt.Println("the analyzer re-patched the static text from the live kernel before")
 	fmt.Println("walking LBR streams (Section III.C's remedy).")
+
+	// Finally, the replay path: the raw stream captured above runs
+	// through the same sinks the live collection dispatched to, and the
+	// kernel-mode profile comes out identical — sampling is the data,
+	// the file is just a transport.
+	replayed, err := core.AnalyzeReplay(w.Prog, core.DefaultModel(), &raw, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replayKernel := analyzer.Mix(w.Prog, replayed.BBECs, analyzer.Options{
+		Scope: analyzer.ScopeKernel, LiveText: true, Function: "hello_k"})
+	var liveTotal, replayTotal float64
+	for _, n := range hbbpKernel {
+		liveTotal += n
+	}
+	for _, n := range replayKernel {
+		replayTotal += n
+	}
+	fmt.Printf("\nreplay from the serialized collection: kernel mix total %.0f (live %.0f) —\n",
+		replayTotal, liveTotal)
+	fmt.Println("streaming collection and perffile replay see the same samples.")
 }

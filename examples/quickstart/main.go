@@ -2,10 +2,12 @@
 // mix.
 //
 // This walks the library's happy path end to end: pick a workload,
-// collect one run with the dual LBR-mode PMU configuration, let HBBP
-// choose per basic block between the EBS and LBR estimates, and render
-// the resulting dynamic instruction mix — then compare it against
-// ground-truth software instrumentation attached to the same run.
+// collect one run with the dual LBR-mode PMU configuration — every
+// sample streaming straight into sinks, no intermediate file — let
+// HBBP choose per basic block between the EBS and LBR estimates, and
+// render the resulting dynamic instruction mix — then compare it
+// against ground-truth software instrumentation attached to the same
+// run.
 //
 // Run with:
 //
@@ -20,10 +22,29 @@ import (
 	"hbbp/internal/collector"
 	"hbbp/internal/core"
 	"hbbp/internal/metrics"
+	"hbbp/internal/perffile"
 	"hbbp/internal/pivot"
+	"hbbp/internal/program"
 	"hbbp/internal/sde"
 	"hbbp/internal/workloads"
 )
+
+// ringCounter is a custom SampleSink: it watches the live sample
+// stream and tallies PMIs by ring. Sinks observe every sample as it is
+// captured — the streaming extension point of the collection pipeline.
+type ringCounter struct {
+	user, kernel uint64
+}
+
+func (c *ringCounter) Sample(s *perffile.Sample) {
+	if program.Ring(s.Ring) == program.RingKernel {
+		c.kernel++
+	} else {
+		c.user++
+	}
+}
+
+func (c *ringCounter) Lost(perffile.Lost) {}
 
 func main() {
 	// 1. A workload: the Geant4-like Test40 simulation (short
@@ -39,11 +60,14 @@ func main() {
 
 	// 3. Profile. The sde.Instrumenter rides along only to provide the
 	//    ground truth for the accuracy report below; HBBP itself never
-	//    needs it.
+	//    needs it. The ringCounter sink taps the live sample stream —
+	//    the same dispatch the built-in EBS and LBR sinks hang off.
 	ref := sde.New(w.Prog)
+	rings := &ringCounter{}
 	prof, err := core.Run(w.Prog, w.Entry, model, core.Options{
 		Collector: collector.Options{
 			Class: w.Class, Scale: w.Scale, Seed: 42, Repeat: w.Repeat,
+			Sinks: []collector.SampleSink{rings},
 		},
 		KernelLivePatched: true,
 	}, ref)
@@ -51,9 +75,11 @@ func main() {
 		log.Fatal(err)
 	}
 	st := prof.Collection.Stats
-	fmt.Printf("collected: %d EBS samples + %d LBR stacks over %d retirements (overhead %.2f%%)\n\n",
+	fmt.Printf("collected: %d EBS samples + %d LBR stacks over %d retirements (overhead %.2f%%)\n",
 		len(prof.Collection.EBSIPs), len(prof.Collection.Stacks),
 		st.Retired, (prof.Collection.OverheadFactor()-1)*100)
+	fmt.Printf("custom sink saw %d user + %d kernel PMIs while the run streamed\n\n",
+		rings.user, rings.kernel)
 
 	// 4. The instruction mix, as a pivot view.
 	tab := analyzer.BuildPivot(w.Prog, prof.BBECs, analyzer.Options{LiveText: true})

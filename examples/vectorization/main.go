@@ -18,6 +18,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	"hbbp/internal/analyzer"
 	"hbbp/internal/collector"
@@ -33,45 +34,65 @@ func main() {
 		"build", "x87", "SSE", "AVX", "CALLs", "cycles/track")
 
 	type rowT struct {
-		avx, calls float64
+		x87, sse, avx, calls float64
+		cyclesPerTrack       float64
+		scale                float64
 	}
-	rows := map[workloads.FitterVariant]rowT{}
-	for _, v := range workloads.FitterVariants() {
+	// The four builds are independent runs with their own seeds, so
+	// they profile concurrently — the same property the experiment
+	// harness's worker pool exploits — and the per-variant results are
+	// identical to a sequential loop.
+	variants := workloads.FitterVariants()
+	rows := make([]rowT, len(variants))
+	var wg sync.WaitGroup
+	for i, v := range variants {
 		w := workloads.Fitter(v)
-		prof, err := core.Run(w.Prog, w.Entry, model, core.Options{
-			Collector: collector.Options{
-				Class: w.Class, Scale: w.Scale, Seed: 7, Repeat: w.Repeat,
-			},
-			KernelLivePatched: true,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		mix := analyzer.Mix(w.Prog, prof.BBECs, analyzer.Options{LiveText: true})
-		var x87, sse, avx, calls float64
-		for op, n := range mix {
-			switch op.Info().Ext {
-			case isa.X87:
-				x87 += n
-			case isa.SSE:
-				sse += n
-			case isa.AVX:
-				avx += n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prof, err := core.Run(w.Prog, w.Entry, model, core.Options{
+				Collector: collector.Options{
+					Class: w.Class, Scale: w.Scale, Seed: 7, Repeat: w.Repeat,
+				},
+				KernelLivePatched: true,
+			})
+			if err != nil {
+				log.Fatal(err)
 			}
-			if op == isa.CALL {
-				calls += n
+			mix := analyzer.Mix(w.Prog, prof.BBECs, analyzer.Options{LiveText: true})
+			row := rowT{scale: float64(w.Scale) / 1e6}
+			for op, n := range mix {
+				switch op.Info().Ext {
+				case isa.X87:
+					row.x87 += n
+				case isa.SSE:
+					row.sse += n
+				case isa.AVX:
+					row.avx += n
+				}
+				if op == isa.CALL {
+					row.calls += n
+				}
 			}
-		}
-		scale := float64(w.Scale) / 1e6
-		tracks := float64(w.Repeat * 400)
-		cyclesPerTrack := float64(prof.Collection.Stats.Cycles) / tracks
+			tracks := float64(w.Repeat * 400)
+			row.cyclesPerTrack = float64(prof.Collection.Stats.Cycles) / tracks
+			rows[i] = row
+		}()
+	}
+	wg.Wait()
+	for i, v := range variants {
+		row := rows[i]
 		fmt.Printf("%-10s %10.0f %10.0f %10.0f %10.0f %12.0f\n",
-			v, x87*scale, sse*scale, avx*scale, calls*scale, cyclesPerTrack)
-		rows[v] = rowT{avx: avx, calls: calls}
+			v, row.x87*row.scale, row.sse*row.scale, row.avx*row.scale,
+			row.calls*row.scale, row.cyclesPerTrack)
 	}
 
 	fmt.Println("\ndiagnosis:")
-	broken, fixed := rows[workloads.FitterAVX], rows[workloads.FitterAVXFix]
+	byVariant := map[workloads.FitterVariant]rowT{}
+	for i, v := range variants {
+		byVariant[v] = rows[i]
+	}
+	broken, fixed := byVariant[workloads.FitterAVX], byVariant[workloads.FitterAVXFix]
 	avxRatio := broken.avx / fixed.avx
 	callRatio := broken.calls / fixed.calls
 	fmt.Printf("  AVX instruction volume, broken vs fixed build: %.1fx -> vector code generation is fine\n", avxRatio)

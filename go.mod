@@ -1,0 +1,3 @@
+module hbbp
+
+go 1.24

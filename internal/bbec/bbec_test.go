@@ -17,8 +17,8 @@ func chainProgram(t testing.TB) (*program.Program, []*program.Block, []*program.
 	kmod := b.Module("k", program.RingKernel)
 
 	f := b.Function(mod, "f")
-	a := b.Block(f, isa.MOV, isa.ADD)        // +JMP-less: falls through
-	bb := b.Block(f, isa.SUB)                // 1 op
+	a := b.Block(f, isa.MOV, isa.ADD) // +JMP-less: falls through
+	bb := b.Block(f, isa.SUB)         // 1 op
 	c := b.Block(f, isa.CMP, isa.MOV, isa.ADD)
 	b.Fallthrough(a, bb)
 	b.Fallthrough(bb, c)
@@ -46,7 +46,7 @@ func TestFromEBSDividesByLength(t *testing.T) {
 	ips := []uint64{
 		a.Addr, a.Addr, a.InstAddrs()[1], // 3 samples in a (len 2)
 		c.Addr, c.InstAddrs()[3], // 2 samples in c (len 4)
-		0xdead,                   // unmapped
+		0xdead, // unmapped
 	}
 	counts, dropped := FromEBS(p, ips, 100)
 	if dropped != 1 {
@@ -70,9 +70,9 @@ func TestFromLBRStreamCoverage(t *testing.T) {
 	// return: target a.Addr, source c's RET.
 	ret := c.LastAddr()
 	stack := []Branch{
-		{From: 0x999, To: a.Addr},       // entry[0]: source unusable
-		{From: ret, To: 0x111},          // stream 1: a.Addr .. ret
-		{From: ret, To: 0x111},          // stream 2: invalid (0x111 unmapped -> dropped)
+		{From: 0x999, To: a.Addr}, // entry[0]: source unusable
+		{From: ret, To: 0x111},    // stream 1: a.Addr .. ret
+		{From: ret, To: 0x111},    // stream 2: invalid (0x111 unmapped -> dropped)
 	}
 	counts, dropped := FromLBR(p, [][]Branch{stack}, 50, LBROptions{ArchDepth: 3})
 	// Stream 1 weight = 1/2, so each covered block gets 0.5*50 = 25.

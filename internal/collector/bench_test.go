@@ -1,0 +1,55 @@
+package collector
+
+import (
+	"bytes"
+	"testing"
+)
+
+// BenchmarkCollectStreaming measures the hot path after the sink
+// refactor: samples dispatch straight to the EBS and LBR sinks, no
+// perffile serialization and no reparse.
+func BenchmarkCollectStreaming(b *testing.B) {
+	p, main := mixedProgram(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Collect(p, main, Options{Class: ClassSeconds, Seed: 42}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectSerializeReparse reproduces the pre-refactor
+// pipeline — serialize every sample into an in-memory perffile, then
+// re-parse the whole stream to recover the sample sets — so the cost
+// the streaming path removed stays visible in the numbers.
+func BenchmarkCollectSerializeReparse(b *testing.B) {
+	p, main := mixedProgram(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Collect(p, main, Options{Class: ClassSeconds, Seed: 42, KeepRaw: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := PostProcess(res.Raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplay measures the streaming replay path alone on a
+// pre-serialized collection.
+func BenchmarkReplay(b *testing.B) {
+	p, main := mixedProgram(b)
+	res, err := Collect(p, main, Options{Class: ClassSeconds, Seed: 42, KeepRaw: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(res.Raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplayResult(bytes.NewReader(res.Raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

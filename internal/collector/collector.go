@@ -1,7 +1,10 @@
 // Package collector drives profiled runs: it programs the PMU the way
-// the paper's tool does, streams raw samples into a perffile, and
-// post-processes the raw data into the EBS and LBR sample sets the
-// estimators consume.
+// the paper's tool does and streams every sample, as it is captured,
+// into the registered SampleSinks — the EBS-IP and LBR-stack sinks the
+// estimators consume directly, plus an optional perffile writer sink
+// for on-disk retention. There is no serialize-then-reparse round
+// trip on the hot path; PostProcess survives as the replay path for
+// perffiles written earlier.
 //
 // Following Section V.A, the simultaneous collection of classic EBS and
 // LBR is not supported, so the collector programs two counters in LBR
@@ -91,6 +94,14 @@ type Options struct {
 	// RawOut, when non-nil, additionally receives the raw perffile
 	// stream (e.g. a file on disk).
 	RawOut io.Writer
+	// KeepRaw retains the serialized perffile on Result.Raw. Off by
+	// default: the collection streams straight into sinks, and the raw
+	// byte stream is only materialized when a caller opts in here or
+	// via RawOut.
+	KeepRaw bool
+	// Sinks receive every PMU sample as it is captured, after the
+	// built-in EBS and LBR sinks.
+	Sinks []SampleSink
 }
 
 // effectivePeriods resolves the configured periods to simulated units.
@@ -120,6 +131,22 @@ func (o *Options) effectivePeriods() (ebs, lbr uint64) {
 	return ebs, lbr
 }
 
+// Periods resolves the options to the effective (scaled) EBS and LBR
+// sampling periods a collection will use. Replay callers need them:
+// periods are not recorded in the perffile, so a Result reconstructed
+// from disk takes them from the options used at collection time.
+func (o Options) Periods() (ebsPeriod, lbrPeriod uint64) {
+	return o.effectivePeriods()
+}
+
+// EffectiveScale resolves the simulation scale factor (default 1000).
+func (o Options) EffectiveScale() uint64 {
+	if o.Scale == 0 {
+		return 1000
+	}
+	return o.Scale
+}
+
 // Result is a completed collection.
 type Result struct {
 	// EBSIPs are the eventing IPs from the precise instruction counter.
@@ -141,34 +168,54 @@ type Result struct {
 	PMIs uint64
 	// LostEBS and LostLBR count overflow collisions (dropped PMIs).
 	LostEBS, LostLBR uint64
-	// Raw is the serialized perffile containing everything above.
+	// Raw is the serialized perffile, retained only when
+	// Options.KeepRaw is set.
 	Raw []byte
 }
 
-// Collect runs entry under the PMU configuration described above and
-// returns the post-processed result. Extra listeners (e.g. an SDE
-// instrumenter producing reference data in the same run) observe the
-// identical execution.
+// Collect runs entry under the PMU configuration described above,
+// dispatching every sample straight to the sinks, and returns the
+// result assembled from the built-in sink outputs. Extra listeners
+// (e.g. an SDE instrumenter producing reference data in the same run)
+// observe the identical execution.
 func Collect(p *program.Program, entry *program.Function, opt Options, extra ...cpu.Listener) (*Result, error) {
 	ebsPeriod, lbrPeriod := opt.effectivePeriods()
 
-	var buf bytes.Buffer
-	var out io.Writer = &buf
-	if opt.RawOut != nil {
-		out = io.MultiWriter(&buf, opt.RawOut)
-	}
-	w, err := perffile.NewWriter(out)
-	if err != nil {
-		return nil, fmt.Errorf("collector: %w", err)
-	}
+	ebs := &EBSSink{}
+	lbr := &LBRSink{}
+	sinks := append([]SampleSink{ebs, lbr}, opt.Sinks...)
 
-	// Metadata records: process events and memory maps, as in perf.data.
-	w.WriteComm(perffile.Comm{PID: 1, Name: p.Name})
-	for _, m := range p.Modules {
-		w.WriteMmap(perffile.Mmap{
-			PID: 1, Start: m.Base, Size: m.Size(),
-			Ring: uint8(m.Ring), Module: m.Name,
-		})
+	// Serialization is opt-in: a writer sink joins the dispatch only
+	// when a caller wants the byte stream on disk or in memory.
+	var buf *bytes.Buffer
+	var w *perffile.Writer
+	if opt.KeepRaw || opt.RawOut != nil {
+		var out io.Writer
+		switch {
+		case opt.KeepRaw && opt.RawOut != nil:
+			buf = new(bytes.Buffer)
+			out = io.MultiWriter(buf, opt.RawOut)
+		case opt.KeepRaw:
+			buf = new(bytes.Buffer)
+			out = buf
+		default:
+			out = opt.RawOut
+		}
+		var err error
+		w, err = perffile.NewWriter(out)
+		if err != nil {
+			return nil, fmt.Errorf("collector: %w", err)
+		}
+		// Metadata records: process events and memory maps, as in
+		// perf.data.
+		w.WriteComm(perffile.Comm{PID: 1, Name: p.Name})
+		for _, m := range p.Modules {
+			w.WriteMmap(perffile.Mmap{
+				PID: 1, Start: m.Base, Size: m.Size(),
+				Ring: uint8(m.Ring), Module: m.Name,
+			})
+		}
+		sinks = append(sinks, &WriterSink{W: w})
 	}
 
 	pmuCfg := pmu.DefaultConfig(opt.Seed)
@@ -176,18 +223,20 @@ func Collect(p *program.Program, entry *program.Function, opt Options, extra ...
 		pmuCfg = *opt.PMU
 	}
 	var pmis uint64
+	var rec perffile.Sample
 	handler := func(s pmu.Sample) {
 		pmis++
-		rec := perffile.Sample{
-			Event: uint8(s.Event),
-			IP:    s.IP,
-			Ring:  uint8(s.Ring),
-			Cycle: s.Cycle,
-		}
+		rec.Event = uint8(s.Event)
+		rec.IP = s.IP
+		rec.Ring = uint8(s.Ring)
+		rec.Cycle = s.Cycle
+		rec.Stack = rec.Stack[:0]
 		for _, br := range s.Stack {
 			rec.Stack = append(rec.Stack, perffile.Branch{From: br.From, To: br.To})
 		}
-		w.WriteSample(rec)
+		for _, sink := range sinks {
+			sink.Sample(&rec)
+		}
 	}
 	unit, err := pmu.New(pmuCfg,
 		pmu.Sampling{Event: pmu.InstRetiredPrecDist, Period: ebsPeriod, Handler: handler},
@@ -204,66 +253,44 @@ func Collect(p *program.Program, entry *program.Function, opt Options, extra ...
 	if err != nil {
 		return nil, fmt.Errorf("collector: running %s: %w", p.Name, err)
 	}
-	if lost := unit.Dropped(pmu.InstRetiredPrecDist) + unit.Dropped(pmu.BrInstRetiredNearTaken); lost > 0 {
-		w.WriteLost(perffile.Lost{Count: lost})
+	for _, ev := range []pmu.Event{pmu.InstRetiredPrecDist, pmu.BrInstRetiredNearTaken} {
+		if lost := unit.Dropped(ev); lost > 0 {
+			l := perffile.Lost{Count: lost, Event: uint8(ev)}
+			for _, sink := range sinks {
+				sink.Lost(l)
+			}
+		}
 	}
-	if err := w.Flush(); err != nil {
-		return nil, fmt.Errorf("collector: %w", err)
+	if w != nil {
+		if err := w.Flush(); err != nil {
+			return nil, fmt.Errorf("collector: %w", err)
+		}
 	}
 
-	res, err := PostProcess(buf.Bytes())
-	if err != nil {
-		return nil, err
+	res := &Result{
+		EBSIPs:    ebs.IPs,
+		Stacks:    lbr.Stacks,
+		EBSPeriod: ebsPeriod,
+		LBRPeriod: lbrPeriod,
+		Scale:     opt.EffectiveScale(),
+		Stats:     stats,
+		PMIs:      pmis,
+		LostEBS:   ebs.Dropped,
+		LostLBR:   lbr.Dropped,
 	}
-	res.EBSPeriod, res.LBRPeriod = ebsPeriod, lbrPeriod
-	res.Scale = opt.Scale
-	if res.Scale == 0 {
-		res.Scale = 1000
+	if buf != nil {
+		res.Raw = buf.Bytes()
 	}
-	res.Stats = stats
-	res.PMIs = pmis
-	res.LostEBS = unit.Dropped(pmu.InstRetiredPrecDist)
-	res.LostLBR = unit.Dropped(pmu.BrInstRetiredNearTaken)
-	res.Raw = buf.Bytes()
 	return res, nil
 }
 
-// PostProcess extracts the EBS and LBR sample sets from a raw perffile:
-// eventing IPs from precise-instruction samples (stacks discarded), LBR
-// stacks from taken-branch samples (IPs discarded).
+// PostProcess extracts the EBS and LBR sample sets from a raw
+// perffile: eventing IPs from precise-instruction samples (stacks
+// discarded), LBR stacks from taken-branch samples (IPs discarded).
+// It is the in-memory form of the replay path — live collection no
+// longer round-trips through it; see ReplayResult for streams.
 func PostProcess(raw []byte) (*Result, error) {
-	r, err := perffile.NewReader(bytes.NewReader(raw))
-	if err != nil {
-		return nil, fmt.Errorf("collector: post-process: %w", err)
-	}
-	res := &Result{}
-	for {
-		rec, err := r.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("collector: post-process: %w", err)
-		}
-		s, ok := rec.(*perffile.Sample)
-		if !ok {
-			continue
-		}
-		switch pmu.Event(s.Event) {
-		case pmu.InstRetiredPrecDist:
-			res.EBSIPs = append(res.EBSIPs, s.IP)
-		case pmu.BrInstRetiredNearTaken:
-			if len(s.Stack) == 0 {
-				continue
-			}
-			stack := make([]bbec.Branch, len(s.Stack))
-			for i, br := range s.Stack {
-				stack[i] = bbec.Branch{From: br.From, To: br.To}
-			}
-			res.Stacks = append(res.Stacks, stack)
-		}
-	}
-	return res, nil
+	return ReplayResult(bytes.NewReader(raw))
 }
 
 // CollectionOverheadCycles models the runtime cost of sampling: each PMI

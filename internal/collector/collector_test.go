@@ -9,6 +9,7 @@ import (
 	"hbbp/internal/isa"
 	"hbbp/internal/metrics"
 	"hbbp/internal/perffile"
+	"hbbp/internal/pmu"
 	"hbbp/internal/program"
 	"hbbp/internal/sde"
 )
@@ -89,7 +90,7 @@ func TestCollectEndToEnd(t *testing.T) {
 	p, main := mixedProgram(t)
 	ref := sde.New(p)
 	res, err := Collect(p, main, Options{
-		Class: ClassSeconds, Scale: 1000, Seed: 42,
+		Class: ClassSeconds, Scale: 1000, Seed: 42, KeepRaw: true,
 	}, ref)
 	if err != nil {
 		t.Fatalf("Collect: %v", err)
@@ -206,7 +207,9 @@ func TestErrorLandscape(t *testing.T) {
 func TestCollectWritesRawOut(t *testing.T) {
 	p, main := mixedProgram(t)
 	var sink bytes.Buffer
-	res, err := Collect(p, main, Options{Class: ClassSeconds, Seed: 1, RawOut: &sink})
+	res, err := Collect(p, main, Options{
+		Class: ClassSeconds, Seed: 1, RawOut: &sink, KeepRaw: true,
+	})
 	if err != nil {
 		t.Fatalf("Collect: %v", err)
 	}
@@ -215,9 +218,23 @@ func TestCollectWritesRawOut(t *testing.T) {
 	}
 }
 
+func TestRawIsOptIn(t *testing.T) {
+	p, main := mixedProgram(t)
+	res, err := Collect(p, main, Options{Class: ClassSeconds, Seed: 1})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if res.Raw != nil {
+		t.Errorf("Result.Raw retained %d bytes without KeepRaw", len(res.Raw))
+	}
+	if len(res.EBSIPs) == 0 || len(res.Stacks) == 0 {
+		t.Errorf("streaming sinks empty: %d EBS, %d LBR", len(res.EBSIPs), len(res.Stacks))
+	}
+}
+
 func TestPostProcessSplitsEvents(t *testing.T) {
 	p, main := mixedProgram(t)
-	res, err := Collect(p, main, Options{Class: ClassSeconds, Seed: 3})
+	res, err := Collect(p, main, Options{Class: ClassSeconds, Seed: 3, KeepRaw: true})
 	if err != nil {
 		t.Fatalf("Collect: %v", err)
 	}
@@ -236,11 +253,146 @@ func TestPostProcessSplitsEvents(t *testing.T) {
 	}
 }
 
+// TestStreamingReplayParity is the pipeline-equivalence guarantee: the
+// sample sets assembled by the live sink dispatch and the ones
+// re-derived by replaying the serialized perffile must be identical —
+// EBS IPs, LBR stacks and per-counter lost counts.
+func TestStreamingReplayParity(t *testing.T) {
+	p, main := mixedProgram(t)
+	live, err := Collect(p, main, Options{
+		Class: ClassSeconds, Scale: 1000, Seed: 42, KeepRaw: true,
+	})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	replayed, err := ReplayResult(bytes.NewReader(live.Raw))
+	if err != nil {
+		t.Fatalf("ReplayResult: %v", err)
+	}
+	if len(replayed.EBSIPs) != len(live.EBSIPs) {
+		t.Fatalf("EBS IPs: replay %d, live %d", len(replayed.EBSIPs), len(live.EBSIPs))
+	}
+	for i, ip := range live.EBSIPs {
+		if replayed.EBSIPs[i] != ip {
+			t.Fatalf("EBS IP %d: replay %#x, live %#x", i, replayed.EBSIPs[i], ip)
+		}
+	}
+	if len(replayed.Stacks) != len(live.Stacks) {
+		t.Fatalf("LBR stacks: replay %d, live %d", len(replayed.Stacks), len(live.Stacks))
+	}
+	for i, stack := range live.Stacks {
+		if len(replayed.Stacks[i]) != len(stack) {
+			t.Fatalf("stack %d: replay depth %d, live %d", i, len(replayed.Stacks[i]), len(stack))
+		}
+		for j, br := range stack {
+			if replayed.Stacks[i][j] != br {
+				t.Fatalf("stack %d entry %d: replay %+v, live %+v", i, j, replayed.Stacks[i][j], br)
+			}
+		}
+	}
+	if replayed.LostEBS != live.LostEBS || replayed.LostLBR != live.LostLBR {
+		t.Errorf("lost counts: replay %d/%d, live %d/%d",
+			replayed.LostEBS, replayed.LostLBR, live.LostEBS, live.LostLBR)
+	}
+}
+
+// TestCustomSinkObservesEverySample wires an extra sink into a live
+// run and checks it sees the full PMI stream, in both events.
+func TestCustomSinkObservesEverySample(t *testing.T) {
+	p, main := mixedProgram(t)
+	var seen uint64
+	byEvent := map[pmu.Event]int{}
+	sink := sinkFunc(func(s *perffile.Sample) {
+		seen++
+		byEvent[pmu.Event(s.Event)]++
+	})
+	res, err := Collect(p, main, Options{
+		Class: ClassSeconds, Seed: 5, Sinks: []SampleSink{sink},
+	})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if seen != res.PMIs {
+		t.Errorf("custom sink saw %d samples, PMIs = %d", seen, res.PMIs)
+	}
+	if byEvent[pmu.InstRetiredPrecDist] != len(res.EBSIPs) {
+		t.Errorf("custom sink saw %d precise samples, result has %d EBS IPs",
+			byEvent[pmu.InstRetiredPrecDist], len(res.EBSIPs))
+	}
+	if byEvent[pmu.BrInstRetiredNearTaken] == 0 {
+		t.Error("custom sink saw no branch samples")
+	}
+}
+
+// sinkFunc adapts a function to SampleSink for tests.
+type sinkFunc func(*perffile.Sample)
+
+func (f sinkFunc) Sample(s *perffile.Sample) { f(s) }
+func (f sinkFunc) Lost(perffile.Lost)        {}
+
 func TestScaledPeriodsFloorAtOne(t *testing.T) {
 	o := Options{EBSPeriod: 10, LBRPeriod: 5, Scale: 1000}
 	ebs, lbr := o.effectivePeriods()
 	if ebs != 1 || lbr != 1 {
 		t.Errorf("periods (%d,%d), want floor at 1", ebs, lbr)
+	}
+}
+
+func TestEffectivePeriods(t *testing.T) {
+	cases := []struct {
+		name     string
+		opt      Options
+		ebs, lbr uint64
+	}{
+		// Unset scale defaults to 1000.
+		{"default scale", Options{Class: ClassSeconds}, 1_000_037 / 1000, 100_003 / 1000},
+		// Explicit periods override the class, scaled down.
+		{"explicit periods", Options{EBSPeriod: 2_000_000, LBRPeriod: 500_000, Scale: 100}, 20_000, 5_000},
+		// A single explicit period only overrides its own side; the
+		// other still comes from the class.
+		{"partial override", Options{Class: ClassSeconds, EBSPeriod: 3_000_000, Scale: 1000}, 3_000, 100},
+		// Scale 1 leaves paper units untouched.
+		{"unit scale", Options{Class: ClassMinutes, Scale: 1}, 100_000_007, 10_000_019},
+		// Aggressive scales floor at one retirement per sample rather
+		// than dividing to zero.
+		{"floor", Options{EBSPeriod: 3, LBRPeriod: 2, Scale: 1_000_000}, 1, 1},
+	}
+	for _, c := range cases {
+		ebs, lbr := c.opt.effectivePeriods()
+		if ebs != c.ebs || lbr != c.lbr {
+			t.Errorf("%s: periods (%d,%d), want (%d,%d)", c.name, ebs, lbr, c.ebs, c.lbr)
+		}
+		// The exported accessor must agree with the internal resolution.
+		pe, pl := c.opt.Periods()
+		if pe != ebs || pl != lbr {
+			t.Errorf("%s: Periods() (%d,%d) != effectivePeriods (%d,%d)", c.name, pe, pl, ebs, lbr)
+		}
+	}
+}
+
+func TestOverheadFactorEdgeCases(t *testing.T) {
+	// Zero cycles (nothing ran): no meaningful ratio, factor is 1.
+	r := &Result{PMIs: 100}
+	if got := r.OverheadFactor(); got != 1 {
+		t.Errorf("zero-cycle overhead factor = %v, want 1", got)
+	}
+	// Unset scale is treated as 1, not the collection default of 1000:
+	// a Result built by hand carries exactly what its fields say.
+	r = &Result{Stats: cpu.Stats{Cycles: CollectionOverheadCycles}, PMIs: 1}
+	if got := r.OverheadFactor(); got != 2 {
+		t.Errorf("unscaled overhead factor = %v, want 2", got)
+	}
+	// With a scale, the clean cycle count expands while the PMI cost
+	// does not: factor shrinks toward 1.
+	r = &Result{Stats: cpu.Stats{Cycles: CollectionOverheadCycles}, PMIs: 1, Scale: 1000}
+	want := 1 + 1.0/1000
+	if got := r.OverheadFactor(); got != want {
+		t.Errorf("scaled overhead factor = %v, want %v", got, want)
+	}
+	// No PMIs delivered: a clean run costs nothing extra.
+	r = &Result{Stats: cpu.Stats{Cycles: 12345}, Scale: 1000}
+	if got := r.OverheadFactor(); got != 1 {
+		t.Errorf("no-PMI overhead factor = %v, want 1", got)
 	}
 }
 

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"hbbp/internal/bbec"
@@ -200,9 +201,27 @@ func Run(p *program.Program, entry *program.Function, model *Model, opts Options
 	return Analyze(p, model, res, opts.KernelLivePatched)
 }
 
-// Analyze computes the HBBP profile from an existing collection —
-// usable on post-processed perffile data without re-running the
-// workload.
+// AnalyzeReplay reconstructs a profile from a serialized collection:
+// it replays the perffile stream through the same sinks a live run
+// dispatches to, then analyzes the result. The file records samples,
+// not configuration, so the sampling periods and scale are resolved
+// from opts, which must match the options used at collection time.
+// Run statistics (cycle counts, PMI totals) are not in the file either;
+// the returned profile's overhead model reports a clean factor of 1.
+func AnalyzeReplay(p *program.Program, model *Model, rd io.Reader, opts Options) (*Profile, error) {
+	res, err := collector.ReplayResult(rd)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	res.EBSPeriod, res.LBRPeriod = opts.Collector.Periods()
+	res.Scale = opts.Collector.EffectiveScale()
+	return Analyze(p, model, res, opts.KernelLivePatched)
+}
+
+// Analyze computes the HBBP profile from an existing collection. It
+// consumes the sink outputs (EBS IPs, LBR stacks) in place — no
+// copies, no reparse — and works identically on a live Result and on
+// one reconstructed from a perffile via AnalyzeReplay.
 func Analyze(p *program.Program, model *Model, res *collector.Result, kernelLivePatched bool) (*Profile, error) {
 	if model == nil {
 		model = DefaultModel()
@@ -267,11 +286,4 @@ func normalizeLBRMass(p *program.Program, ebs, lbr []float64) {
 			lbr[blk.ID] *= m.e / m.l
 		}
 	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -206,8 +206,8 @@ func TestHBBPBeatsRawEstimators(t *testing.T) {
 
 func TestRunWithDefaultModel(t *testing.T) {
 	w := workloads.KernelPrime().Scaled(0.3)
-	prof, err := Run(w.Prog, w.Entry, nil, DefaultOptions(w.Class, 9), // nil model -> default
-	)
+	prof, err := Run(w.Prog, w.Entry, nil, DefaultOptions(w.Class, 9)) // nil model -> default
+
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}

@@ -1,0 +1,41 @@
+package harness
+
+import "testing"
+
+// benchModel measures the Figure 1 training pipeline — the corpus
+// collection runs — at a given pool width. The sequential/parallel
+// pair documents the scheduler's speedup on identical work.
+func benchModel(b *testing.B, parallelism int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := New(Config{Fast: true, FastFactor: 0.1, Seed: 1, Parallelism: parallelism})
+		if _, err := r.Model(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelSequential trains with a single worker.
+func BenchmarkModelSequential(b *testing.B) { benchModel(b, 1) }
+
+// BenchmarkModelParallel trains on the full worker pool.
+func BenchmarkModelParallel(b *testing.B) { benchModel(b, 0) }
+
+// benchSuite measures the full SPEC-like suite evaluation (29
+// workloads, each an independent collection run).
+func benchSuite(b *testing.B, parallelism int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := New(Config{Fast: true, FastFactor: 0.1, Seed: 1, Parallelism: parallelism})
+		if _, err := r.SuiteEvals(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteEvalsSequential evaluates the suite one workload at a
+// time — the pre-refactor schedule.
+func BenchmarkSuiteEvalsSequential(b *testing.B) { benchSuite(b, 1) }
+
+// BenchmarkSuiteEvalsParallel evaluates the suite on the worker pool.
+func BenchmarkSuiteEvalsParallel(b *testing.B) { benchSuite(b, 0) }

@@ -13,6 +13,8 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"hbbp/internal/analyzer"
 	"hbbp/internal/collector"
@@ -39,15 +41,28 @@ type Config struct {
 	FastFactor float64
 	// Seed is the base seed for all runs.
 	Seed int64
+	// Parallelism bounds the worker pool evaluating independent runs
+	// (training corpus, suite workloads, per-table workload sets).
+	// Zero means GOMAXPROCS; 1 restores strictly sequential execution.
+	// Every run carries its own derived seed and results are assembled
+	// in workload order, so the outputs are identical at any setting.
+	Parallelism int
 }
 
 // Runner executes experiments, caching the trained model and per-suite
-// evaluations across tables that share them.
+// evaluations across tables that share them. A Runner is safe for the
+// concurrent use its own worker pool makes of it.
 type Runner struct {
-	cfg   Config
-	out   io.Writer
-	model *core.Model
-	suite []*WorkloadEval
+	cfg Config
+	out io.Writer
+
+	modelOnce sync.Once
+	model     *core.Model
+	modelErr  error
+
+	suiteOnce sync.Once
+	suite     []*WorkloadEval
+	suiteErr  error
 }
 
 // New returns a Runner.
@@ -74,34 +89,94 @@ func (r *Runner) scaled(w *workloads.Workload) *workloads.Workload {
 	return w
 }
 
-// Model returns the HBBP model used across experiments, training it on
-// the corpus on first use (the Figure 1 pipeline).
-func (r *Runner) Model() (*core.Model, error) {
-	if r.model != nil {
-		return r.model, nil
+// workers resolves the configured pool width for n independent items.
+func (r *Runner) workers(n int) int {
+	w := r.cfg.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
-	var runs []*core.TrainingRun
-	for i, w := range workloads.TrainingCorpus() {
-		w = r.scaled(w)
-		run, err := core.CollectTrainingRun(w.Prog, w.Entry, collector.Options{
-			// Training samples at the same class-based periods used in
-			// production, so the learned rule internalises the sampling
-			// noise the estimators actually carry at analysis time.
-			Class: w.Class,
-			Scale: w.Scale, Seed: r.cfg.Seed + int64(100+i),
-			Repeat: w.Repeat,
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// forEach runs fn(i) for every i in [0, n) on a bounded worker pool
+// and returns the lowest-index error. Callers communicate results by
+// writing to per-index slots, so assembly order — and therefore every
+// rendered table — is independent of scheduling.
+func (r *Runner) forEach(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := r.workers(n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Model returns the HBBP model used across experiments, training it on
+// the corpus on first use (the Figure 1 pipeline). The corpus runs are
+// collected concurrently — each carries its own derived seed, so the
+// dataset and the learned tree are identical to a sequential pass.
+func (r *Runner) Model() (*core.Model, error) {
+	r.modelOnce.Do(func() {
+		corpus := workloads.TrainingCorpus()
+		for i, w := range corpus {
+			corpus[i] = r.scaled(w)
+		}
+		runs := make([]*core.TrainingRun, len(corpus))
+		err := r.forEach(len(corpus), func(i int) error {
+			w := corpus[i]
+			run, err := core.CollectTrainingRun(w.Prog, w.Entry, collector.Options{
+				// Training samples at the same class-based periods used in
+				// production, so the learned rule internalises the sampling
+				// noise the estimators actually carry at analysis time.
+				Class: w.Class,
+				Scale: w.Scale, Seed: r.cfg.Seed + int64(100+i),
+				Repeat: w.Repeat,
+			})
+			if err != nil {
+				return err
+			}
+			runs[i] = run
+			return nil
 		})
 		if err != nil {
-			return nil, err
+			r.modelErr = err
+			return
 		}
-		runs = append(runs, run)
-	}
-	model, err := core.Train(runs, core.TrainParams{})
-	if err != nil {
-		return nil, err
-	}
-	r.model = model
-	return model, nil
+		r.model, r.modelErr = core.Train(runs, core.TrainParams{})
+	})
+	return r.model, r.modelErr
 }
 
 // WorkloadEval is one workload's full evaluation: runtime model plus
@@ -184,19 +259,40 @@ func (r *Runner) evalWorkload(w *workloads.Workload) (*WorkloadEval, error) {
 	return ev, nil
 }
 
-// SuiteEvals evaluates the full SPEC-like suite once, caching results.
-func (r *Runner) SuiteEvals() ([]*WorkloadEval, error) {
-	if r.suite != nil {
-		return r.suite, nil
+// evalWorkloads evaluates already-constructed workloads on the worker
+// pool, returning results in input order. Workload construction stays
+// with the caller (and thus sequential): some constructors calibrate
+// against package-level caches that are not synchronized, while the
+// evaluation runs themselves are fully independent.
+func (r *Runner) evalWorkloads(ws []*workloads.Workload) ([]*WorkloadEval, error) {
+	// Resolve the shared model before fanning out so every worker hits
+	// the cache instead of contending on the lazy training pass.
+	if _, err := r.Model(); err != nil {
+		return nil, err
 	}
-	for _, w := range workloads.SPECSuite() {
-		ev, err := r.evalWorkload(w)
+	evs := make([]*WorkloadEval, len(ws))
+	err := r.forEach(len(ws), func(i int) error {
+		ev, err := r.evalWorkload(ws[i])
 		if err != nil {
-			return nil, fmt.Errorf("harness: evaluating %s: %w", w.Name, err)
+			return fmt.Errorf("harness: evaluating %s: %w", ws[i].Name, err)
 		}
-		r.suite = append(r.suite, ev)
+		evs[i] = ev
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return r.suite, nil
+	return evs, nil
+}
+
+// SuiteEvals evaluates the full SPEC-like suite once, caching results.
+// The per-workload runs execute concurrently; the cached slice is in
+// suite order regardless of scheduling.
+func (r *Runner) SuiteEvals() ([]*WorkloadEval, error) {
+	r.suiteOnce.Do(func() {
+		r.suite, r.suiteErr = r.evalWorkloads(workloads.SPECSuite())
+	})
+	return r.suite, r.suiteErr
 }
 
 // ExperimentNames lists every regenerable experiment in paper order.

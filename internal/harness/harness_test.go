@@ -342,6 +342,35 @@ func TestFigures34Shapes(t *testing.T) {
 	}
 }
 
+// TestParallelismDoesNotChangeResults pins the scheduler guarantee:
+// every run is independently seeded and results are assembled in
+// workload order, so a sequential runner and a parallel runner render
+// bit-identical experiments (training corpus included).
+func TestParallelismDoesNotChangeResults(t *testing.T) {
+	render := func(parallelism int) (string, string) {
+		r := New(Config{Fast: true, FastFactor: 0.1, Seed: 3, Parallelism: parallelism})
+		t6, err := r.Table6()
+		if err != nil {
+			t.Fatalf("Table6 (parallelism %d): %v", parallelism, err)
+		}
+		f1, err := r.Figure1()
+		if err != nil {
+			t.Fatalf("Figure1 (parallelism %d): %v", parallelism, err)
+		}
+		return t6.Render(), f1.Render()
+	}
+	seqTable, seqTree := render(1)
+	// An explicit width keeps the pool path exercised even on
+	// single-core machines, where GOMAXPROCS would collapse it to 1.
+	parTable, parTree := render(4)
+	if seqTable != parTable {
+		t.Errorf("Table 6 differs under parallelism:\nsequential:\n%s\nparallel:\n%s", seqTable, parTable)
+	}
+	if seqTree != parTree {
+		t.Errorf("learned tree differs under parallelism:\nsequential:\n%s\nparallel:\n%s", seqTree, parTree)
+	}
+}
+
 func TestRunAllAndNames(t *testing.T) {
 	if len(ExperimentNames()) != 12 {
 		t.Fatalf("%d experiments", len(ExperimentNames()))

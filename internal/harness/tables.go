@@ -55,27 +55,24 @@ func (r *Runner) Table1() (*Table1Result, error) {
 		add("SPEC "+name, ev.CleanSeconds, ev.SDESeconds)
 	}
 
-	var others, othersSDE float64
-	for _, w := range []*workloads.Workload{
+	evs, err := r.evalWorkloads([]*workloads.Workload{
 		workloads.Test40(),
 		workloads.Fitter(workloads.FitterSSE),
 		workloads.Fitter(workloads.FitterX87),
 		workloads.CLForward(false),
 		workloads.KernelPrime(),
-	} {
-		ev, err := r.evalWorkload(w)
-		if err != nil {
-			return nil, err
-		}
+		workloads.HydroPost(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	hydro := evs[len(evs)-1]
+	var others, othersSDE float64
+	for _, ev := range evs[:len(evs)-1] {
 		others += ev.CleanSeconds
 		othersSDE += ev.SDESeconds
 	}
 	add("All other benchmarks", others, othersSDE)
-
-	hydro, err := r.evalWorkload(workloads.HydroPost())
-	if err != nil {
-		return nil, err
-	}
 	add("Hydro-post benchmark", hydro.CleanSeconds, hydro.SDESeconds)
 	return res, nil
 }

@@ -84,12 +84,16 @@ func (r *Runner) Table6() (*Table6Result, error) {
 		Expected: map[workloads.FitterVariant]Table6Cell{},
 		Measured: map[workloads.FitterVariant]Table6Cell{},
 	}
-	for _, v := range res.Variants {
-		w := workloads.Fitter(v)
-		ev, err := r.evalWorkload(w)
-		if err != nil {
-			return nil, err
-		}
+	ws := make([]*workloads.Workload, len(res.Variants))
+	for i, v := range res.Variants {
+		ws[i] = workloads.Fitter(v)
+	}
+	evs, err := r.evalWorkloads(ws)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range res.Variants {
+		w, ev := ws[i], evs[i]
 		tracks := trackCount(ev)
 		cyclesPerTrack := float64(ev.Profile.Collection.Stats.Cycles) / tracks
 		usPerTrack := cyclesPerTrack * float64(w.Scale) / tracks2us
@@ -188,7 +192,7 @@ func (t *Table6Result) Render() string {
 type Table7Result struct {
 	Mnemonics []isa.Op
 	// SDEUser, HBBPKernel and HBBPUser are counts in millions.
-	SDEUser, HBBPKernel, HBBPUser map[isa.Op]float64
+	SDEUser, HBBPKernel, HBBPUser    map[isa.Op]float64
 	TotalSDE, TotalKernel, TotalUser float64
 }
 
@@ -294,14 +298,17 @@ type Table8Result struct {
 // Table8 profiles both CLForward builds and renders the ext x packing
 // pivot.
 func (r *Runner) Table8() (*Table8Result, error) {
+	// Construct before evaluating: the fixed build's invocation count
+	// is calibrated against the pre-fix build through a package cache.
+	ws := []*workloads.Workload{workloads.CLForward(false), workloads.CLForward(true)}
+	evs, err := r.evalWorkloads(ws)
+	if err != nil {
+		return nil, err
+	}
 	views := map[bool]map[string]float64{}
 	var totals [2]float64
-	for _, fixed := range []bool{false, true} {
-		w := workloads.CLForward(fixed)
-		ev, err := r.evalWorkload(w)
-		if err != nil {
-			return nil, err
-		}
+	for idx, fixed := range []bool{false, true} {
+		w, ev := ws[idx], evs[idx]
 		tab := analyzer.BuildPivot(ev.Profile.Prog, ev.Profile.BBECs,
 			analyzer.Options{Scope: analyzer.ScopeUser, LiveText: true})
 		view := map[string]float64{}
@@ -310,10 +317,6 @@ func (r *Runner) Table8() (*Table8Result, error) {
 			view[row.Keys[0]+"/"+row.Keys[1]] = row.Value * scale
 		}
 		views[fixed] = view
-		idx := 0
-		if fixed {
-			idx = 1
-		}
 		totals[idx] = tab.Total(nil) * scale
 	}
 	res := &Table8Result{TotalBefore: totals[0], TotalAfter: totals[1]}

@@ -51,21 +51,21 @@ type Category uint8
 
 // Instruction categories.
 const (
-	CatArith    Category = iota // add/sub/mul and friends
-	CatDivide                   // long-latency division
-	CatSqrt                     // long-latency square root
-	CatLogic                    // and/or/xor/shift
-	CatMove                     // register and memory moves
-	CatCompare                  // cmp/test/ucomiss
-	CatConvert                  // int<->float conversions
-	CatCondBranch               // conditional jumps
-	CatJump                     // unconditional jumps
-	CatCall                     // calls
-	CatReturn                   // returns
-	CatStack                    // push/pop
-	CatNop                      // nops and padding
-	CatSync                     // locked/atomic operations
-	CatOther                    // anything else
+	CatArith      Category = iota // add/sub/mul and friends
+	CatDivide                     // long-latency division
+	CatSqrt                       // long-latency square root
+	CatLogic                      // and/or/xor/shift
+	CatMove                       // register and memory moves
+	CatCompare                    // cmp/test/ucomiss
+	CatConvert                    // int<->float conversions
+	CatCondBranch                 // conditional jumps
+	CatJump                       // unconditional jumps
+	CatCall                       // calls
+	CatReturn                     // returns
+	CatStack                      // push/pop
+	CatNop                        // nops and padding
+	CatSync                       // locked/atomic operations
+	CatOther                      // anything else
 	numCategory
 )
 
@@ -133,17 +133,17 @@ func (p Packing) String() string {
 // Info holds the static attributes of one instruction. All fields are
 // immutable once the table is built.
 type Info struct {
-	Name     string   // canonical mnemonic, e.g. "VADDPS"
-	Ext      Ext      // ISA extension family
-	Cat      Category // behavioural category
-	Packing  Packing  // SIMD shape
-	Latency  int      // nominal execution latency in cycles
-	Bytes    int      // encoded length in bytes (1..15, like x86)
-	Operands int      // number of explicit operands
-	VecBits  int      // vector width in bits (0 for scalar integer)
-	ReadsMem bool     // instruction may read memory
-	WritesMem bool    // instruction may write memory
-	FLOPs    int      // floating point operations per execution
+	Name      string   // canonical mnemonic, e.g. "VADDPS"
+	Ext       Ext      // ISA extension family
+	Cat       Category // behavioural category
+	Packing   Packing  // SIMD shape
+	Latency   int      // nominal execution latency in cycles
+	Bytes     int      // encoded length in bytes (1..15, like x86)
+	Operands  int      // number of explicit operands
+	VecBits   int      // vector width in bits (0 for scalar integer)
+	ReadsMem  bool     // instruction may read memory
+	WritesMem bool     // instruction may write memory
+	FLOPs     int      // floating point operations per execution
 }
 
 // IsBranch reports whether the instruction redirects control flow

@@ -155,54 +155,54 @@ const NumOps = int(numOps) - 1
 var infoTable = [numOps]Info{
 	opInvalid: {Name: "INVALID", Cat: CatOther, Latency: 1, Bytes: 1},
 
-	MOV:     {Name: "MOV", Ext: Base, Cat: CatMove, Latency: 1, Bytes: 3, Operands: 2, ReadsMem: true},
-	MOVSXD:  {Name: "MOVSXD", Ext: Base, Cat: CatMove, Latency: 1, Bytes: 4, Operands: 2, ReadsMem: true},
-	MOVZX:   {Name: "MOVZX", Ext: Base, Cat: CatMove, Latency: 1, Bytes: 4, Operands: 2, ReadsMem: true},
-	LEA:     {Name: "LEA", Ext: Base, Cat: CatArith, Latency: 1, Bytes: 4, Operands: 2},
-	ADD:     {Name: "ADD", Ext: Base, Cat: CatArith, Latency: 1, Bytes: 3, Operands: 2},
-	SUB:     {Name: "SUB", Ext: Base, Cat: CatArith, Latency: 1, Bytes: 3, Operands: 2},
-	INC:     {Name: "INC", Ext: Base, Cat: CatArith, Latency: 1, Bytes: 2, Operands: 1},
-	DEC:     {Name: "DEC", Ext: Base, Cat: CatArith, Latency: 1, Bytes: 2, Operands: 1},
-	NEG:     {Name: "NEG", Ext: Base, Cat: CatArith, Latency: 1, Bytes: 2, Operands: 1},
-	IMUL:    {Name: "IMUL", Ext: Base, Cat: CatArith, Latency: 3, Bytes: 4, Operands: 2},
-	MUL:     {Name: "MUL", Ext: Base, Cat: CatArith, Latency: 3, Bytes: 3, Operands: 1},
-	DIV:     {Name: "DIV", Ext: Base, Cat: CatDivide, Latency: 25, Bytes: 3, Operands: 1},
-	IDIV:    {Name: "IDIV", Ext: Base, Cat: CatDivide, Latency: 28, Bytes: 3, Operands: 1},
-	CDQE:    {Name: "CDQE", Ext: Base, Cat: CatConvert, Latency: 1, Bytes: 2, Operands: 0},
-	CDQ:     {Name: "CDQ", Ext: Base, Cat: CatConvert, Latency: 1, Bytes: 1, Operands: 0},
-	AND:     {Name: "AND", Ext: Base, Cat: CatLogic, Latency: 1, Bytes: 3, Operands: 2},
-	OR:      {Name: "OR", Ext: Base, Cat: CatLogic, Latency: 1, Bytes: 3, Operands: 2},
-	XOR:     {Name: "XOR", Ext: Base, Cat: CatLogic, Latency: 1, Bytes: 3, Operands: 2},
-	NOT:     {Name: "NOT", Ext: Base, Cat: CatLogic, Latency: 1, Bytes: 2, Operands: 1},
-	SHL:     {Name: "SHL", Ext: Base, Cat: CatLogic, Latency: 1, Bytes: 3, Operands: 2},
-	SHR:     {Name: "SHR", Ext: Base, Cat: CatLogic, Latency: 1, Bytes: 3, Operands: 2},
-	SAR:     {Name: "SAR", Ext: Base, Cat: CatLogic, Latency: 1, Bytes: 3, Operands: 2},
-	ROL:     {Name: "ROL", Ext: Base, Cat: CatLogic, Latency: 1, Bytes: 3, Operands: 2},
-	CMP:     {Name: "CMP", Ext: Base, Cat: CatCompare, Latency: 1, Bytes: 3, Operands: 2, ReadsMem: true},
-	TEST:    {Name: "TEST", Ext: Base, Cat: CatCompare, Latency: 1, Bytes: 3, Operands: 2},
-	SETcc:   {Name: "SETcc", Ext: Base, Cat: CatLogic, Latency: 1, Bytes: 3, Operands: 1},
-	CMOVcc:  {Name: "CMOVcc", Ext: Base, Cat: CatMove, Latency: 2, Bytes: 4, Operands: 2},
-	JMP:     {Name: "JMP", Ext: Base, Cat: CatJump, Latency: 1, Bytes: 2, Operands: 1},
-	JZ:      {Name: "JZ", Ext: Base, Cat: CatCondBranch, Latency: 1, Bytes: 2, Operands: 1},
-	JNZ:     {Name: "JNZ", Ext: Base, Cat: CatCondBranch, Latency: 1, Bytes: 2, Operands: 1},
-	JLE:     {Name: "JLE", Ext: Base, Cat: CatCondBranch, Latency: 1, Bytes: 2, Operands: 1},
-	JNLE:    {Name: "JNLE", Ext: Base, Cat: CatCondBranch, Latency: 1, Bytes: 2, Operands: 1},
-	JL:      {Name: "JL", Ext: Base, Cat: CatCondBranch, Latency: 1, Bytes: 2, Operands: 1},
-	JNL:     {Name: "JNL", Ext: Base, Cat: CatCondBranch, Latency: 1, Bytes: 2, Operands: 1},
-	JB:      {Name: "JB", Ext: Base, Cat: CatCondBranch, Latency: 1, Bytes: 2, Operands: 1},
-	JNB:     {Name: "JNB", Ext: Base, Cat: CatCondBranch, Latency: 1, Bytes: 2, Operands: 1},
-	JS:      {Name: "JS", Ext: Base, Cat: CatCondBranch, Latency: 1, Bytes: 2, Operands: 1},
-	CALL:    {Name: "CALL", Ext: Base, Cat: CatCall, Latency: 2, Bytes: 5, Operands: 1, WritesMem: true},
+	MOV:      {Name: "MOV", Ext: Base, Cat: CatMove, Latency: 1, Bytes: 3, Operands: 2, ReadsMem: true},
+	MOVSXD:   {Name: "MOVSXD", Ext: Base, Cat: CatMove, Latency: 1, Bytes: 4, Operands: 2, ReadsMem: true},
+	MOVZX:    {Name: "MOVZX", Ext: Base, Cat: CatMove, Latency: 1, Bytes: 4, Operands: 2, ReadsMem: true},
+	LEA:      {Name: "LEA", Ext: Base, Cat: CatArith, Latency: 1, Bytes: 4, Operands: 2},
+	ADD:      {Name: "ADD", Ext: Base, Cat: CatArith, Latency: 1, Bytes: 3, Operands: 2},
+	SUB:      {Name: "SUB", Ext: Base, Cat: CatArith, Latency: 1, Bytes: 3, Operands: 2},
+	INC:      {Name: "INC", Ext: Base, Cat: CatArith, Latency: 1, Bytes: 2, Operands: 1},
+	DEC:      {Name: "DEC", Ext: Base, Cat: CatArith, Latency: 1, Bytes: 2, Operands: 1},
+	NEG:      {Name: "NEG", Ext: Base, Cat: CatArith, Latency: 1, Bytes: 2, Operands: 1},
+	IMUL:     {Name: "IMUL", Ext: Base, Cat: CatArith, Latency: 3, Bytes: 4, Operands: 2},
+	MUL:      {Name: "MUL", Ext: Base, Cat: CatArith, Latency: 3, Bytes: 3, Operands: 1},
+	DIV:      {Name: "DIV", Ext: Base, Cat: CatDivide, Latency: 25, Bytes: 3, Operands: 1},
+	IDIV:     {Name: "IDIV", Ext: Base, Cat: CatDivide, Latency: 28, Bytes: 3, Operands: 1},
+	CDQE:     {Name: "CDQE", Ext: Base, Cat: CatConvert, Latency: 1, Bytes: 2, Operands: 0},
+	CDQ:      {Name: "CDQ", Ext: Base, Cat: CatConvert, Latency: 1, Bytes: 1, Operands: 0},
+	AND:      {Name: "AND", Ext: Base, Cat: CatLogic, Latency: 1, Bytes: 3, Operands: 2},
+	OR:       {Name: "OR", Ext: Base, Cat: CatLogic, Latency: 1, Bytes: 3, Operands: 2},
+	XOR:      {Name: "XOR", Ext: Base, Cat: CatLogic, Latency: 1, Bytes: 3, Operands: 2},
+	NOT:      {Name: "NOT", Ext: Base, Cat: CatLogic, Latency: 1, Bytes: 2, Operands: 1},
+	SHL:      {Name: "SHL", Ext: Base, Cat: CatLogic, Latency: 1, Bytes: 3, Operands: 2},
+	SHR:      {Name: "SHR", Ext: Base, Cat: CatLogic, Latency: 1, Bytes: 3, Operands: 2},
+	SAR:      {Name: "SAR", Ext: Base, Cat: CatLogic, Latency: 1, Bytes: 3, Operands: 2},
+	ROL:      {Name: "ROL", Ext: Base, Cat: CatLogic, Latency: 1, Bytes: 3, Operands: 2},
+	CMP:      {Name: "CMP", Ext: Base, Cat: CatCompare, Latency: 1, Bytes: 3, Operands: 2, ReadsMem: true},
+	TEST:     {Name: "TEST", Ext: Base, Cat: CatCompare, Latency: 1, Bytes: 3, Operands: 2},
+	SETcc:    {Name: "SETcc", Ext: Base, Cat: CatLogic, Latency: 1, Bytes: 3, Operands: 1},
+	CMOVcc:   {Name: "CMOVcc", Ext: Base, Cat: CatMove, Latency: 2, Bytes: 4, Operands: 2},
+	JMP:      {Name: "JMP", Ext: Base, Cat: CatJump, Latency: 1, Bytes: 2, Operands: 1},
+	JZ:       {Name: "JZ", Ext: Base, Cat: CatCondBranch, Latency: 1, Bytes: 2, Operands: 1},
+	JNZ:      {Name: "JNZ", Ext: Base, Cat: CatCondBranch, Latency: 1, Bytes: 2, Operands: 1},
+	JLE:      {Name: "JLE", Ext: Base, Cat: CatCondBranch, Latency: 1, Bytes: 2, Operands: 1},
+	JNLE:     {Name: "JNLE", Ext: Base, Cat: CatCondBranch, Latency: 1, Bytes: 2, Operands: 1},
+	JL:       {Name: "JL", Ext: Base, Cat: CatCondBranch, Latency: 1, Bytes: 2, Operands: 1},
+	JNL:      {Name: "JNL", Ext: Base, Cat: CatCondBranch, Latency: 1, Bytes: 2, Operands: 1},
+	JB:       {Name: "JB", Ext: Base, Cat: CatCondBranch, Latency: 1, Bytes: 2, Operands: 1},
+	JNB:      {Name: "JNB", Ext: Base, Cat: CatCondBranch, Latency: 1, Bytes: 2, Operands: 1},
+	JS:       {Name: "JS", Ext: Base, Cat: CatCondBranch, Latency: 1, Bytes: 2, Operands: 1},
+	CALL:     {Name: "CALL", Ext: Base, Cat: CatCall, Latency: 2, Bytes: 5, Operands: 1, WritesMem: true},
 	RET_NEAR: {Name: "RET_NEAR", Ext: Base, Cat: CatReturn, Latency: 2, Bytes: 1, Operands: 0, ReadsMem: true},
-	PUSH:    {Name: "PUSH", Ext: Base, Cat: CatStack, Latency: 1, Bytes: 1, Operands: 1, WritesMem: true},
-	POP:     {Name: "POP", Ext: Base, Cat: CatStack, Latency: 1, Bytes: 1, Operands: 1, ReadsMem: true},
-	NOP:     {Name: "NOP", Ext: Base, Cat: CatNop, Latency: 1, Bytes: 1, Operands: 0},
-	XCHG:    {Name: "XCHG", Ext: Base, Cat: CatSync, Latency: 20, Bytes: 3, Operands: 2, ReadsMem: true, WritesMem: true},
-	XADD:    {Name: "XADD", Ext: Base, Cat: CatSync, Latency: 20, Bytes: 4, Operands: 2, ReadsMem: true, WritesMem: true},
-	CMPXCHG: {Name: "CMPXCHG", Ext: Base, Cat: CatSync, Latency: 20, Bytes: 4, Operands: 2, ReadsMem: true, WritesMem: true},
+	PUSH:     {Name: "PUSH", Ext: Base, Cat: CatStack, Latency: 1, Bytes: 1, Operands: 1, WritesMem: true},
+	POP:      {Name: "POP", Ext: Base, Cat: CatStack, Latency: 1, Bytes: 1, Operands: 1, ReadsMem: true},
+	NOP:      {Name: "NOP", Ext: Base, Cat: CatNop, Latency: 1, Bytes: 1, Operands: 0},
+	XCHG:     {Name: "XCHG", Ext: Base, Cat: CatSync, Latency: 20, Bytes: 3, Operands: 2, ReadsMem: true, WritesMem: true},
+	XADD:     {Name: "XADD", Ext: Base, Cat: CatSync, Latency: 20, Bytes: 4, Operands: 2, ReadsMem: true, WritesMem: true},
+	CMPXCHG:  {Name: "CMPXCHG", Ext: Base, Cat: CatSync, Latency: 20, Bytes: 4, Operands: 2, ReadsMem: true, WritesMem: true},
 	LOCK_ADD: {Name: "LOCK_ADD", Ext: Base, Cat: CatSync, Latency: 18, Bytes: 4, Operands: 2, ReadsMem: true, WritesMem: true},
-	SYSCALL: {Name: "SYSCALL", Ext: Base, Cat: CatCall, Latency: 30, Bytes: 2, Operands: 0},
-	SYSRET:  {Name: "SYSRET", Ext: Base, Cat: CatReturn, Latency: 30, Bytes: 2, Operands: 0},
+	SYSCALL:  {Name: "SYSCALL", Ext: Base, Cat: CatCall, Latency: 30, Bytes: 2, Operands: 0},
+	SYSRET:   {Name: "SYSRET", Ext: Base, Cat: CatReturn, Latency: 30, Bytes: 2, Operands: 0},
 
 	FLD:   {Name: "FLD", Ext: X87, Cat: CatMove, Packing: Scalar, Latency: 3, Bytes: 2, Operands: 1, ReadsMem: true, VecBits: 80},
 	FST:   {Name: "FST", Ext: X87, Cat: CatMove, Packing: Scalar, Latency: 3, Bytes: 2, Operands: 1, WritesMem: true, VecBits: 80},

@@ -143,11 +143,11 @@ func TestPureNodeStops(t *testing.T) {
 
 func TestValidateErrors(t *testing.T) {
 	cases := []*Dataset{
-		{FeatureNames: []string{"f"}, ClassNames: []string{"A"}},                                                      // empty
-		{FeatureNames: []string{"f"}, ClassNames: []string{"A"}, X: [][]float64{{1}}, Y: []int{0, 1}},                 // len mismatch
-		{FeatureNames: []string{"f"}, ClassNames: []string{"A"}, X: [][]float64{{1, 2}}, Y: []int{0}},                 // row width
-		{FeatureNames: []string{"f"}, ClassNames: []string{"A"}, X: [][]float64{{1}}, Y: []int{3}},                    // label range
-		{FeatureNames: []string{"f"}, ClassNames: []string{"A"}, X: [][]float64{{1}}, Y: []int{0}, W: []float64{-1}},  // bad weight
+		{FeatureNames: []string{"f"}, ClassNames: []string{"A"}},                                                       // empty
+		{FeatureNames: []string{"f"}, ClassNames: []string{"A"}, X: [][]float64{{1}}, Y: []int{0, 1}},                  // len mismatch
+		{FeatureNames: []string{"f"}, ClassNames: []string{"A"}, X: [][]float64{{1, 2}}, Y: []int{0}},                  // row width
+		{FeatureNames: []string{"f"}, ClassNames: []string{"A"}, X: [][]float64{{1}}, Y: []int{3}},                     // label range
+		{FeatureNames: []string{"f"}, ClassNames: []string{"A"}, X: [][]float64{{1}}, Y: []int{0}, W: []float64{-1}},   // bad weight
 		{FeatureNames: []string{"f"}, ClassNames: []string{"A"}, X: [][]float64{{1}}, Y: []int{0}, W: []float64{1, 2}}, // weight len
 	}
 	for i, ds := range cases {

@@ -20,7 +20,16 @@
 //	        uint16 len | module name bytes
 //	Sample: uint8 event | uint64 ip | uint8 ring | uint64 cycle |
 //	        uint16 nbranch | nbranch x (uint64 from | uint64 to)
-//	Lost:   uint64 count
+//	Lost:   uint64 count | uint8 event
+//
+// Version 2 added the event tag to LOST records so replayed files
+// recover per-counter drop counts. Version-1 files still read: their
+// LOST records carry Event 0 (unattributed).
+//
+// Files can be consumed two ways: the pull-style Reader.Next, which
+// materializes each record, and the streaming Visit path, which
+// decodes into reused buffers and hands records to a Visitor — the
+// allocation-free spine of the collector's replay pipeline.
 package perffile
 
 import (
@@ -35,7 +44,7 @@ import (
 const Magic = "HBBPERF1"
 
 // Version is the current format version.
-const Version uint32 = 1
+const Version uint32 = 2
 
 // RecordType discriminates record payloads.
 type RecordType uint8
@@ -93,9 +102,10 @@ type Sample struct {
 	Stack []Branch
 }
 
-// Lost reports dropped samples.
+// Lost reports dropped samples for one sampling event.
 type Lost struct {
 	Count uint64
+	Event uint8
 }
 
 // Writer appends records to an underlying stream.
@@ -178,6 +188,7 @@ func (w *Writer) WriteSample(s Sample) {
 func (w *Writer) WriteLost(l Lost) {
 	b := w.buf[:0]
 	b = binary.LittleEndian.AppendUint64(b, l.Count)
+	b = append(b, l.Event)
 	w.buf = b
 	w.record(RecordLost, b)
 }
@@ -209,36 +220,48 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if string(head[:len(Magic)]) != Magic {
 		return nil, ErrBadMagic
 	}
-	if v := binary.LittleEndian.Uint32(head[len(Magic):]); v != Version {
+	// Version 1 differs only in the LOST payload (no event tag), so
+	// both versions read through the same parsers.
+	if v := binary.LittleEndian.Uint32(head[len(Magic):]); v != Version && v != 1 {
 		return nil, fmt.Errorf("perffile: unsupported version %d", v)
 	}
 	return &Reader{r: br}, nil
 }
 
-// Next returns the next record as one of *Comm, *Mmap, *Sample or
-// *Lost. It returns io.EOF at end of stream.
-func (r *Reader) Next() (any, error) {
+// readRecord pulls the next raw record into the reader's reused
+// buffer. The payload slice is only valid until the next call.
+func (r *Reader) readRecord() (RecordType, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r.r, hdr[:1]); err != nil {
 		if err == io.EOF {
-			return nil, io.EOF
+			return 0, nil, io.EOF
 		}
-		return nil, fmt.Errorf("perffile: reading record type: %w", err)
+		return 0, nil, fmt.Errorf("perffile: reading record type: %w", err)
 	}
 	if _, err := io.ReadFull(r.r, hdr[1:]); err != nil {
-		return nil, fmt.Errorf("perffile: reading record length: %w", err)
+		return 0, nil, fmt.Errorf("perffile: reading record length: %w", err)
 	}
 	t := RecordType(hdr[0])
 	n := binary.LittleEndian.Uint32(hdr[1:])
 	if n > 1<<24 {
-		return nil, fmt.Errorf("perffile: implausible record size %d", n)
+		return 0, nil, fmt.Errorf("perffile: implausible record size %d", n)
 	}
 	if cap(r.buf) < int(n) {
 		r.buf = make([]byte, n)
 	}
 	payload := r.buf[:n]
 	if _, err := io.ReadFull(r.r, payload); err != nil {
-		return nil, fmt.Errorf("perffile: reading %v payload: %w", t, err)
+		return 0, nil, fmt.Errorf("perffile: reading %v payload: %w", t, err)
+	}
+	return t, payload, nil
+}
+
+// Next returns the next record as one of *Comm, *Mmap, *Sample or
+// *Lost. It returns io.EOF at end of stream.
+func (r *Reader) Next() (any, error) {
+	t, payload, err := r.readRecord()
+	if err != nil {
+		return nil, err
 	}
 	switch t {
 	case RecordComm:
@@ -246,11 +269,15 @@ func (r *Reader) Next() (any, error) {
 	case RecordMmap:
 		return parseMmap(payload)
 	case RecordSample:
-		return parseSample(payload)
+		s := new(Sample)
+		if err := parseSampleInto(payload, s); err != nil {
+			return nil, err
+		}
+		return s, nil
 	case RecordLost:
 		return parseLost(payload)
 	}
-	return nil, fmt.Errorf("perffile: unknown record type %d", hdr[0])
+	return nil, fmt.Errorf("perffile: unknown record type %d", uint8(t))
 }
 
 func parseComm(b []byte) (*Comm, error) {
@@ -284,35 +311,46 @@ func parseMmap(b []byte) (*Mmap, error) {
 	}, nil
 }
 
-func parseSample(b []byte) (*Sample, error) {
+// parseSampleInto decodes a SAMPLE payload into s, reusing s.Stack's
+// backing array when it is large enough.
+func parseSampleInto(b []byte, s *Sample) error {
 	if len(b) < 20 {
-		return nil, errors.New("perffile: short SAMPLE record")
+		return errors.New("perffile: short SAMPLE record")
 	}
-	s := &Sample{
-		Event: b[0],
-		IP:    binary.LittleEndian.Uint64(b[1:]),
-		Ring:  b[9],
-		Cycle: binary.LittleEndian.Uint64(b[10:]),
-	}
+	s.Event = b[0]
+	s.IP = binary.LittleEndian.Uint64(b[1:])
+	s.Ring = b[9]
+	s.Cycle = binary.LittleEndian.Uint64(b[10:])
 	nb := int(binary.LittleEndian.Uint16(b[18:20]))
 	if len(b) < 20+16*nb {
-		return nil, errors.New("perffile: truncated SAMPLE stack")
+		return errors.New("perffile: truncated SAMPLE stack")
 	}
+	s.Stack = s.Stack[:0]
 	if nb > 0 {
-		s.Stack = make([]Branch, nb)
+		if cap(s.Stack) < nb {
+			s.Stack = make([]Branch, 0, nb)
+		}
 		off := 20
 		for i := 0; i < nb; i++ {
-			s.Stack[i].From = binary.LittleEndian.Uint64(b[off:])
-			s.Stack[i].To = binary.LittleEndian.Uint64(b[off+8:])
+			s.Stack = append(s.Stack, Branch{
+				From: binary.LittleEndian.Uint64(b[off:]),
+				To:   binary.LittleEndian.Uint64(b[off+8:]),
+			})
 			off += 16
 		}
 	}
-	return s, nil
+	return nil
 }
 
 func parseLost(b []byte) (*Lost, error) {
 	if len(b) < 8 {
 		return nil, errors.New("perffile: short LOST record")
 	}
-	return &Lost{Count: binary.LittleEndian.Uint64(b)}, nil
+	l := &Lost{Count: binary.LittleEndian.Uint64(b)}
+	// Version-1 records end after the count; their drops stay
+	// unattributed (Event 0 is the plain counting event).
+	if len(b) >= 9 {
+		l.Event = b[8]
+	}
+	return l, nil
 }

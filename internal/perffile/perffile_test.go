@@ -80,6 +80,33 @@ func TestBadVersion(t *testing.T) {
 	}
 }
 
+// TestReadsVersion1 pins backward compatibility: files written before
+// the LOST event tag (version 1, 8-byte LOST payload) still read, with
+// their drops unattributed.
+func TestReadsVersion1(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.Write([]byte{1, 0, 0, 0}) // version 1
+	// One v1 LOST record: count only, no event byte.
+	buf.Write([]byte{byte(RecordLost), 8, 0, 0, 0})
+	buf.Write([]byte{7, 0, 0, 0, 0, 0, 0, 0})
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewReader on v1 stream: %v", err)
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	l, ok := rec.(*Lost)
+	if !ok || l.Count != 7 || l.Event != 0 {
+		t.Fatalf("v1 LOST = %#v, want count 7, event 0", rec)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
 func TestTruncatedStream(t *testing.T) {
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf)

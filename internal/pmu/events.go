@@ -114,9 +114,9 @@ type Support uint8
 
 // Support levels.
 const (
-	Unsupported Support = iota // event absent from the PMU
-	Supported                  // event present
-	NotApplicable              // ISA extension predates the event (AVX on Westmere)
+	Unsupported   Support = iota // event absent from the PMU
+	Supported                    // event present
+	NotApplicable                // ISA extension predates the event (AVX on Westmere)
 )
 
 // String renders the support level the way Table 2 marks it.

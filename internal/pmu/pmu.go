@@ -84,18 +84,18 @@ type Config struct {
 // the evaluation.
 func DefaultConfig(seed int64) Config {
 	return Config{
-		Seed:            seed,
-		LBRDepth:        16,
-		HistoryDepth:    64,
-		SkidPreciseMin:  1,
-		SkidPreciseMax:  4,
-		SkidMin:         4,
-		SkidMax:         12,
-		Shadowing:       true,
-		BiasStrength:    0.5,
-		BiasProne:       DefaultBiasProne,
-		BranchSkidMax:   2,
-		EntryDropProb:   0.15,
+		Seed:           seed,
+		LBRDepth:       16,
+		HistoryDepth:   64,
+		SkidPreciseMin: 1,
+		SkidPreciseMax: 4,
+		SkidMin:        4,
+		SkidMax:        12,
+		Shadowing:      true,
+		BiasStrength:   0.5,
+		BiasProne:      DefaultBiasProne,
+		BranchSkidMax:  2,
+		EntryDropProb:  0.15,
 	}
 }
 

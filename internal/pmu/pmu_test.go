@@ -224,7 +224,7 @@ func TestLBRStackStreamsAreConsistent(t *testing.T) {
 	p, f := loopProgram(t, 20000)
 	var stacks [][]BranchRecord
 	cfg := DefaultConfig(11)
-	cfg.BiasProne = nil    // disable anomalies: verify clean semantics
+	cfg.BiasProne = nil // disable anomalies: verify clean semantics
 	cfg.EntryDropProb = 0
 	pm, err := New(cfg, Sampling{
 		Event: BrInstRetiredNearTaken, Period: 53,

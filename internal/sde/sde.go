@@ -46,7 +46,7 @@ type Instrumenter struct {
 	// behaviour. Tests may disable it to get an all-ring oracle.
 	UserOnly bool
 
-	blockExec []uint64            // per block ID
+	blockExec []uint64               // per block ID
 	mnemonics [isa.NumOps + 2]uint64 // per opcode
 	insts     uint64
 	extraCost uint64 // instrumentation cycles added on top of the clean run

@@ -73,8 +73,8 @@ const specScale = 100_000
 // buildSPEC constructs one benchmark from its definition.
 func buildSPEC(i int, d specDef) *Workload {
 	prog, entry := Synthesize(SynthSpec{
-		Name: d.name,
-		Seed: specSeed(i),
+		Name:  d.name,
+		Seed:  specSeed(i),
 		Funcs: d.funcs,
 		Profile: Profile{
 			MeanBlockLen:   d.meanLen,

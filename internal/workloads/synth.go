@@ -71,7 +71,7 @@ var (
 		isa.PADDD, isa.PSUBD, isa.PMULLD, isa.PAND, isa.POR, isa.PCMPEQD,
 		isa.MOVD,
 	}
-	poolDiv = []isa.Op{isa.DIV, isa.IDIV, isa.DIVSS, isa.FDIV, isa.DIVPS, isa.SQRTSS}
+	poolDiv    = []isa.Op{isa.DIV, isa.IDIV, isa.DIVSS, isa.FDIV, isa.DIVPS, isa.SQRTSS}
 	poolCondBr = []isa.Op{
 		isa.JZ, isa.JNZ, isa.JLE, isa.JNLE, isa.JL, isa.JNL, isa.JB, isa.JS,
 	}
