@@ -8,8 +8,10 @@
 // estimates with a learned classification-tree rule — together with
 // every substrate the evaluation needs, simulated in pure Go: a
 // synthetic x86-flavoured ISA and disassembler, a trace-driven CPU with
-// user/kernel rings, a PMU model with skid, shadowing and the LBR
-// entry[0] bias anomaly, a software-instrumentation reference, a
+// user/kernel rings dispatching retirements at block granularity, a
+// PMU model with skid, shadowing and the LBR entry[0] bias anomaly
+// that consumes whole blocks between counter overflows, a
+// software-instrumentation reference, a
 // perf.data-like collection format with a streaming sink pipeline
 // (samples dispatch straight to the estimators' sinks; serialization
 // and replay are opt-in paths over the same interface), CART decision

@@ -18,6 +18,20 @@ func BenchmarkCollectStreaming(b *testing.B) {
 	}
 }
 
+// BenchmarkCollectPerInstruction measures the same collection forced
+// through the per-instruction reference dispatch — the pre-fast-path
+// pipeline — so the win from block-granularity retirement with
+// counter-overflow scheduling stays visible in the numbers.
+func BenchmarkCollectPerInstruction(b *testing.B) {
+	p, main := mixedProgram(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Collect(p, main, Options{Class: ClassSeconds, Seed: 42, PerInstruction: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCollectSerializeReparse reproduces the pre-refactor
 // pipeline — serialize every sample into an in-memory perffile, then
 // re-parse the whole stream to recover the sample sets — so the cost

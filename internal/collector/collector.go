@@ -102,6 +102,11 @@ type Options struct {
 	// Sinks receive every PMU sample as it is captured, after the
 	// built-in EBS and LBR sinks.
 	Sinks []SampleSink
+	// PerInstruction forces the CPU's per-instruction reference
+	// dispatch instead of the block-granularity fast path. The
+	// collection output is identical either way — parity tests flip
+	// this flag to prove it.
+	PerInstruction bool
 }
 
 // effectivePeriods resolves the configured periods to simulated units.
@@ -249,6 +254,7 @@ func Collect(p *program.Program, entry *program.Function, opt Options, extra ...
 	listeners := append([]cpu.Listener{unit}, extra...)
 	stats, err := cpu.Run(p, entry, cpu.Config{
 		Seed: opt.Seed, Repeat: opt.Repeat, MaxRetired: opt.MaxRetired,
+		PerInstruction: opt.PerInstruction,
 	}, listeners...)
 	if err != nil {
 		return nil, fmt.Errorf("collector: running %s: %w", p.Name, err)

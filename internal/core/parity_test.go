@@ -1,0 +1,46 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"hbbp/internal/collector"
+	"hbbp/internal/workloads"
+)
+
+// TestProfilePathParity asserts an end-to-end HBBP profile — both
+// estimators, bias detection, the hybrid choice and the low-support
+// guard — is identical whether the collection ran on the block
+// fast path or on the per-instruction reference dispatch.
+func TestProfilePathParity(t *testing.T) {
+	w := workloads.Test40().Scaled(0.2)
+	profile := func(perInstruction bool) *Profile {
+		prof, err := Run(w.Prog, w.Entry, DefaultModel(), Options{
+			Collector: collector.Options{
+				Class: w.Class, Scale: w.Scale, Seed: 17, Repeat: w.Repeat,
+				PerInstruction: perInstruction,
+			},
+			KernelLivePatched: true,
+		})
+		if err != nil {
+			t.Fatalf("Run (perInstruction=%v): %v", perInstruction, err)
+		}
+		return prof
+	}
+	fast, ref := profile(false), profile(true)
+	if !reflect.DeepEqual(fast.BBECs, ref.BBECs) {
+		t.Error("hybrid BBECs diverged between fast and reference paths")
+	}
+	if !reflect.DeepEqual(fast.EBS, ref.EBS) || !reflect.DeepEqual(fast.LBR, ref.LBR) {
+		t.Error("raw estimates diverged between fast and reference paths")
+	}
+	if !reflect.DeepEqual(fast.Choices, ref.Choices) {
+		t.Error("per-block source choices diverged between fast and reference paths")
+	}
+	if !reflect.DeepEqual(fast.Bias.BlockBias, ref.Bias.BlockBias) {
+		t.Error("bias flags diverged between fast and reference paths")
+	}
+	if fast.Collection.Stats != ref.Collection.Stats {
+		t.Errorf("stats diverged:\nfast %+v\nref  %+v", fast.Collection.Stats, ref.Collection.Stats)
+	}
+}

@@ -11,6 +11,15 @@
 // listeners (ground-truth instrumentation, the PMU model, or both — in
 // the same run, so that reference and measurement observe the identical
 // execution, like a deterministic workload run twice in the paper).
+//
+// The stream is dispatched at block granularity: a BlockEvent describes
+// the retirement of one whole basic block, with the per-instruction
+// layout (addresses, opcodes, cached isa.Info, cycle offsets)
+// precomputed once at Machine construction. Listeners that implement
+// BlockListener consume blocks directly — the PMU model exploits this
+// to skip per-instruction work entirely between counter overflows —
+// while plain Listeners receive the identical per-instruction replay
+// through an adapter, so both views observe the same execution.
 package cpu
 
 import (
@@ -32,10 +41,93 @@ type RetireEvent struct {
 	Target uint64         // branch target when Taken
 }
 
-// Listener consumes the retirement stream.
+// Listener consumes the retirement stream one instruction at a time.
 type Listener interface {
 	// Retire is called once per retired instruction, in program order.
 	Retire(ev *RetireEvent)
+}
+
+// BlockEvent describes the retirement of one whole basic block: every
+// instruction of the block retires in program order, and the final
+// instruction carries the terminator's taken-branch outcome. The slices
+// are the machine's per-block caches, shared across events and
+// immutable for the run; listeners must not modify or retain them.
+type BlockEvent struct {
+	Block *program.Block // retired block
+	Ring  program.Ring   // privilege level
+	Addrs []uint64       // per-instruction addresses
+	Ops   []isa.Op       // retired opcodes (live image: trace points retire NOPs)
+	Infos []isa.Info     // cached static attributes, same indexing as Ops
+	// CycleSums[i] is the cumulative latency of Ops[0..i]; instruction
+	// i retires at cycle StartCycle + CycleSums[i].
+	CycleSums []uint64
+	// StartCycle is the machine cycle count when the block began
+	// retiring.
+	StartCycle uint64
+	Taken      bool   // final instruction retired as a taken branch
+	Target     uint64 // branch target when Taken, else 0
+}
+
+// Len returns the number of instructions the event retires.
+func (ev *BlockEvent) Len() int { return len(ev.Ops) }
+
+// Cycle returns the retirement cycle of instruction i.
+func (ev *BlockEvent) Cycle(i int) uint64 { return ev.StartCycle + ev.CycleSums[i] }
+
+// EachRetire replays the block as per-instruction retirement events,
+// calling f once per instruction in program order with the cached
+// static info — the single definition of how a block event flattens
+// back into the per-instruction stream (only the final instruction
+// carries the taken-branch outcome). scratch is the reused event
+// storage; f must not retain it.
+func (ev *BlockEvent) EachRetire(scratch *RetireEvent, f func(*RetireEvent, isa.Info)) {
+	scratch.Block, scratch.Ring = ev.Block, ev.Ring
+	last := len(ev.Ops) - 1
+	for i, op := range ev.Ops {
+		scratch.Addr = ev.Addrs[i]
+		scratch.Op = op
+		scratch.Cycle = ev.StartCycle + ev.CycleSums[i]
+		if i == last && ev.Taken {
+			scratch.Taken, scratch.Target = true, ev.Target
+		} else {
+			scratch.Taken, scratch.Target = false, 0
+		}
+		f(scratch, ev.Infos[i])
+	}
+}
+
+// BlockListener consumes the retirement stream at block granularity —
+// the fast path. Implementations that need per-instruction detail read
+// it from the event's cached layout; implementations that do not (the
+// common case between PMU overflows) touch each block in O(1).
+type BlockListener interface {
+	// RetireBlock is called once per retired basic block, in program
+	// order.
+	RetireBlock(ev *BlockEvent)
+}
+
+// replayListener adapts a per-instruction Listener to the block stream
+// by replaying every block event instruction by instruction — the exact
+// Retire call sequence the listener observed before block granularity.
+type replayListener struct {
+	l  Listener
+	ev RetireEvent
+}
+
+// RetireBlock implements BlockListener.
+func (r *replayListener) RetireBlock(bev *BlockEvent) {
+	bev.EachRetire(&r.ev, func(ev *RetireEvent, _ isa.Info) { r.l.Retire(ev) })
+}
+
+// resolveListener picks the dispatch path for one listener: native
+// block listeners are used directly unless perInstruction forces the
+// per-instruction replay adapter (the reference path parity tests
+// exercise).
+func resolveListener(l Listener, perInstruction bool) BlockListener {
+	if bl, ok := l.(BlockListener); ok && !perInstruction {
+		return bl
+	}
+	return &replayListener{l: l}
 }
 
 // Stats summarises one run.
@@ -56,13 +148,24 @@ type Config struct {
 	// MaxRetired aborts the run after this many retirements as a guard
 	// against miswired programs. Zero means no limit.
 	MaxRetired uint64
+	// PerInstruction forces every listener down the per-instruction
+	// reference dispatch even when it implements BlockListener. Output
+	// is identical either way — parity tests flip this flag to prove
+	// the block fast path bit-exact against the reference path.
+	PerInstruction bool
 }
 
-// blockInfo caches per-block layout the hot loop needs.
+// blockInfo caches the per-block layout the hot loop needs, computed
+// once per block at Machine construction: instruction addresses, the
+// retired opcodes (effective ops — trace points retire NOPs), their
+// static isa.Info, cumulative latencies, and the block's aggregate
+// contribution to the run statistics.
 type blockInfo struct {
-	addrs   []uint64
-	ops     []isa.Op
-	lastIdx int
+	addrs     []uint64
+	ops       []isa.Op
+	infos     []isa.Info
+	cycleSums []uint64 // cycleSums[i] = latency of ops[0..i]
+	cycleSum  uint64   // total block latency
 }
 
 // Machine executes one program. It is not safe for concurrent use.
@@ -70,11 +173,12 @@ type Machine struct {
 	prog      *program.Program
 	cfg       Config
 	rng       *rand.Rand
-	listeners []Listener
+	listeners []BlockListener
 	info      []blockInfo
 	loopCount []int
 	callStack []*program.Block
 	stats     Stats
+	bev       BlockEvent
 }
 
 // New prepares a machine for the given program.
@@ -86,17 +190,28 @@ func New(p *program.Program, cfg Config, listeners ...Listener) *Machine {
 		prog:      p,
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		listeners: listeners,
 		info:      make([]blockInfo, p.NumBlocks()),
 		loopCount: make([]int, p.NumBlocks()),
 	}
+	for _, l := range listeners {
+		m.listeners = append(m.listeners, resolveListener(l, cfg.PerInstruction))
+	}
 	for _, b := range p.Blocks() {
 		ops := b.EffectiveOps()
-		bi := blockInfo{ops: ops, lastIdx: len(ops) - 1}
+		bi := blockInfo{
+			ops:       ops,
+			addrs:     make([]uint64, len(ops)),
+			infos:     make([]isa.Info, len(ops)),
+			cycleSums: make([]uint64, len(ops)),
+		}
 		addr := b.Addr
-		for _, op := range ops {
-			bi.addrs = append(bi.addrs, addr)
-			addr += uint64(op.Bytes())
+		for i, op := range ops {
+			info := op.Info()
+			bi.infos[i] = info
+			bi.addrs[i] = addr
+			addr += uint64(info.Bytes)
+			bi.cycleSum += uint64(info.Latency)
+			bi.cycleSums[i] = bi.cycleSum
 		}
 		m.info[b.ID] = bi
 	}
@@ -134,8 +249,9 @@ func (m *Machine) runOnce(entry *program.Function) error {
 	return nil
 }
 
-// execBlock retires all instructions of blk, resolves its terminator and
-// returns the next block (nil when the outermost function returned).
+// execBlock retires all instructions of blk as one block event,
+// resolves its terminator and returns the next block (nil when the
+// outermost function returned).
 func (m *Machine) execBlock(blk *program.Block) (*program.Block, error) {
 	bi := &m.info[blk.ID]
 	ring := blk.Fn.Mod.Ring
@@ -143,17 +259,16 @@ func (m *Machine) execBlock(blk *program.Block) (*program.Block, error) {
 	// Resolve the terminator first so the final instruction can carry
 	// its taken-branch flag.
 	var (
-		next      *program.Block
-		taken     bool
-		target    uint64
-		isControl bool
+		next   *program.Block
+		taken  bool
+		target uint64
 	)
 	t := &blk.Term
 	switch t.Kind {
 	case program.TermFallthrough:
 		next = t.Next
 	case program.TermJump:
-		next, taken, target, isControl = t.Target, true, t.Target.Addr, true
+		next, taken, target = t.Target, true, t.Target.Addr
 	case program.TermLoop:
 		m.loopCount[blk.ID]++
 		if m.loopCount[blk.ID] < t.Trip {
@@ -162,51 +277,49 @@ func (m *Machine) execBlock(blk *program.Block) (*program.Block, error) {
 			m.loopCount[blk.ID] = 0
 			next = t.Next
 		}
-		isControl = true
 	case program.TermCond:
 		if m.rng.Float64() < t.Prob {
 			next, taken, target = t.Target, true, t.Target.Addr
 		} else {
 			next = t.Next
 		}
-		isControl = true
 	case program.TermCall:
 		m.callStack = append(m.callStack, t.Next)
-		next, taken, target, isControl = t.Callee.Entry(), true, t.Callee.Addr(), true
+		next, taken, target = t.Callee.Entry(), true, t.Callee.Addr()
 	case program.TermReturn:
 		if n := len(m.callStack); n > 0 {
 			next = m.callStack[n-1]
 			m.callStack = m.callStack[:n-1]
 			target = next.Addr
 		}
-		taken, isControl = true, true
+		taken = true
 	default:
 		return nil, fmt.Errorf("cpu: block %s: unknown terminator %v", blk, t.Kind)
 	}
 
-	ev := RetireEvent{Block: blk, Ring: ring}
-	for i, op := range bi.ops {
-		m.stats.Retired++
-		m.stats.Cycles += uint64(op.Latency())
-		if ring == program.RingKernel {
-			m.stats.KernelRetired++
-		}
-		ev.Addr = bi.addrs[i]
-		ev.Op = op
-		ev.Cycle = m.stats.Cycles
-		if i == bi.lastIdx && isControl {
-			ev.Taken = taken
-			ev.Target = target
-			if taken {
-				m.stats.TakenBranches++
-			}
-		} else {
-			ev.Taken = false
-			ev.Target = 0
-		}
-		for _, l := range m.listeners {
-			l.Retire(&ev)
-		}
+	n := uint64(len(bi.ops))
+	if n == 0 {
+		// An empty block retires nothing — in particular no branch
+		// instruction, so a taken terminator leaves no trace.
+		return next, nil
+	}
+	start := m.stats.Cycles
+	m.stats.Retired += n
+	m.stats.Cycles += bi.cycleSum
+	if ring == program.RingKernel {
+		m.stats.KernelRetired += n
+	}
+	if taken {
+		m.stats.TakenBranches++
+	}
+
+	bev := &m.bev
+	bev.Block, bev.Ring = blk, ring
+	bev.Addrs, bev.Ops, bev.Infos, bev.CycleSums = bi.addrs, bi.ops, bi.infos, bi.cycleSums
+	bev.StartCycle = start
+	bev.Taken, bev.Target = taken, target
+	for _, l := range m.listeners {
+		l.RetireBlock(bev)
 	}
 	return next, nil
 }
@@ -221,7 +334,7 @@ func Run(p *program.Program, entry *program.Function, cfg Config, listeners ...L
 // the SDE model in internal/sde it sees all rings; it exists for tests
 // and calibration rather than as a paper artefact.
 type CountingListener struct {
-	Exec []uint64 // per block ID, incremented at the block's first instruction
+	Exec []uint64 // per block ID, incremented once per block entry
 }
 
 // NewCountingListener sizes the counter array for program p.
@@ -229,9 +342,19 @@ func NewCountingListener(p *program.Program) *CountingListener {
 	return &CountingListener{Exec: make([]uint64, p.NumBlocks())}
 }
 
-// Retire implements Listener.
+// RetireBlock implements BlockListener — one increment per block entry.
+func (c *CountingListener) RetireBlock(ev *BlockEvent) {
+	c.Exec[ev.Block.ID]++
+}
+
+// Retire implements Listener, the per-instruction reference path.
 func (c *CountingListener) Retire(ev *RetireEvent) {
 	if ev.Addr == ev.Block.Addr {
 		c.Exec[ev.Block.ID]++
 	}
 }
+
+var (
+	_ Listener      = (*CountingListener)(nil)
+	_ BlockListener = (*CountingListener)(nil)
+)

@@ -47,6 +47,11 @@ type Config struct {
 	// Every run carries its own derived seed and results are assembled
 	// in workload order, so the outputs are identical at any setting.
 	Parallelism int
+	// PerInstruction runs every collection on the CPU's per-instruction
+	// reference dispatch instead of the block-granularity fast path.
+	// Outputs are identical either way; the model/table parity tests
+	// flip this flag to prove it.
+	PerInstruction bool
 }
 
 // Runner executes experiments, caching the trained model and per-suite
@@ -162,7 +167,8 @@ func (r *Runner) Model() (*core.Model, error) {
 				// noise the estimators actually carry at analysis time.
 				Class: w.Class,
 				Scale: w.Scale, Seed: r.cfg.Seed + int64(100+i),
-				Repeat: w.Repeat,
+				Repeat:         w.Repeat,
+				PerInstruction: r.cfg.PerInstruction,
 			})
 			if err != nil {
 				return err
@@ -220,7 +226,8 @@ func (r *Runner) evalWorkload(w *workloads.Workload) (*WorkloadEval, error) {
 	prof, err := core.Run(w.Prog, w.Entry, model, core.Options{
 		Collector: collector.Options{
 			Class: w.Class, Scale: w.Scale, Seed: r.cfg.Seed + 7,
-			Repeat: w.Repeat,
+			Repeat:         w.Repeat,
+			PerInstruction: r.cfg.PerInstruction,
 		},
 		KernelLivePatched: true,
 	}, ref)

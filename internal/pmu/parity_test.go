@@ -1,0 +1,108 @@
+package pmu
+
+import (
+	"reflect"
+	"testing"
+
+	"hbbp/internal/cpu"
+	"hbbp/internal/program"
+)
+
+// collectBoth runs the same program twice with identical seeds — once
+// on the block fast path, once forced through the per-instruction
+// reference dispatch — under a full two-counter programming, and
+// returns both sample streams plus both PMUs for counter comparison.
+func collectBoth(t *testing.T, p *program.Program, f *program.Function, seed int64, ebsPeriod, lbrPeriod uint64) (fastSamples, refSamples []Sample, fast, ref *PMU) {
+	t.Helper()
+	run := func(perInstruction bool) ([]Sample, *PMU) {
+		var samples []Sample
+		handler := func(s Sample) { samples = append(samples, s) }
+		pm, err := New(DefaultConfig(seed),
+			Sampling{Event: InstRetiredPrecDist, Period: ebsPeriod, Handler: handler},
+			Sampling{Event: BrInstRetiredNearTaken, Period: lbrPeriod, Handler: handler},
+		)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if _, err := cpu.Run(p, f, cpu.Config{Seed: seed, PerInstruction: perInstruction}, pm); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return samples, pm
+	}
+	fastSamples, fast = run(false)
+	refSamples, ref = run(true)
+	return fastSamples, refSamples, fast, ref
+}
+
+// TestBlockFastPathMatchesReference asserts the counter-overflow
+// scheduling fast path is bit-identical to the per-instruction
+// reference: same samples (IPs, stacks, rings, cycles, order), same
+// counting-mode totals, same overflow and drop accounting.
+func TestBlockFastPathMatchesReference(t *testing.T) {
+	programs := map[string]func(testing.TB) (*program.Program, *program.Function){
+		"hot-loop": func(tb testing.TB) (*program.Program, *program.Function) {
+			return loopProgram(tb, 20000)
+		},
+		"multi-branch": func(tb testing.TB) (*program.Program, *program.Function) {
+			p, f, _ := multiBranchProgram(tb)
+			return p, f
+		},
+	}
+	for name, build := range programs {
+		t.Run(name, func(t *testing.T) {
+			p, f := build(t)
+			for _, seed := range []int64{1, 7, 23} {
+				fastS, refS, fast, ref := collectBoth(t, p, f, seed, 101, 53)
+				if len(fastS) == 0 {
+					t.Fatalf("seed %d: no samples delivered", seed)
+				}
+				if !reflect.DeepEqual(fastS, refS) {
+					t.Fatalf("seed %d: sample streams diverged (%d fast, %d reference)",
+						seed, len(fastS), len(refS))
+				}
+				for e := Event(0); e < numEvents; e++ {
+					if fast.Count(e) != ref.Count(e) {
+						t.Errorf("seed %d: Count(%v) = %d fast, %d reference",
+							seed, e, fast.Count(e), ref.Count(e))
+					}
+				}
+				for _, e := range []Event{InstRetiredPrecDist, BrInstRetiredNearTaken} {
+					if fast.Dropped(e) != ref.Dropped(e) {
+						t.Errorf("seed %d: Dropped(%v) = %d fast, %d reference",
+							seed, e, fast.Dropped(e), ref.Dropped(e))
+					}
+					if fast.Overflows(e) != ref.Overflows(e) {
+						t.Errorf("seed %d: Overflows(%v) = %d fast, %d reference",
+							seed, e, fast.Overflows(e), ref.Overflows(e))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFastPathSteadyStateAllocs bounds the block path's allocations:
+// with periods too large to ever overflow, a warm PMU consumes whole
+// runs without allocating at all — retained sample data is the only
+// thing the collection layer may allocate per datum.
+func TestFastPathSteadyStateAllocs(t *testing.T) {
+	p, f := loopProgram(t, 5000)
+	pm, err := New(DefaultConfig(1),
+		Sampling{Event: InstRetiredPrecDist, Period: 1 << 40, Handler: func(Sample) { t.Fatal("unexpected sample") }},
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m := cpu.New(p, cpu.Config{Seed: 1}, pm)
+	if _, err := m.Run(f); err != nil { // warm-up: builds the per-block aggregate cache
+		t.Fatalf("warm-up run: %v", err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := m.Run(f); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state PMU run allocated %.1f times per run, want 0", allocs)
+	}
+}

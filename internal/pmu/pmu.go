@@ -126,8 +126,67 @@ type counterState struct {
 	total   uint64 // total event occurrences (counting mode view)
 }
 
-// PMU consumes the retirement stream and delivers samples. It implements
-// cpu.Listener.
+// countInstr accrues the counting-mode occurrences of one retired
+// instruction into per-event totals. It is the single definition of
+// the instruction-specific event rules: the per-block aggregate
+// derivation and the per-instruction reference path both feed on it,
+// so the two dispatch paths cannot drift apart. Branch events are
+// dynamic (they depend on the taken outcome) and are counted by the
+// callers.
+func countInstr(info *isa.Info, counts *[numEvents]uint64) {
+	counts[InstRetired]++
+	if info.Cat == isa.CatDivide {
+		counts[DivCycles] += uint64(info.Latency)
+	}
+	switch info.Ext {
+	case isa.SSE:
+		if info.FLOPs > 0 {
+			counts[MathSSEFP]++
+		}
+		if info.VecBits == 128 && info.FLOPs == 0 && info.Packing == isa.Packed {
+			counts[IntSIMD]++
+		}
+	case isa.AVX:
+		if info.FLOPs > 0 {
+			counts[MathAVXFP]++
+		}
+	case isa.X87:
+		counts[X87Ops]++
+	}
+}
+
+// blockAgg caches the counting-mode event occurrences one execution of
+// a basic block contributes — static properties of the block's retired
+// ops, derived once per block and reused on every subsequent
+// execution; only the taken-branch trigger is dynamic and stays
+// outside the aggregate.
+type blockAgg struct {
+	valid  bool
+	counts [numEvents]uint64
+}
+
+// occurrences returns how many occurrences of sampling event e one
+// execution of the block generates — mirroring the occurred logic of
+// the per-instruction step: the retirement counters tick per
+// instruction, the branch counter on the dynamic taken outcome, and
+// every other event never triggers a sampling counter.
+func (a *blockAgg) occurrences(e Event, taken bool) uint64 {
+	switch e {
+	case InstRetired, InstRetiredPrecDist:
+		return a.counts[InstRetired]
+	case BrInstRetiredNearTaken:
+		if taken {
+			return 1
+		}
+	}
+	return 0
+}
+
+// PMU consumes the retirement stream and delivers samples. It
+// implements cpu.BlockListener (the block-granularity fast path) and
+// cpu.Listener (the per-instruction reference path). A PMU instance
+// observes a single program: the per-block aggregate cache is keyed by
+// block ID.
 type PMU struct {
 	cfg      Config
 	rng      *rand.Rand
@@ -137,6 +196,11 @@ type PMU struct {
 	// Counting-mode totals for the instruction-specific events, used
 	// for PMU-vs-instrumentation cross-checks like the paper's.
 	counts [numEvents]uint64
+
+	// aggs caches per-block event aggregates, grown lazily by block ID.
+	aggs []blockAgg
+	// ev is the reused retirement event of the block slow path.
+	ev cpu.RetireEvent
 }
 
 // New builds a PMU with the given config and sampling programmings. At
@@ -172,34 +236,84 @@ func New(cfg Config, samplings ...Sampling) (*PMU, error) {
 	return p, nil
 }
 
-// Retire implements cpu.Listener.
-func (p *PMU) Retire(ev *cpu.RetireEvent) {
-	info := ev.Op.Info()
+// agg returns the cached event aggregate for the event's block,
+// deriving it from the block's retired ops on first sight.
+func (p *PMU) agg(bev *cpu.BlockEvent) *blockAgg {
+	id := bev.Block.ID
+	if id >= len(p.aggs) {
+		p.aggs = append(p.aggs, make([]blockAgg, id+1-len(p.aggs))...)
+	}
+	a := &p.aggs[id]
+	if a.valid {
+		return a
+	}
+	a.valid = true
+	for i := range bev.Infos {
+		countInstr(&bev.Infos[i], &a.counts)
+	}
+	return a
+}
 
-	// Counting-mode events.
-	p.counts[InstRetired]++
+// RetireBlock implements cpu.BlockListener — the retirement fast path.
+//
+// Each counter tracks its distance to the next overflow in its own
+// event currency (instructions for the retirement counters, taken
+// branches for the branch counter), so a whole block is consumed in
+// O(counters): when no counter overflows inside the block and no PMI is
+// in flight, the only architecturally visible effects are the
+// counting-mode totals and — for a taken terminator — one LBR push, all
+// served from the per-block aggregate. Otherwise the block replays
+// through the per-instruction slow path, whose skid, shadowing and
+// delivery semantics are the pre-fast-path logic unchanged; overflows
+// are rare (periods are in the thousands, Table 4), so the slow path
+// engages only in the window where an overflow fires or a pending PMI
+// is draining. Parity tests assert the two paths are bit-identical.
+func (p *PMU) RetireBlock(bev *cpu.BlockEvent) {
+	n := len(bev.Ops)
+	if n == 0 {
+		return
+	}
+	agg := p.agg(bev)
+	for _, c := range p.counters {
+		if c.pending.active || c.value+agg.occurrences(c.cfg.Event, bev.Taken) >= c.cfg.Period {
+			p.retireBlockSlow(bev)
+			return
+		}
+	}
+	for e, occ := range agg.counts {
+		p.counts[e] += occ
+	}
+	if bev.Taken {
+		p.counts[BrInstRetiredNearTaken]++
+		p.lbr.push(BranchRecord{From: bev.Addrs[n-1], To: bev.Target})
+	}
+	for _, c := range p.counters {
+		occ := agg.occurrences(c.cfg.Event, bev.Taken)
+		c.total += occ
+		c.value += occ
+	}
+}
+
+// retireBlockSlow replays one block through the per-instruction path,
+// reusing the cached isa.Info the machine computed at construction.
+func (p *PMU) retireBlockSlow(bev *cpu.BlockEvent) {
+	bev.EachRetire(&p.ev, p.retire)
+}
+
+// Retire implements cpu.Listener — the per-instruction reference path.
+func (p *PMU) Retire(ev *cpu.RetireEvent) {
+	p.retire(ev, ev.Op.Info())
+}
+
+// retire consumes one retirement with its (possibly cached) static
+// info.
+func (p *PMU) retire(ev *cpu.RetireEvent, info isa.Info) {
+	// Counting-mode events: the shared classifier plus the dynamic
+	// branch trigger.
+	countInstr(&info, &p.counts)
 	if ev.Taken {
 		p.counts[BrInstRetiredNearTaken]++
 		p.lbr.push(BranchRecord{From: ev.Addr, To: ev.Target})
-	}
-	switch {
-	case info.Cat == isa.CatDivide:
-		p.counts[DivCycles] += uint64(info.Latency)
-	}
-	switch info.Ext {
-	case isa.SSE:
-		if info.FLOPs > 0 {
-			p.counts[MathSSEFP]++
-		}
-		if info.VecBits == 128 && info.FLOPs == 0 && info.Packing == isa.Packed {
-			p.counts[IntSIMD]++
-		}
-	case isa.AVX:
-		if info.FLOPs > 0 {
-			p.counts[MathAVXFP]++
-		}
-	case isa.X87:
-		p.counts[X87Ops]++
 	}
 
 	for _, c := range p.counters {
@@ -346,4 +460,7 @@ func (p *PMU) Overflows(e Event) uint64 {
 	return n
 }
 
-var _ cpu.Listener = (*PMU)(nil)
+var (
+	_ cpu.Listener      = (*PMU)(nil)
+	_ cpu.BlockListener = (*PMU)(nil)
+)

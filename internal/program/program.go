@@ -263,13 +263,17 @@ func (p *Program) BlocksBetween(from, to uint64) []*Block {
 	if to < from {
 		return nil
 	}
-	first := p.BlockAt(from)
-	last := p.BlockAt(to)
-	if first == nil || last == nil {
+	// One binary search per endpoint: the first block whose end exceeds
+	// the address is both the containment candidate and the slice
+	// bound, and the search for to only scans the tail past from.
+	i := sort.Search(len(p.blocks), func(k int) bool { return p.blocks[k].End() > from })
+	if i == len(p.blocks) || !p.blocks[i].Contains(from) {
 		return nil
 	}
-	i := sort.Search(len(p.blocks), func(i int) bool { return p.blocks[i].End() > from })
-	j := sort.Search(len(p.blocks), func(i int) bool { return p.blocks[i].End() > to })
+	j := i + sort.Search(len(p.blocks)-i, func(k int) bool { return p.blocks[i+k].End() > to })
+	if j == len(p.blocks) || !p.blocks[j].Contains(to) {
+		return nil
+	}
 	return p.blocks[i : j+1]
 }
 

@@ -1,0 +1,42 @@
+package sde
+
+import (
+	"reflect"
+	"testing"
+
+	"hbbp/internal/cpu"
+)
+
+// TestBlockPathMatchesReference asserts the block-granularity
+// instrumenter produces exactly the per-instruction reference results:
+// same BBECs, mnemonic histogram, instruction total and modelled cost.
+func TestBlockPathMatchesReference(t *testing.T) {
+	p, main := buildMixedRingProgram(t)
+	for _, userOnly := range []bool{true, false} {
+		fast := New(p)
+		fast.UserOnly = userOnly
+		if _, err := cpu.Run(p, main, cpu.Config{Seed: 5, Repeat: 4}, fast); err != nil {
+			t.Fatalf("fast run: %v", err)
+		}
+		ref := New(p)
+		ref.UserOnly = userOnly
+		if _, err := cpu.Run(p, main, cpu.Config{Seed: 5, Repeat: 4, PerInstruction: true}, ref); err != nil {
+			t.Fatalf("reference run: %v", err)
+		}
+		if !reflect.DeepEqual(fast.BBECs(), ref.BBECs()) {
+			t.Errorf("userOnly=%v: BBECs diverged:\nfast %v\nref  %v", userOnly, fast.BBECs(), ref.BBECs())
+		}
+		if !reflect.DeepEqual(fast.Mnemonics(), ref.Mnemonics()) {
+			t.Errorf("userOnly=%v: mnemonics diverged:\nfast %v\nref  %v",
+				userOnly, fast.Mnemonics(), ref.Mnemonics())
+		}
+		if fast.Instructions() != ref.Instructions() {
+			t.Errorf("userOnly=%v: instructions %d fast, %d reference",
+				userOnly, fast.Instructions(), ref.Instructions())
+		}
+		if fast.ExtraCycles() != ref.ExtraCycles() {
+			t.Errorf("userOnly=%v: extra cycles %d fast, %d reference",
+				userOnly, fast.ExtraCycles(), ref.ExtraCycles())
+		}
+	}
+}

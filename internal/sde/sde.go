@@ -37,8 +37,44 @@ const (
 	costPerCall    = 220 // call/return tracing, stack validation, trace relinking
 )
 
+// opCount is one entry of a block's compacted mnemonic histogram.
+type opCount struct {
+	op isa.Op
+	n  uint64
+}
+
+// opCost returns the modelled instrumentation cost of emulating one
+// instruction, excluding the per-block dispatch cost. It is the single
+// definition of the per-instruction cost rules: the blockProfile
+// derivation and the per-instruction reference path both use it, so
+// the two dispatch paths cannot drift apart.
+func opCost(info *isa.Info) uint64 {
+	cost := uint64(costPerInst)
+	if info.IsBranch() {
+		cost += costPerBranch
+		if info.Cat == isa.CatCall || info.Cat == isa.CatReturn {
+			cost += costPerCall
+		}
+	}
+	if info.ReadsMem || info.WritesMem {
+		cost += costPerMemOp
+	}
+	return cost
+}
+
+// blockProfile caches what one execution of a block contributes to the
+// instrumentation totals: instruction count, the full modelled dispatch
+// and emulation cost, and the compacted per-mnemonic tallies. All of it
+// is static, so it is derived once per block at construction.
+type blockProfile struct {
+	insts uint64
+	cost  uint64
+	ops   []opCount
+}
+
 // Instrumenter observes a run and produces exact ground truth. It
-// implements cpu.Listener.
+// implements cpu.BlockListener (block-granularity fast path) and
+// cpu.Listener (per-instruction reference path).
 type Instrumenter struct {
 	prog *program.Program
 
@@ -47,6 +83,7 @@ type Instrumenter struct {
 	UserOnly bool
 
 	blockExec []uint64               // per block ID
+	blocks    []blockProfile         // per block ID, static contributions
 	mnemonics [isa.NumOps + 2]uint64 // per opcode
 	insts     uint64
 	extraCost uint64 // instrumentation cycles added on top of the clean run
@@ -55,14 +92,54 @@ type Instrumenter struct {
 // New returns an instrumenter for program p with faithful user-only
 // visibility.
 func New(p *program.Program) *Instrumenter {
-	return &Instrumenter{
+	in := &Instrumenter{
 		prog:      p,
 		UserOnly:  true,
 		blockExec: make([]uint64, p.NumBlocks()),
+		blocks:    make([]blockProfile, p.NumBlocks()),
+	}
+	for _, blk := range p.Blocks() {
+		ops := blk.EffectiveOps()
+		bp := blockProfile{
+			insts: uint64(len(ops)),
+			cost:  costBlockEntry,
+		}
+	tally:
+		for _, op := range ops {
+			info := op.Info()
+			bp.cost += opCost(&info)
+			for i := range bp.ops {
+				if bp.ops[i].op == op {
+					bp.ops[i].n++
+					continue tally
+				}
+			}
+			bp.ops = append(bp.ops, opCount{op: op, n: 1})
+		}
+		in.blocks[blk.ID] = bp
+	}
+	return in
+}
+
+// RetireBlock implements cpu.BlockListener: one block entry applies the
+// block's precomputed contribution in O(distinct mnemonics).
+func (in *Instrumenter) RetireBlock(ev *cpu.BlockEvent) {
+	if in.UserOnly && ev.Ring == program.RingKernel {
+		return
+	}
+	if len(ev.Ops) == 0 {
+		return
+	}
+	bp := &in.blocks[ev.Block.ID]
+	in.blockExec[ev.Block.ID]++
+	in.insts += bp.insts
+	in.extraCost += bp.cost
+	for _, oc := range bp.ops {
+		in.mnemonics[oc.op] += oc.n
 	}
 }
 
-// Retire implements cpu.Listener.
+// Retire implements cpu.Listener, the per-instruction reference path.
 func (in *Instrumenter) Retire(ev *cpu.RetireEvent) {
 	if in.UserOnly && ev.Ring == program.RingKernel {
 		return
@@ -74,16 +151,7 @@ func (in *Instrumenter) Retire(ev *cpu.RetireEvent) {
 	}
 	in.mnemonics[ev.Op]++
 	in.insts++
-	in.extraCost += costPerInst
-	if info.IsBranch() {
-		in.extraCost += costPerBranch
-		if info.Cat == isa.CatCall || info.Cat == isa.CatReturn {
-			in.extraCost += costPerCall
-		}
-	}
-	if info.ReadsMem || info.WritesMem {
-		in.extraCost += costPerMemOp
-	}
+	in.extraCost += opCost(&info)
 }
 
 // BlockExec returns the exact execution count of the block with the
@@ -122,4 +190,7 @@ func (in *Instrumenter) SlowdownFactor(cleanCycles uint64) float64 {
 	return float64(cleanCycles+in.extraCost) / float64(cleanCycles)
 }
 
-var _ cpu.Listener = (*Instrumenter)(nil)
+var (
+	_ cpu.Listener      = (*Instrumenter)(nil)
+	_ cpu.BlockListener = (*Instrumenter)(nil)
+)
