@@ -1,0 +1,83 @@
+package hbbp
+
+import (
+	"hbbp/internal/analyzer"
+	"hbbp/internal/metrics"
+	"hbbp/internal/pivot"
+)
+
+// InstructionMix produces the per-mnemonic execution histogram of a
+// profile's hybrid BBECs under the view options — the library's
+// headline output, the paper's "dynamic instruction mix".
+func InstructionMix(prof *Profile, opts ViewOptions) Mix {
+	return analyzer.Mix(prof.Prog, prof.BBECs, opts)
+}
+
+// MixFromBBECs produces the histogram implied by an arbitrary
+// per-block count vector (block ID indexed) — e.g. a profile's raw
+// EBS or LBR estimate, for comparing the single-source estimators the
+// way Figures 2-4 do.
+func MixFromBBECs(p *Program, bbecs []float64, opts ViewOptions) Mix {
+	return analyzer.Mix(p, bbecs, opts)
+}
+
+// ReferenceMix converts an [Instrumenter]'s exact mnemonic histogram
+// into a Mix, for scoring estimates against ground truth.
+func ReferenceMix(ref *Instrumenter) Mix {
+	return analyzer.ToMix(ref.Mnemonics())
+}
+
+// AvgWeightedError computes the paper's aggregate accuracy metric
+// (Section VI) between a reference mix and a measured mix: the sum
+// over mnemonics of the relative error weighted by the mnemonic's
+// share of the reference instruction total.
+func AvgWeightedError(ref, measured Mix) float64 {
+	return metrics.AvgWeightedError(ref, measured)
+}
+
+// BuildPivot explodes a per-block count vector into a pivot table with
+// one record per (block, mnemonic) and the full set of static
+// attributes attached — module, function, block, ring, mnemonic, ISA
+// extension, packing, category and memory behaviour (the Dim*
+// constants), queryable in any combination.
+func BuildPivot(p *Program, bbecs []float64, opts ViewOptions) *PivotTable {
+	return analyzer.BuildPivot(p, bbecs, opts)
+}
+
+// Pivot builds the pivot table of a profile's hybrid BBECs.
+func Pivot(prof *Profile, opts ViewOptions) *PivotTable {
+	return analyzer.BuildPivot(prof.Prog, prof.BBECs, opts)
+}
+
+// TopMnemonics returns the n most-executed mnemonics view.
+func TopMnemonics(tab *PivotTable, n int) []ResultRow {
+	return analyzer.TopMnemonics(tab, n)
+}
+
+// TopFunctions returns the n hottest functions by retired
+// instructions.
+func TopFunctions(tab *PivotTable, n int) []ResultRow {
+	return analyzer.TopFunctions(tab, n)
+}
+
+// ExtBreakdown returns retirements grouped by ISA extension.
+func ExtBreakdown(tab *PivotTable) []ResultRow {
+	return analyzer.ExtBreakdown(tab)
+}
+
+// PackingView returns the CLForward-style view of Table 8:
+// instruction set by packing.
+func PackingView(tab *PivotTable) []ResultRow {
+	return analyzer.PackingView(tab)
+}
+
+// RingBreakdown splits retirements between user and kernel mode.
+func RingBreakdown(tab *PivotTable) []ResultRow {
+	return analyzer.RingBreakdown(tab)
+}
+
+// Render formats pivot rows as an aligned text table with the given
+// key-column headers.
+func Render(headers []string, rows []ResultRow) string {
+	return pivot.Render(headers, rows)
+}

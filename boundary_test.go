@@ -1,0 +1,89 @@
+package hbbp
+
+// Import-boundary tests freeze two architectural rules:
+//
+//  1. Commands and examples consume only the public façade — the root
+//     hbbp package — never internal/ packages directly. The façade is
+//     the library's contract; anything the entry points need and
+//     cannot get is a façade gap, not a license to reach inside.
+//  2. internal/perffile imports only the standard library (the
+//     DESIGN.md self-containment invariant), so the file format can be
+//     lifted into external tooling unchanged.
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// imports parses one Go file and returns its import paths.
+func imports(t *testing.T, path string) []string {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	var out []string
+	for _, imp := range f.Imports {
+		out = append(out, strings.Trim(imp.Path.Value, `"`))
+	}
+	return out
+}
+
+// goFilesUnder walks a directory tree and returns every .go file.
+func goFilesUnder(t *testing.T, root string) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking %s: %v", root, err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files under %s; boundary test is vacuous", root)
+	}
+	return files
+}
+
+// TestCommandsAndExamplesUseOnlyTheFacade asserts no file under cmd/
+// or examples/ imports an internal package.
+func TestCommandsAndExamplesUseOnlyTheFacade(t *testing.T) {
+	for _, root := range []string{"cmd", "examples"} {
+		for _, file := range goFilesUnder(t, root) {
+			for _, imp := range imports(t, file) {
+				if strings.HasPrefix(imp, "hbbp/internal") {
+					t.Errorf("%s imports %q; entry points must consume the public hbbp façade only", file, imp)
+				}
+			}
+		}
+	}
+}
+
+// TestPerffileImportsOnlyStdlib asserts internal/perffile (tests
+// included) depends on nothing but the standard library: no module
+// packages, no third-party modules.
+func TestPerffileImportsOnlyStdlib(t *testing.T) {
+	for _, file := range goFilesUnder(t, filepath.Join("internal", "perffile")) {
+		for _, imp := range imports(t, file) {
+			if strings.HasPrefix(imp, "hbbp") {
+				t.Errorf("%s imports %q; perffile must stay self-contained", file, imp)
+				continue
+			}
+			// Standard-library import paths have no dot in their first
+			// element (golang.org/x/..., github.com/... do).
+			if first, _, _ := strings.Cut(imp, "/"); strings.Contains(first, ".") {
+				t.Errorf("%s imports non-stdlib package %q", file, imp)
+			}
+		}
+	}
+}

@@ -1,4 +1,5 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures
+// through the public hbbp library.
 //
 // Usage:
 //
@@ -12,36 +13,44 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
-	"hbbp/internal/harness"
+	"hbbp"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"experiment to run: "+strings.Join(harness.ExperimentNames(), ", ")+", or all")
+		"experiment to run: "+strings.Join(hbbp.ExperimentNames(), ", ")+", or all")
 	fast := flag.Bool("fast", false, "reduced repeats for a quick run")
 	seed := flag.Int64("seed", 1, "base random seed")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
-	r := harness.New(harness.Config{
-		Out:         os.Stdout,
-		Fast:        *fast,
-		Seed:        *seed,
-		Parallelism: *parallel,
-	})
+	opts := []hbbp.Option{
+		hbbp.WithSeed(*seed),
+		hbbp.WithParallelism(*parallel),
+		hbbp.WithExperimentOutput(os.Stdout),
+	}
+	if *fast {
+		opts = append(opts, hbbp.WithFast(0))
+	}
+	s, err := hbbp.New(opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
 
+	ctx := context.Background()
 	start := time.Now()
-	var err error
 	if *experiment == "all" {
-		err = r.RunAll()
+		err = s.RunAllExperiments(ctx)
 	} else {
-		err = r.Run(*experiment)
+		err = s.RunExperiment(ctx, *experiment)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)

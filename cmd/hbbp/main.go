@@ -1,7 +1,7 @@
 // Command hbbp profiles a built-in workload with Hybrid Basic Block
 // Profiling and prints instruction-mix views — the reproduction's
 // equivalent of running the paper's collector+analyzer tool on a
-// program.
+// program. It is a thin shell over the public hbbp library.
 //
 // Usage:
 //
@@ -22,167 +22,138 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
 
-	"hbbp/internal/analyzer"
-	"hbbp/internal/collector"
-	"hbbp/internal/core"
-	"hbbp/internal/pivot"
-	"hbbp/internal/workloads"
+	"hbbp"
 )
 
 func main() {
-	workload := flag.String("workload", "test40", "workload to profile")
-	view := flag.String("view", "top", "view: top, ext, packing, functions, rings")
-	topN := flag.Int("top", 20, "rows for top views")
-	rawOut := flag.String("raw", "", "write raw collection data to this file")
-	replay := flag.String("replay", "", "analyze a previously written raw file instead of running")
-	trained := flag.Bool("trained", false, "train the model on the corpus instead of the shipped rule")
-	seed := flag.Int64("seed", 1, "random seed")
-	list := flag.Bool("list", false, "list available workloads")
-	flag.Parse()
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, returning the process
+// exit code so tests can drive the command without exec.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hbbp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "test40", "workload to profile")
+	view := fs.String("view", "top", "view: top, ext, packing, functions, rings")
+	topN := fs.Int("top", 20, "rows for top views")
+	rawOut := fs.String("raw", "", "write raw collection data to this file")
+	replay := fs.String("replay", "", "analyze a previously written raw file instead of running")
+	trained := fs.Bool("trained", false, "train the model on the corpus instead of the shipped rule")
+	seed := fs.Int64("seed", 1, "random seed")
+	list := fs.Bool("list", false, "list available workloads")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
-		fmt.Println(strings.Join(workloadNames(), "\n"))
-		return
-	}
-
-	w := lookupWorkload(*workload)
-	if w == nil {
-		fmt.Fprintf(os.Stderr, "hbbp: unknown workload %q (use -list)\n", *workload)
-		os.Exit(1)
-	}
-
-	model := core.DefaultModel()
-	if *trained {
-		fmt.Fprintln(os.Stderr, "training model on the corpus...")
-		m, err := trainModel(*seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "hbbp: training: %v\n", err)
-			os.Exit(1)
+		for _, name := range hbbp.WorkloadNames() {
+			fmt.Fprintln(stdout, name)
 		}
-		model = m
+		return 0
 	}
-	fmt.Fprintf(os.Stderr, "model: %s\n", model.Describe())
 
-	opts := core.Options{
-		Collector: collector.Options{
-			Class: w.Class, Scale: w.Scale, Seed: *seed, Repeat: w.Repeat,
+	// Resolve the view before any work runs: a mistyped view name must
+	// not cost a full collection pass.
+	render, ok := map[string]func(*hbbp.PivotTable) string{
+		"top": func(t *hbbp.PivotTable) string { return hbbp.Render([]string{"MNEMONIC"}, hbbp.TopMnemonics(t, *topN)) },
+		"ext": func(t *hbbp.PivotTable) string { return hbbp.Render([]string{"INST SET"}, hbbp.ExtBreakdown(t)) },
+		"packing": func(t *hbbp.PivotTable) string {
+			return hbbp.Render([]string{"INST SET", "PACKING"}, hbbp.PackingView(t))
 		},
-		KernelLivePatched: true,
+		"functions": func(t *hbbp.PivotTable) string { return hbbp.Render([]string{"FUNCTION"}, hbbp.TopFunctions(t, *topN)) },
+		"rings":     func(t *hbbp.PivotTable) string { return hbbp.Render([]string{"RING"}, hbbp.RingBreakdown(t)) },
+	}[*view]
+	if !ok {
+		fmt.Fprintf(stderr, "hbbp: unknown view %q (known: top, ext, packing, functions, rings)\n", *view)
+		return 2
 	}
 
-	var prof *core.Profile
-	var err error
-	if *replay != "" {
-		if *rawOut != "" {
-			fmt.Fprintln(os.Stderr, "hbbp: -raw cannot be combined with -replay (the raw file already exists)")
-			os.Exit(1)
+	w, err := hbbp.LookupWorkload(*workload)
+	if err != nil {
+		// Unknown workload: a usage error, with the available names
+		// spelled out (the lookup error lists them and already carries
+		// the hbbp: prefix).
+		fmt.Fprintf(stderr, "%v\n", err)
+		fmt.Fprintln(stderr, "usage: hbbp -workload NAME (or -list to enumerate workloads)")
+		return 2
+	}
+
+	opts := []hbbp.Option{hbbp.WithSeed(*seed)}
+	var rawFile *os.File
+	if *rawOut != "" {
+		if *replay != "" {
+			fmt.Fprintln(stderr, "hbbp: -raw cannot be combined with -replay (the raw file already exists)")
+			return 2
 		}
-		f, err2 := os.Open(*replay)
-		if err2 != nil {
-			fmt.Fprintf(os.Stderr, "hbbp: %v\n", err2)
-			os.Exit(1)
+		rawFile, err = os.Create(*rawOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "hbbp: %v\n", err)
+			return 1
+		}
+		defer rawFile.Close()
+		opts = append(opts, hbbp.WithRawOutput(rawFile))
+	}
+
+	s, err := hbbp.New(opts...)
+	if err != nil {
+		fmt.Fprintf(stderr, "hbbp: %v\n", err)
+		return 1
+	}
+
+	model := hbbp.DefaultModel()
+	if *trained {
+		fmt.Fprintln(stderr, "training model on the corpus...")
+		model, err = s.Train(ctx)
+		if err != nil {
+			fmt.Fprintf(stderr, "hbbp: training: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stderr, "model: %s\n", model.Describe())
+
+	var prof *hbbp.Profile
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintf(stderr, "hbbp: %v\n", err)
+			return 1
 		}
 		defer f.Close()
-		fmt.Fprintf(os.Stderr, "replaying %s for %s (%s)...\n", *replay, w.Name, w.Description)
-		prof, err = core.AnalyzeReplay(w.Prog, model, f, opts)
+		fmt.Fprintf(stderr, "replaying %s for %s (%s)...\n", *replay, w.Name, w.Description)
+		prof, err = s.Replay(ctx, w, f)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hbbp: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "hbbp: %v\n", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "replayed %d EBS samples, %d LBR stacks (%d+%d lost)\n",
+		fmt.Fprintf(stderr, "replayed %d EBS samples, %d LBR stacks (%d+%d lost)\n",
 			len(prof.Collection.EBSIPs), len(prof.Collection.Stacks),
 			prof.Collection.LostEBS, prof.Collection.LostLBR)
 	} else {
-		if *rawOut != "" {
-			f, err2 := os.Create(*rawOut)
-			if err2 != nil {
-				fmt.Fprintf(os.Stderr, "hbbp: %v\n", err2)
-				os.Exit(1)
-			}
-			defer f.Close()
-			opts.Collector.RawOut = f
-		}
-		fmt.Fprintf(os.Stderr, "profiling %s (%s)...\n", w.Name, w.Description)
-		prof, err = core.Run(w.Prog, w.Entry, model, opts)
+		fmt.Fprintf(stderr, "profiling %s (%s)...\n", w.Name, w.Description)
+		prof, err = s.Profile(ctx, w)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hbbp: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "hbbp: %v\n", err)
+			return 1
 		}
 		st := prof.Collection.Stats
-		fmt.Fprintf(os.Stderr,
+		fmt.Fprintf(stderr,
 			"retired %d instructions (%d kernel), %d EBS samples, %d LBR stacks, overhead %.2f%%\n",
 			st.Retired, st.KernelRetired,
 			len(prof.Collection.EBSIPs), len(prof.Collection.Stacks),
 			(prof.Collection.OverheadFactor()-1)*100)
 	}
 
-	tab := analyzer.BuildPivot(w.Prog, prof.BBECs, analyzer.Options{LiveText: true})
-	switch *view {
-	case "top":
-		rows := analyzer.TopMnemonics(tab, *topN)
-		fmt.Print(pivot.Render([]string{"MNEMONIC"}, rows))
-	case "ext":
-		fmt.Print(pivot.Render([]string{"INST SET"}, analyzer.ExtBreakdown(tab)))
-	case "packing":
-		fmt.Print(pivot.Render([]string{"INST SET", "PACKING"}, analyzer.PackingView(tab)))
-	case "functions":
-		fmt.Print(pivot.Render([]string{"FUNCTION"}, analyzer.TopFunctions(tab, *topN)))
-	case "rings":
-		fmt.Print(pivot.Render([]string{"RING"}, analyzer.RingBreakdown(tab)))
-	default:
-		fmt.Fprintf(os.Stderr, "hbbp: unknown view %q\n", *view)
-		os.Exit(1)
-	}
-}
-
-func trainModel(seed int64) (*core.Model, error) {
-	var runs []*core.TrainingRun
-	for i, w := range workloads.TrainingCorpus() {
-		run, err := core.CollectTrainingRun(w.Prog, w.Entry, collector.Options{
-			Class: w.Class, Scale: w.Scale, Seed: seed + int64(100+i), Repeat: w.Repeat,
-		})
-		if err != nil {
-			return nil, err
-		}
-		runs = append(runs, run)
-	}
-	return core.Train(runs, core.TrainParams{})
-}
-
-func lookupWorkload(name string) *workloads.Workload {
-	switch name {
-	case "test40":
-		return workloads.Test40()
-	case "hydro-post":
-		return workloads.HydroPost()
-	case "kernel-prime":
-		return workloads.KernelPrime()
-	case "clforward-before":
-		return workloads.CLForward(false)
-	case "clforward-after":
-		return workloads.CLForward(true)
-	case "fitter-x87":
-		return workloads.Fitter(workloads.FitterX87)
-	case "fitter-sse":
-		return workloads.Fitter(workloads.FitterSSE)
-	case "fitter-avx":
-		return workloads.Fitter(workloads.FitterAVX)
-	case "fitter-avxfix":
-		return workloads.Fitter(workloads.FitterAVXFix)
-	}
-	return workloads.SPEC(name)
-}
-
-func workloadNames() []string {
-	names := []string{
-		"test40", "hydro-post", "kernel-prime",
-		"clforward-before", "clforward-after",
-		"fitter-x87", "fitter-sse", "fitter-avx", "fitter-avxfix",
-	}
-	return append(names, workloads.SPECNames()...)
+	fmt.Fprint(stdout, render(hbbp.Pivot(prof, hbbp.ViewOptions{LiveText: true})))
+	return 0
 }

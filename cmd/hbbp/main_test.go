@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestUnknownWorkloadExitsNonZero covers the CLI contract for a
+// mistyped workload name: a non-zero (usage) exit code and a message
+// that lists the available workloads so the user can correct the
+// invocation without a second round trip.
+func TestUnknownWorkloadExitsNonZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-workload", "no-such-workload"}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("unknown workload exited 0; stderr:\n%s", stderr.String())
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, "no-such-workload") {
+		t.Errorf("message does not echo the bad name:\n%s", msg)
+	}
+	for _, name := range []string{"test40", "kernel-prime", "gcc", "povray"} {
+		if !strings.Contains(msg, name) {
+			t.Errorf("message does not list available workload %q:\n%s", name, msg)
+		}
+	}
+	if !strings.Contains(msg, "usage:") {
+		t.Errorf("message carries no usage line:\n%s", msg)
+	}
+}
+
+// TestUnknownViewFailsFast asserts a mistyped view name is rejected
+// before any collection work runs (no profiling banner on stderr).
+func TestUnknownViewFailsFast(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-workload", "test40", "-view", "extt"}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("unknown view exited 0; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "unknown view") {
+		t.Errorf("message does not name the problem:\n%s", stderr.String())
+	}
+	if strings.Contains(stderr.String(), "profiling") {
+		t.Errorf("collection ran before the view was validated:\n%s", stderr.String())
+	}
+}
+
+// TestHelpExitsZero pins the conventional CLI contract: asking for
+// help is not a failure.
+func TestHelpExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-h exited %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-workload") {
+		t.Errorf("-h printed no flag usage:\n%s", stderr.String())
+	}
+}
+
+// TestListWorkloads pins the -list escape hatch the usage message
+// points at.
+func TestListWorkloads(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d; stderr:\n%s", code, stderr.String())
+	}
+	for _, name := range []string{"test40", "hydro-post", "fitter-avxfix"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
+		}
+	}
+}

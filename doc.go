@@ -1,6 +1,7 @@
 // Package hbbp is a Go reproduction of "Low-Overhead Dynamic
 // Instruction Mix Generation using Hybrid Basic Block Profiling"
-// (Nowak, Yasin, Szostek, Zwaenepoel — ISPASS 2018).
+// (Nowak, Yasin, Szostek, Zwaenepoel — ISPASS 2018), exposed as a
+// library.
 //
 // The repository implements the paper's contribution — HBBP, a
 // PMU-based method that produces dynamic instruction mixes by choosing
@@ -9,18 +10,54 @@
 // every substrate the evaluation needs, simulated in pure Go: a
 // synthetic x86-flavoured ISA and disassembler, a trace-driven CPU with
 // user/kernel rings dispatching retirements at block granularity, a
-// PMU model with skid, shadowing and the LBR entry[0] bias anomaly
-// that consumes whole blocks between counter overflows, a
-// software-instrumentation reference, a
-// perf.data-like collection format with a streaming sink pipeline
-// (samples dispatch straight to the estimators' sinks; serialization
-// and replay are opt-in paths over the same interface), CART decision
-// trees, a pivot-table analyzer, the benchmark workloads, and a
-// harness regenerating every table and figure of the paper on a
-// deterministic parallel scheduler.
+// PMU model with skid, shadowing and the LBR entry[0] bias anomaly, a
+// software-instrumentation reference, a perf.data-like collection
+// format with a streaming sink pipeline, CART decision trees, a
+// pivot-table analyzer, the benchmark workloads, and a harness
+// regenerating every table and figure of the paper on a deterministic
+// parallel scheduler.
 //
-// Start at internal/core for the HBBP algorithm, cmd/experiments to
-// regenerate the evaluation, and examples/quickstart for the library's
-// happy path. DESIGN.md maps the paper to the code; EXPERIMENTS.md
-// records paper-vs-measured values.
+// # The public surface
+//
+// This root package is the library: everything under internal/ is an
+// implementation detail, and the commands and examples consume only
+// what is exported here (an import-boundary test enforces that). The
+// entry point is a [Session], configured once with functional options
+// and then used for any number of runs:
+//
+//	s, err := hbbp.New(hbbp.WithSeed(42))
+//	...
+//	prof, err := s.Profile(ctx, hbbp.Test40())
+//
+// [Session.Profile] runs a workload under the simulated PMU and
+// returns a [Profile] with the hybrid per-block execution counts,
+// both raw estimates and the per-block choices. [Session.Train]
+// learns the classification-tree model on the training corpus
+// (Figure 1's pipeline). [Session.Replay] re-analyzes a serialized
+// collection stream written earlier via [WithRawOutput]. Experiment
+// regeneration ([Session.RunExperiment], [Session.RunAllExperiments])
+// reproduces the paper's tables and figures.
+//
+// All entry points take a [context.Context]; cancelling it stops
+// collection runs, replay passes and the experiment worker pool
+// promptly, returning an error that wraps ctx.Err(). A run that
+// completes under a context is bit-identical to one run without:
+// cancellation polls never perturb the simulation.
+//
+// Results are analyzed with [InstructionMix], [BuildPivot] and the
+// view helpers ([TopMnemonics], [ExtBreakdown], ...), and scored with
+// [AvgWeightedError] against a [NewInstrumenter] reference attached
+// to the same run. Workloads come from [LookupWorkload] or the named
+// constructors ([Test40], [KernelPrime], [Fitter], ...).
+//
+// Determinism is the library's backbone: the same seed yields the same
+// samples, the same trained model and the same rendered tables, at any
+// parallelism, on the block-granularity fast path or the
+// per-instruction reference path, live or replayed from disk.
+//
+// Start at examples/quickstart for the library's happy path (the same
+// flow is verified as Example functions in this package), cmd/hbbp to
+// profile a workload from the command line, and cmd/experiments to
+// regenerate the evaluation. DESIGN.md maps the paper to the code;
+// EXPERIMENTS.md records paper-vs-measured values.
 package hbbp

@@ -1,0 +1,31 @@
+package hbbp
+
+import (
+	"errors"
+
+	"hbbp/internal/cpu"
+	"hbbp/internal/perffile"
+)
+
+// Typed sentinel errors. Errors returned by the façade wrap these, so
+// callers classify failures with errors.Is without depending on
+// message text or internal packages.
+var (
+	// ErrBadMagic reports a replay stream that is not a serialized
+	// collection (perffile) at all.
+	ErrBadMagic = perffile.ErrBadMagic
+	// ErrTruncatedRecord reports a replay stream cut mid-record.
+	ErrTruncatedRecord = perffile.ErrTruncatedRecord
+	// ErrUnsupportedVersion reports a replay stream written in a format
+	// version this library cannot read.
+	ErrUnsupportedVersion = perffile.ErrUnsupportedVersion
+	// ErrRetireLimit reports a run aborted by the retirement guard
+	// (Workload misconfiguration, runaway loops).
+	ErrRetireLimit = cpu.ErrRetireLimit
+	// ErrUnknownWorkload reports a workload name LookupWorkload does
+	// not recognise.
+	ErrUnknownWorkload = errors.New("hbbp: unknown workload")
+	// ErrUnknownExperiment reports an experiment name RunExperiment
+	// does not recognise.
+	ErrUnknownExperiment = errors.New("hbbp: unknown experiment")
+)

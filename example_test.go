@@ -1,0 +1,102 @@
+package hbbp_test
+
+// The documented happy path, verified by go test: these examples
+// mirror examples/quickstart and the README against the public façade
+// only. Everything is deterministic — fixed seeds, a pure-Go
+// simulation — so the outputs are pinned exactly.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"hbbp"
+)
+
+// ExampleSession_Profile is the library's happy path: configure a
+// session, profile a workload, render the instruction mix and score it
+// against ground-truth instrumentation attached to the same run.
+func ExampleSession_Profile() {
+	// The Geant4-like Test40 simulation, scaled down for a quick run.
+	w := hbbp.Test40().Scaled(0.2)
+
+	s, err := hbbp.New(hbbp.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Instrumenter rides along only to provide ground truth for
+	// the accuracy report; HBBP itself never needs it.
+	ref := hbbp.NewInstrumenter(w.Prog)
+	prof, err := s.Profile(context.Background(), w, ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tab := hbbp.Pivot(prof, hbbp.ViewOptions{LiveText: true})
+	fmt.Print(hbbp.Render([]string{"MNEMONIC"}, hbbp.TopMnemonics(tab, 3)))
+
+	opts := hbbp.ViewOptions{Scope: hbbp.ScopeUser, LiveText: true}
+	errHBBP := hbbp.AvgWeightedError(hbbp.ReferenceMix(ref), hbbp.InstructionMix(prof, opts))
+	fmt.Printf("avg weighted error vs instrumentation: %.1f%%\n", 100*errHBBP)
+
+	// Output:
+	// MNEMONIC   VALUE
+	// MOV       117.8k
+	// ADD        75.0k
+	// SHL        47.6k
+	// avg weighted error vs instrumentation: 1.6%
+}
+
+// ExampleSession_Replay shows the collect-then-replay round trip: the
+// serialized stream a profiling run writes re-analyzes to the same
+// per-block counts, because replay feeds the same sinks the live run
+// dispatched to.
+func ExampleSession_Replay() {
+	w := hbbp.KernelPrime().Scaled(0.5)
+
+	var raw bytes.Buffer
+	s, err := hbbp.New(hbbp.WithSeed(11), hbbp.WithRawOutput(&raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	live, err := s.Profile(context.Background(), w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replayed, err := s.Replay(context.Background(), w, &raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	identical := len(live.BBECs) == len(replayed.BBECs)
+	for id := range live.BBECs {
+		identical = identical && live.BBECs[id] == replayed.BBECs[id]
+	}
+	fmt.Printf("replayed %d EBS samples, %d LBR stacks\n",
+		len(replayed.Collection.EBSIPs), len(replayed.Collection.Stacks))
+	fmt.Printf("replayed BBECs identical to live collection: %v\n", identical)
+
+	// Output:
+	// replayed 1481 EBS samples, 1521 LBR stacks
+	// replayed BBECs identical to live collection: true
+}
+
+// ExampleLookupWorkload shows name-based workload selection and the
+// typed error unknown names return.
+func ExampleLookupWorkload() {
+	w, err := hbbp.LookupWorkload("test40")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %s\n", w.Name, w.Description)
+
+	_, err = hbbp.LookupWorkload("spectre")
+	fmt.Printf("unknown name is typed: %v\n", errors.Is(err, hbbp.ErrUnknownWorkload))
+
+	// Output:
+	// test40: Geant4-like particle simulation: object-oriented, short methods (Table 5, Figures 3-4)
+	// unknown name is typed: true
+}

@@ -1,5 +1,6 @@
 // Kernel profiling: instruction mixes for ring-0 code — the coverage
-// software instrumentation cannot provide (Section VIII.D, Table 7).
+// software instrumentation cannot provide (Section VIII.D, Table 7),
+// written against the public hbbp package.
 //
 // The kernel-prime workload runs the same prime-search algorithm twice:
 // as a user-space function (hello_u) and as a kernel-module function
@@ -15,35 +16,33 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"sort"
 
-	"hbbp/internal/analyzer"
-	"hbbp/internal/collector"
-	"hbbp/internal/core"
-	"hbbp/internal/isa"
-	"hbbp/internal/sde"
-	"hbbp/internal/workloads"
+	"hbbp"
 )
 
 func main() {
-	w := workloads.KernelPrime()
+	ctx := context.Background()
+	w := hbbp.KernelPrime()
 	fmt.Printf("workload: %s — %s\n\n", w.Name, w.Description)
 
-	// Instrumentation reference, faithfully user-mode only. RawOut
-	// captures the perf.data-like byte stream as it is written, so the
-	// same collection can be re-analyzed from "disk" below.
+	// Instrumentation reference, faithfully user-mode only. The raw
+	// output option captures the perf.data-like byte stream as it is
+	// written, so the same collection can be re-analyzed from "disk"
+	// below.
 	var raw bytes.Buffer
-	ref := sde.New(w.Prog)
-	opts := core.Options{
-		Collector: collector.Options{
-			Class: w.Class, Scale: w.Scale, Seed: 11, Repeat: w.Repeat,
-			RawOut: &raw,
-		},
-		KernelLivePatched: true,
+	s, err := hbbp.New(
+		hbbp.WithSeed(11),
+		hbbp.WithRawOutput(&raw),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	prof, err := core.Run(w.Prog, w.Entry, core.DefaultModel(), opts, ref)
+	ref := hbbp.NewInstrumenter(w.Prog)
+	prof, err := s.Profile(ctx, w, ref)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,16 +53,16 @@ func main() {
 
 	// The three-way comparison of Table 7: SDE on hello_u, HBBP on
 	// hello_u, HBBP on the kernel copy hello_k.
-	sdeUser := analyzer.ToMix(ref.Mnemonics())
-	hbbpUser := analyzer.Mix(w.Prog, prof.BBECs, analyzer.Options{
-		Scope: analyzer.ScopeUser, LiveText: true, Function: "hello_u"})
-	hbbpKernel := analyzer.Mix(w.Prog, prof.BBECs, analyzer.Options{
-		Scope: analyzer.ScopeKernel, LiveText: true, Function: "hello_k"})
+	sdeUser := hbbp.ReferenceMix(ref)
+	hbbpUser := hbbp.InstructionMix(prof, hbbp.ViewOptions{
+		Scope: hbbp.ScopeUser, LiveText: true, Function: "hello_u"})
+	hbbpKernel := hbbp.InstructionMix(prof, hbbp.ViewOptions{
+		Scope: hbbp.ScopeKernel, LiveText: true, Function: "hello_k"})
 
-	var ops []isa.Op
+	var ops []hbbp.Op
 	for op := range hbbpKernel {
 		switch op.Info().Cat {
-		case isa.CatCall, isa.CatReturn, isa.CatStack, isa.CatNop:
+		case hbbp.CatCall, hbbp.CatReturn, hbbp.CatStack, hbbp.CatNop:
 			continue
 		}
 		ops = append(ops, op)
@@ -83,16 +82,16 @@ func main() {
 	// Bonus: the kernel module contains NOP-patched trace points; the
 	// analyzer handled them by using the live text image.
 	kmod := w.Prog.ModuleByName("hello.ko")
-	static, _ := isa.Decode(kmod.Code, kmod.Base)
-	live, _ := isa.Decode(kmod.LiveText(), kmod.Base)
+	static, _ := hbbp.Disassemble(kmod.Code, kmod.Base)
+	live, _ := hbbp.Disassemble(kmod.LiveText(), kmod.Base)
 	staticJmps, liveJmps := 0, 0
 	for _, d := range static {
-		if d.Op == isa.JMP {
+		if d.Op == hbbp.JMP {
 			staticJmps++
 		}
 	}
 	for _, d := range live {
-		if d.Op == isa.JMP {
+		if d.Op == hbbp.JMP {
 			liveJmps++
 		}
 	}
@@ -105,12 +104,12 @@ func main() {
 	// through the same sinks the live collection dispatched to, and the
 	// kernel-mode profile comes out identical — sampling is the data,
 	// the file is just a transport.
-	replayed, err := core.AnalyzeReplay(w.Prog, core.DefaultModel(), &raw, opts)
+	replayed, err := s.Replay(ctx, w, &raw)
 	if err != nil {
 		log.Fatal(err)
 	}
-	replayKernel := analyzer.Mix(w.Prog, replayed.BBECs, analyzer.Options{
-		Scope: analyzer.ScopeKernel, LiveText: true, Function: "hello_k"})
+	replayKernel := hbbp.InstructionMix(replayed, hbbp.ViewOptions{
+		Scope: hbbp.ScopeKernel, LiveText: true, Function: "hello_k"})
 	var liveTotal, replayTotal float64
 	for _, n := range hbbpKernel {
 		liveTotal += n

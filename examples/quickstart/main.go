@@ -1,13 +1,13 @@
 // Quickstart: profile a workload with HBBP and print its instruction
-// mix.
+// mix, using only the public hbbp package.
 //
-// This walks the library's happy path end to end: pick a workload,
-// collect one run with the dual LBR-mode PMU configuration — every
-// sample streaming straight into sinks, no intermediate file — let
-// HBBP choose per basic block between the EBS and LBR estimates, and
-// render the resulting dynamic instruction mix — then compare it
-// against ground-truth software instrumentation attached to the same
-// run.
+// This walks the library's happy path end to end: configure a Session
+// with functional options, pick a workload, collect one run with the
+// dual LBR-mode PMU configuration — every sample streaming straight
+// into sinks, no intermediate file — let HBBP choose per basic block
+// between the EBS and LBR estimates, and render the resulting dynamic
+// instruction mix — then compare it against ground-truth software
+// instrumentation attached to the same run.
 //
 // Run with:
 //
@@ -15,18 +15,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"hbbp/internal/analyzer"
-	"hbbp/internal/collector"
-	"hbbp/internal/core"
-	"hbbp/internal/metrics"
-	"hbbp/internal/perffile"
-	"hbbp/internal/pivot"
-	"hbbp/internal/program"
-	"hbbp/internal/sde"
-	"hbbp/internal/workloads"
+	"hbbp"
 )
 
 // ringCounter is a custom SampleSink: it watches the live sample
@@ -36,41 +29,45 @@ type ringCounter struct {
 	user, kernel uint64
 }
 
-func (c *ringCounter) Sample(s *perffile.Sample) {
-	if program.Ring(s.Ring) == program.RingKernel {
+func (c *ringCounter) Sample(s *hbbp.Sample) {
+	if hbbp.Ring(s.Ring) == hbbp.RingKernel {
 		c.kernel++
 	} else {
 		c.user++
 	}
 }
 
-func (c *ringCounter) Lost(perffile.Lost) {}
+func (c *ringCounter) Lost(hbbp.Lost) {}
 
 func main() {
+	ctx := context.Background()
+
 	// 1. A workload: the Geant4-like Test40 simulation (short
 	//    object-oriented methods — the hard case for plain EBS).
-	w := workloads.Test40()
+	w := hbbp.Test40()
 	fmt.Printf("workload: %s — %s\n", w.Name, w.Description)
 
-	// 2. A model: the shipped rule from the paper (block length <= 18
-	//    -> LBR, else EBS). Train your own with core.Train for the full
+	// 2. A session: one options surface configures every layer. The
+	//    ringCounter sink taps the live sample stream — the same
+	//    dispatch the built-in EBS and LBR sinks hang off. The model
+	//    defaults to the shipped rule from the paper (block length <=
+	//    18 -> LBR, else EBS); call Session.Train for the full
 	//    Figure 1 pipeline.
-	model := core.DefaultModel()
-	fmt.Printf("model:    %s\n\n", model.Describe())
-
-	// 3. Profile. The sde.Instrumenter rides along only to provide the
-	//    ground truth for the accuracy report below; HBBP itself never
-	//    needs it. The ringCounter sink taps the live sample stream —
-	//    the same dispatch the built-in EBS and LBR sinks hang off.
-	ref := sde.New(w.Prog)
 	rings := &ringCounter{}
-	prof, err := core.Run(w.Prog, w.Entry, model, core.Options{
-		Collector: collector.Options{
-			Class: w.Class, Scale: w.Scale, Seed: 42, Repeat: w.Repeat,
-			Sinks: []collector.SampleSink{rings},
-		},
-		KernelLivePatched: true,
-	}, ref)
+	s, err := hbbp.New(
+		hbbp.WithSeed(42),
+		hbbp.WithSinks(rings),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model:    %s\n\n", hbbp.DefaultModel().Describe())
+
+	// 3. Profile. The Instrumenter rides along only to provide the
+	//    ground truth for the accuracy report below; HBBP itself never
+	//    needs it.
+	ref := hbbp.NewInstrumenter(w.Prog)
+	prof, err := s.Profile(ctx, w, ref)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,19 +79,19 @@ func main() {
 		rings.user, rings.kernel)
 
 	// 4. The instruction mix, as a pivot view.
-	tab := analyzer.BuildPivot(w.Prog, prof.BBECs, analyzer.Options{LiveText: true})
+	tab := hbbp.Pivot(prof, hbbp.ViewOptions{LiveText: true})
 	fmt.Println("top 10 mnemonics (HBBP):")
-	fmt.Print(pivot.Render([]string{"MNEMONIC"}, analyzer.TopMnemonics(tab, 10)))
+	fmt.Print(hbbp.Render([]string{"MNEMONIC"}, hbbp.TopMnemonics(tab, 10)))
 
 	// 5. Accuracy against instrumentation, the paper's Section VI
 	//    metric.
-	refMix := analyzer.ToMix(ref.Mnemonics())
-	opts := analyzer.Options{Scope: analyzer.ScopeUser, LiveText: true}
+	refMix := hbbp.ReferenceMix(ref)
+	opts := hbbp.ViewOptions{Scope: hbbp.ScopeUser, LiveText: true}
 	fmt.Printf("\navg weighted error vs instrumentation:\n")
 	fmt.Printf("  HBBP: %.2f%%\n",
-		100*metrics.AvgWeightedError(refMix, analyzer.Mix(w.Prog, prof.BBECs, opts)))
+		100*hbbp.AvgWeightedError(refMix, hbbp.InstructionMix(prof, opts)))
 	fmt.Printf("  EBS:  %.2f%% (raw)\n",
-		100*metrics.AvgWeightedError(refMix, analyzer.Mix(w.Prog, prof.EBS, opts)))
+		100*hbbp.AvgWeightedError(refMix, hbbp.MixFromBBECs(w.Prog, prof.EBS, opts)))
 	fmt.Printf("  LBR:  %.2f%% (raw)\n",
-		100*metrics.AvgWeightedError(refMix, analyzer.Mix(w.Prog, prof.LBR, opts)))
+		100*hbbp.AvgWeightedError(refMix, hbbp.MixFromBBECs(w.Prog, prof.LBR, opts)))
 }

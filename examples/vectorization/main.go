@@ -1,6 +1,6 @@
 // Vectorization study: diagnosing a compiler regression with
 // instruction mixes — the paper's Fitter case study (Section VIII.C,
-// Table 6).
+// Table 6), written against the public hbbp package.
 //
 // The Fitter track-fitting kernel exists in four builds: scalar (x87),
 // SSE, AVX and a fixed AVX build. The AVX build from a beta compiler
@@ -16,19 +16,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
 
-	"hbbp/internal/analyzer"
-	"hbbp/internal/collector"
-	"hbbp/internal/core"
-	"hbbp/internal/isa"
-	"hbbp/internal/workloads"
+	"hbbp"
 )
 
 func main() {
-	model := core.DefaultModel()
+	ctx := context.Background()
+	s, err := hbbp.New(hbbp.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("Fitter instruction mixes by build (HBBP, millions):")
 	fmt.Printf("%-10s %10s %10s %10s %10s %12s\n",
 		"build", "x87", "SSE", "AVX", "CALLs", "cycles/track")
@@ -39,38 +40,33 @@ func main() {
 		scale                float64
 	}
 	// The four builds are independent runs with their own seeds, so
-	// they profile concurrently — the same property the experiment
-	// harness's worker pool exploits — and the per-variant results are
-	// identical to a sequential loop.
-	variants := workloads.FitterVariants()
+	// they profile concurrently — a Session is safe for parallel
+	// Profile calls — and the per-variant results are identical to a
+	// sequential loop.
+	variants := hbbp.FitterVariants()
 	rows := make([]rowT, len(variants))
 	var wg sync.WaitGroup
 	for i, v := range variants {
-		w := workloads.Fitter(v)
+		w := hbbp.Fitter(v)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			prof, err := core.Run(w.Prog, w.Entry, model, core.Options{
-				Collector: collector.Options{
-					Class: w.Class, Scale: w.Scale, Seed: 7, Repeat: w.Repeat,
-				},
-				KernelLivePatched: true,
-			})
+			prof, err := s.Profile(ctx, w)
 			if err != nil {
 				log.Fatal(err)
 			}
-			mix := analyzer.Mix(w.Prog, prof.BBECs, analyzer.Options{LiveText: true})
+			mix := hbbp.InstructionMix(prof, hbbp.ViewOptions{LiveText: true})
 			row := rowT{scale: float64(w.Scale) / 1e6}
 			for op, n := range mix {
 				switch op.Info().Ext {
-				case isa.X87:
+				case hbbp.ExtX87:
 					row.x87 += n
-				case isa.SSE:
+				case hbbp.ExtSSE:
 					row.sse += n
-				case isa.AVX:
+				case hbbp.ExtAVX:
 					row.avx += n
 				}
-				if op == isa.CALL {
+				if op == hbbp.CALL {
 					row.calls += n
 				}
 			}
@@ -88,11 +84,11 @@ func main() {
 	}
 
 	fmt.Println("\ndiagnosis:")
-	byVariant := map[workloads.FitterVariant]rowT{}
+	byVariant := map[hbbp.FitterVariant]rowT{}
 	for i, v := range variants {
 		byVariant[v] = rows[i]
 	}
-	broken, fixed := byVariant[workloads.FitterAVX], byVariant[workloads.FitterAVXFix]
+	broken, fixed := byVariant[hbbp.FitterAVX], byVariant[hbbp.FitterAVXFix]
 	avxRatio := broken.avx / fixed.avx
 	callRatio := broken.calls / fixed.calls
 	fmt.Printf("  AVX instruction volume, broken vs fixed build: %.1fx -> vector code generation is fine\n", avxRatio)

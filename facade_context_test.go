@@ -1,0 +1,175 @@
+package hbbp
+
+// Cancellation tests: every façade entry point takes a context, and a
+// cancelled context must stop collection runs, replay passes and the
+// experiment worker pool promptly — without ever perturbing runs that
+// complete (the parity tests all pass a live context).
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hbbp/internal/workloads"
+)
+
+// promptly runs fn and fails the test if it takes longer than the
+// bound — generous enough for loaded CI machines, far below the
+// uncancelled runtime of the work being cancelled.
+func promptly(t *testing.T, what string, bound time.Duration, fn func() error) error {
+	t.Helper()
+	start := time.Now()
+	err := fn()
+	if elapsed := time.Since(start); elapsed > bound {
+		t.Errorf("%s took %v after cancellation (bound %v)", what, elapsed, bound)
+	}
+	return err
+}
+
+func TestProfileObservesCancellation(t *testing.T) {
+	// A workload long enough that an uncancelled run takes many
+	// seconds: cancellation mid-run must cut it to milliseconds.
+	w := workloads.Test40()
+	long := *w
+	long.Repeat = w.Repeat * 100
+
+	s, err := New(WithSeed(1))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err = promptly(t, "Profile", 10*time.Second, func() error {
+		_, err := s.Profile(ctx, &long)
+		return err
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Profile returned %v, want errors.Is(context.Canceled)", err)
+	}
+
+	// An already-cancelled context stops the run before any block
+	// retires.
+	done, cancelDone := context.WithCancel(context.Background())
+	cancelDone()
+	if _, err := s.Profile(done, w); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Profile returned %v, want errors.Is(context.Canceled)", err)
+	}
+}
+
+func TestReplayObservesCancellation(t *testing.T) {
+	w := workloads.Test40().Scaled(0.2)
+	var raw bytes.Buffer
+	s, err := New(WithSeed(1), WithRawOutput(&raw))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := s.Profile(context.Background(), w); err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Replay(ctx, w, bytes.NewReader(raw.Bytes())); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Replay returned %v, want errors.Is(context.Canceled)", err)
+	}
+}
+
+func TestTrainObservesCancellation(t *testing.T) {
+	s, err := New(WithSeed(1), WithFast(0.1), WithParallelism(4))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Fast-mode training can finish in milliseconds, so a timed cancel
+	// races; a pre-cancelled context deterministically exercises the
+	// worker pool's refusal to dispatch corpus runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = promptly(t, "Train", 10*time.Second, func() error {
+		_, trainErr := s.Train(ctx)
+		return trainErr
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Train returned %v, want errors.Is(context.Canceled)", err)
+	}
+	// A failed training pass must not install a model.
+	if s.currentModel().Tree != nil {
+		t.Error("cancelled Train installed a model on the session")
+	}
+}
+
+func TestExperimentsObserveCancellation(t *testing.T) {
+	s, err := New(WithSeed(1), WithFast(0.1))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	// Mid-run: the parallel harness (worker pool + in-flight
+	// collections) must stop promptly.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err = promptly(t, "RunAllExperiments", 15*time.Second, func() error {
+		return s.RunAllExperiments(ctx)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunAllExperiments returned %v, want errors.Is(context.Canceled)", err)
+	}
+
+	// Pre-cancelled: even a static table refuses to run.
+	done, cancelDone := context.WithCancel(context.Background())
+	cancelDone()
+	if err := s.RunExperiment(done, "table2"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunExperiment returned %v, want errors.Is(context.Canceled)", err)
+	}
+}
+
+func TestUnknownExperimentIsTyped(t *testing.T) {
+	s, err := New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	err = s.RunExperiment(context.Background(), "table99")
+	if !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("unknown experiment returned %v, want errors.Is(ErrUnknownExperiment)", err)
+	}
+}
+
+// TestReplaySurfacesPerffileSentinels asserts corrupted replay inputs
+// classify through the façade's re-exported sentinels with errors.Is —
+// callers never need the internal perffile package.
+func TestReplaySurfacesPerffileSentinels(t *testing.T) {
+	w := workloads.Test40().Scaled(0.1)
+	var raw bytes.Buffer
+	s, err := New(WithSeed(1), WithRawOutput(&raw))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := s.Profile(context.Background(), w); err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	ctx := context.Background()
+
+	notAPerffile := []byte("GARBAGE!not a collection stream")
+	if _, err := s.Replay(ctx, w, bytes.NewReader(notAPerffile)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("garbage stream returned %v, want errors.Is(ErrBadMagic)", err)
+	}
+
+	cut := raw.Bytes()[:raw.Len()-3]
+	if _, err := s.Replay(ctx, w, bytes.NewReader(cut)); !errors.Is(err, ErrTruncatedRecord) {
+		t.Errorf("truncated stream returned %v, want errors.Is(ErrTruncatedRecord)", err)
+	}
+
+	futuristic := append([]byte{}, raw.Bytes()...)
+	futuristic[8], futuristic[9], futuristic[10], futuristic[11] = 99, 0, 0, 0
+	if _, err := s.Replay(ctx, w, bytes.NewReader(futuristic)); !errors.Is(err, ErrUnsupportedVersion) {
+		t.Errorf("future-version stream returned %v, want errors.Is(ErrUnsupportedVersion)", err)
+	}
+}

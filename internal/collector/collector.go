@@ -20,6 +20,7 @@ package collector
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 
@@ -107,6 +108,11 @@ type Options struct {
 	// collection output is identical either way — parity tests flip
 	// this flag to prove it.
 	PerInstruction bool
+	// Context, when non-nil, cancels a collection in flight: the CPU
+	// polls it during the run and the replay path polls it between
+	// records, aborting with an error that wraps ctx.Err(). A run that
+	// completes under a context is bit-identical to one without.
+	Context context.Context
 }
 
 // effectivePeriods resolves the configured periods to simulated units.
@@ -254,7 +260,7 @@ func Collect(p *program.Program, entry *program.Function, opt Options, extra ...
 	listeners := append([]cpu.Listener{unit}, extra...)
 	stats, err := cpu.Run(p, entry, cpu.Config{
 		Seed: opt.Seed, Repeat: opt.Repeat, MaxRetired: opt.MaxRetired,
-		PerInstruction: opt.PerInstruction,
+		PerInstruction: opt.PerInstruction, Ctx: opt.Context,
 	}, listeners...)
 	if err != nil {
 		return nil, fmt.Errorf("collector: running %s: %w", p.Name, err)

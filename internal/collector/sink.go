@@ -1,6 +1,7 @@
 package collector
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -104,11 +105,46 @@ func (v sinkVisitor) VisitLost(l perffile.Lost) error {
 	return nil
 }
 
+// ctxVisitor wraps a record visitor with periodic context polls, so a
+// replay over a large file observes cancellation without paying a
+// per-record check on every channel.
+type ctxVisitor struct {
+	sinkVisitor
+	ctx       context.Context
+	countdown int
+}
+
+// replayCtxInterval is how many samples pass between context polls on
+// the replay path.
+const replayCtxInterval = 4096
+
+func (v *ctxVisitor) VisitSample(s *perffile.Sample) error {
+	if v.countdown--; v.countdown < 0 {
+		v.countdown = replayCtxInterval
+		if err := v.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return v.sinkVisitor.VisitSample(s)
+}
+
 // Replay streams a serialized perffile through the sinks — the on-disk
 // analogue of a live run's dispatch. Sample and Lost records reach
 // every sink in file order; Comm and Mmap metadata is skipped.
 func Replay(rd io.Reader, sinks ...SampleSink) error {
-	if err := perffile.Visit(rd, sinkVisitor(sinks)); err != nil {
+	return ReplayContext(context.Background(), rd, sinks...)
+}
+
+// ReplayContext is Replay under a context: the pass polls ctx between
+// records and aborts with an error wrapping ctx.Err() when it is
+// cancelled. A pass that completes is identical to an uncancelled
+// Replay.
+func ReplayContext(ctx context.Context, rd io.Reader, sinks ...SampleSink) error {
+	var v perffile.Visitor = sinkVisitor(sinks)
+	if ctx != nil && ctx.Done() != nil {
+		v = &ctxVisitor{sinkVisitor: sinkVisitor(sinks), ctx: ctx}
+	}
+	if err := perffile.Visit(rd, v); err != nil {
 		return fmt.Errorf("collector: replay: %w", err)
 	}
 	return nil
@@ -120,9 +156,18 @@ func Replay(rd io.Reader, sinks ...SampleSink) error {
 // replaying a known collection set them from the options used at
 // collection time (see Options.Periods and Options.EffectiveScale).
 func ReplayResult(rd io.Reader) (*Result, error) {
+	return ReplayResultContext(context.Background(), rd)
+}
+
+// ReplayResultContext is ReplayResult under a context (see
+// ReplayContext for the cancellation contract). Extra sinks join the
+// dispatch after the built-in EBS and LBR sinks — the same order a
+// live collection uses for Options.Sinks.
+func ReplayResultContext(ctx context.Context, rd io.Reader, extra ...SampleSink) (*Result, error) {
 	ebs := &EBSSink{}
 	lbr := &LBRSink{}
-	if err := Replay(rd, ebs, lbr); err != nil {
+	sinks := append([]SampleSink{ebs, lbr}, extra...)
+	if err := ReplayContext(ctx, rd, sinks...); err != nil {
 		return nil, err
 	}
 	return &Result{

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -209,7 +210,11 @@ func Run(p *program.Program, entry *program.Function, model *Model, opts Options
 // Run statistics (cycle counts, PMI totals) are not in the file either;
 // the returned profile's overhead model reports a clean factor of 1.
 func AnalyzeReplay(p *program.Program, model *Model, rd io.Reader, opts Options) (*Profile, error) {
-	res, err := collector.ReplayResult(rd)
+	ctx := opts.Collector.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := collector.ReplayResultContext(ctx, rd, opts.Collector.Sinks...)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

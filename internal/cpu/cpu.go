@@ -23,6 +23,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -153,7 +154,19 @@ type Config struct {
 	// is identical either way — parity tests flip this flag to prove
 	// the block fast path bit-exact against the reference path.
 	PerInstruction bool
+	// Ctx, when non-nil, cancels a run in flight: the machine polls it
+	// every ctxCheckInterval blocks and aborts with an error wrapping
+	// ctx.Err(). Cancellation never perturbs the execution it cuts
+	// short — no RNG draw, no listener dispatch depends on it — so a
+	// run that completes under a context is bit-identical to one
+	// without.
+	Ctx context.Context
 }
+
+// ctxCheckInterval is how many retired blocks pass between context
+// polls. Small enough to stop a runaway workload within microseconds,
+// large enough to keep the check off the block fast path's profile.
+const ctxCheckInterval = 1024
 
 // blockInfo caches the per-block layout the hot loop needs, computed
 // once per block at Machine construction: instruction addresses, the
@@ -179,6 +192,10 @@ type Machine struct {
 	callStack []*program.Block
 	stats     Stats
 	bev       BlockEvent
+	// ctxCountdown counts retired blocks down to the next poll of
+	// cfg.Ctx; it starts at zero so an already-cancelled context stops
+	// the run before the first block retires.
+	ctxCountdown int
 }
 
 // New prepares a machine for the given program.
@@ -236,6 +253,14 @@ func (m *Machine) runOnce(entry *program.Function) error {
 	cur := entry.Entry()
 	m.callStack = m.callStack[:0]
 	for cur != nil {
+		if m.cfg.Ctx != nil {
+			if m.ctxCountdown--; m.ctxCountdown < 0 {
+				m.ctxCountdown = ctxCheckInterval
+				if err := m.cfg.Ctx.Err(); err != nil {
+					return fmt.Errorf("cpu: running %s: %w", m.prog.Name, err)
+				}
+			}
+		}
 		if m.cfg.MaxRetired > 0 && m.stats.Retired > m.cfg.MaxRetired {
 			return fmt.Errorf("%w: %d instructions (check loop wiring in %s)",
 				ErrRetireLimit, m.stats.Retired, m.prog.Name)

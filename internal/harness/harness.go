@@ -11,10 +11,12 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hbbp/internal/analyzer"
 	"hbbp/internal/collector"
@@ -52,6 +54,24 @@ type Config struct {
 	// Outputs are identical either way; the model/table parity tests
 	// flip this flag to prove it.
 	PerInstruction bool
+	// Ctx, when non-nil, cancels experiments in flight: the worker pool
+	// stops dispatching new runs and every running collection aborts at
+	// its next context poll, so a Runner method returns promptly with
+	// an error wrapping ctx.Err(). Results produced before
+	// cancellation are discarded; a run that completes under a context
+	// is bit-identical to one without.
+	Ctx context.Context
+	// Model, when non-nil, is used as the HBBP model instead of
+	// training one on the corpus — the cache-sharing hook for callers
+	// that construct a Runner per invocation. Outputs are identical to
+	// a training Runner only if the model is one such a Runner (same
+	// Seed, Fast settings and dispatch path) produced; see
+	// TrainedModel.
+	Model *core.Model
+	// Suite, when non-nil, is used as the SPEC-suite evaluation set
+	// instead of running the suite — the same cache-sharing hook for
+	// the other expensive shared computation; see EvaluatedSuite.
+	Suite []*WorkloadEval
 }
 
 // Runner executes experiments, caching the trained model and per-suite
@@ -61,13 +81,15 @@ type Runner struct {
 	cfg Config
 	out io.Writer
 
-	modelOnce sync.Once
-	model     *core.Model
-	modelErr  error
+	modelOnce  sync.Once
+	model      *core.Model
+	modelErr   error
+	modelReady atomic.Bool
 
-	suiteOnce sync.Once
-	suite     []*WorkloadEval
-	suiteErr  error
+	suiteOnce  sync.Once
+	suite      []*WorkloadEval
+	suiteErr   error
+	suiteReady atomic.Bool
 }
 
 // New returns a Runner.
@@ -106,10 +128,24 @@ func (r *Runner) workers(n int) int {
 	return w
 }
 
+// ctxErr reports the configured context's cancellation error, wrapped
+// for attribution; nil when no context is set or it is still live.
+func (r *Runner) ctxErr() error {
+	if r.cfg.Ctx == nil {
+		return nil
+	}
+	if err := r.cfg.Ctx.Err(); err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
+	return nil
+}
+
 // forEach runs fn(i) for every i in [0, n) on a bounded worker pool
 // and returns the lowest-index error. Callers communicate results by
 // writing to per-index slots, so assembly order — and therefore every
-// rendered table — is independent of scheduling.
+// rendered table — is independent of scheduling. A cancelled
+// Config.Ctx stops the dispatch of further items; items already
+// running abort at their own context polls inside the collection.
 func (r *Runner) forEach(n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
@@ -117,6 +153,9 @@ func (r *Runner) forEach(n int, fn func(i int) error) error {
 	workers := r.workers(n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := r.ctxErr(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -131,6 +170,10 @@ func (r *Runner) forEach(n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if err := r.ctxErr(); err != nil {
+					errs[i] = err
+					continue
+				}
 				errs[i] = fn(i)
 			}
 		}()
@@ -154,6 +197,15 @@ func (r *Runner) forEach(n int, fn func(i int) error) error {
 // dataset and the learned tree are identical to a sequential pass.
 func (r *Runner) Model() (*core.Model, error) {
 	r.modelOnce.Do(func() {
+		defer func() {
+			if r.modelErr == nil {
+				r.modelReady.Store(true)
+			}
+		}()
+		if r.cfg.Model != nil {
+			r.model = r.cfg.Model
+			return
+		}
 		corpus := workloads.TrainingCorpus()
 		for i, w := range corpus {
 			corpus[i] = r.scaled(w)
@@ -169,6 +221,7 @@ func (r *Runner) Model() (*core.Model, error) {
 				Scale: w.Scale, Seed: r.cfg.Seed + int64(100+i),
 				Repeat:         w.Repeat,
 				PerInstruction: r.cfg.PerInstruction,
+				Context:        r.cfg.Ctx,
 			})
 			if err != nil {
 				return err
@@ -183,6 +236,18 @@ func (r *Runner) Model() (*core.Model, error) {
 		r.model, r.modelErr = core.Train(runs, core.TrainParams{})
 	})
 	return r.model, r.modelErr
+}
+
+// TrainedModel returns the resolved model without forcing training:
+// ok is false until an experiment has needed the model and obtained it
+// successfully. Callers constructing one Runner per invocation harvest
+// the model here and feed it back through Config.Model so later
+// invocations skip the corpus collection.
+func (r *Runner) TrainedModel() (m *core.Model, ok bool) {
+	if !r.modelReady.Load() {
+		return nil, false
+	}
+	return r.model, true
 }
 
 // WorkloadEval is one workload's full evaluation: runtime model plus
@@ -228,6 +293,7 @@ func (r *Runner) evalWorkload(w *workloads.Workload) (*WorkloadEval, error) {
 			Class: w.Class, Scale: w.Scale, Seed: r.cfg.Seed + 7,
 			Repeat:         w.Repeat,
 			PerInstruction: r.cfg.PerInstruction,
+			Context:        r.cfg.Ctx,
 		},
 		KernelLivePatched: true,
 	}, ref)
@@ -297,9 +363,28 @@ func (r *Runner) evalWorkloads(ws []*workloads.Workload) ([]*WorkloadEval, error
 // suite order regardless of scheduling.
 func (r *Runner) SuiteEvals() ([]*WorkloadEval, error) {
 	r.suiteOnce.Do(func() {
+		if r.cfg.Suite != nil {
+			r.suite = r.cfg.Suite
+			r.suiteReady.Store(true)
+			return
+		}
 		r.suite, r.suiteErr = r.evalWorkloads(workloads.SPECSuite())
+		if r.suiteErr == nil {
+			r.suiteReady.Store(true)
+		}
 	})
 	return r.suite, r.suiteErr
+}
+
+// EvaluatedSuite returns the suite evaluations without forcing the
+// runs: ok is false until an experiment has needed the suite and
+// obtained it successfully. The per-invocation-Runner counterpart of
+// TrainedModel.
+func (r *Runner) EvaluatedSuite() (evals []*WorkloadEval, ok bool) {
+	if !r.suiteReady.Load() {
+		return nil, false
+	}
+	return r.suite, true
 }
 
 // ExperimentNames lists every regenerable experiment in paper order.
@@ -314,6 +399,9 @@ func ExperimentNames() []string {
 // Run executes one experiment by name and renders it to the
 // configured output.
 func (r *Runner) Run(name string) error {
+	if err := r.ctxErr(); err != nil {
+		return err
+	}
 	switch name {
 	case "table1":
 		res, err := r.Table1()

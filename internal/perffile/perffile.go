@@ -207,15 +207,30 @@ type Reader struct {
 	buf []byte
 }
 
-// ErrBadMagic reports a stream that is not a perffile.
-var ErrBadMagic = errors.New("perffile: bad magic")
+// Sentinel errors for malformed streams. Parse failures wrap one of
+// these, so callers classify them with errors.Is regardless of the
+// contextual detail in the message.
+var (
+	// ErrBadMagic reports a stream that is not a perffile.
+	ErrBadMagic = errors.New("perffile: bad magic")
+	// ErrTruncatedRecord reports a stream that ends (or claims a
+	// length) mid-record: a record header, payload or variable-length
+	// field is shorter than its declared size.
+	ErrTruncatedRecord = errors.New("perffile: truncated record")
+	// ErrUnsupportedVersion reports a valid header whose format version
+	// this package cannot read.
+	ErrUnsupportedVersion = errors.New("perffile: unsupported version")
+)
 
 // NewReader validates the header and returns a Reader.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	head := make([]byte, len(Magic)+4)
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("perffile: reading header: %w", err)
+		// A stream that ends inside (or before) the header — empty
+		// files included — is truncated; any other I/O failure keeps
+		// its own identity.
+		return nil, classifyReadError("header", err)
 	}
 	if string(head[:len(Magic)]) != Magic {
 		return nil, ErrBadMagic
@@ -223,9 +238,21 @@ func NewReader(r io.Reader) (*Reader, error) {
 	// Version 1 differs only in the LOST payload (no event tag), so
 	// both versions read through the same parsers.
 	if v := binary.LittleEndian.Uint32(head[len(Magic):]); v != Version && v != 1 {
-		return nil, fmt.Errorf("perffile: unsupported version %d", v)
+		return nil, fmt.Errorf("%w: %d", ErrUnsupportedVersion, v)
 	}
 	return &Reader{r: br}, nil
+}
+
+// classifyReadError maps a mid-record read failure to the sentinel it
+// deserves: a stream that ends early is a truncated record, while any
+// other I/O failure (a broken pipe, a transient network error) keeps
+// its own identity so callers do not mistake a retryable read for
+// file corruption. The cause stays on the unwrap chain either way.
+func classifyReadError(what string, err error) error {
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return fmt.Errorf("%w: %s: %w", ErrTruncatedRecord, what, err)
+	}
+	return fmt.Errorf("perffile: reading %s: %w", what, err)
 }
 
 // readRecord pulls the next raw record into the reader's reused
@@ -239,7 +266,7 @@ func (r *Reader) readRecord() (RecordType, []byte, error) {
 		return 0, nil, fmt.Errorf("perffile: reading record type: %w", err)
 	}
 	if _, err := io.ReadFull(r.r, hdr[1:]); err != nil {
-		return 0, nil, fmt.Errorf("perffile: reading record length: %w", err)
+		return 0, nil, classifyReadError("record length", err)
 	}
 	t := RecordType(hdr[0])
 	n := binary.LittleEndian.Uint32(hdr[1:])
@@ -251,7 +278,7 @@ func (r *Reader) readRecord() (RecordType, []byte, error) {
 	}
 	payload := r.buf[:n]
 	if _, err := io.ReadFull(r.r, payload); err != nil {
-		return 0, nil, fmt.Errorf("perffile: reading %v payload: %w", t, err)
+		return 0, nil, classifyReadError(fmt.Sprintf("%v payload", t), err)
 	}
 	return t, payload, nil
 }
@@ -282,11 +309,11 @@ func (r *Reader) Next() (any, error) {
 
 func parseComm(b []byte) (*Comm, error) {
 	if len(b) < 6 {
-		return nil, errors.New("perffile: short COMM record")
+		return nil, fmt.Errorf("%w: short COMM record", ErrTruncatedRecord)
 	}
 	n := int(binary.LittleEndian.Uint16(b[4:6]))
 	if len(b) < 6+n {
-		return nil, errors.New("perffile: truncated COMM name")
+		return nil, fmt.Errorf("%w: COMM name", ErrTruncatedRecord)
 	}
 	return &Comm{
 		PID:  binary.LittleEndian.Uint32(b),
@@ -296,11 +323,11 @@ func parseComm(b []byte) (*Comm, error) {
 
 func parseMmap(b []byte) (*Mmap, error) {
 	if len(b) < 23 {
-		return nil, errors.New("perffile: short MMAP record")
+		return nil, fmt.Errorf("%w: short MMAP record", ErrTruncatedRecord)
 	}
 	n := int(binary.LittleEndian.Uint16(b[21:23]))
 	if len(b) < 23+n {
-		return nil, errors.New("perffile: truncated MMAP name")
+		return nil, fmt.Errorf("%w: MMAP name", ErrTruncatedRecord)
 	}
 	return &Mmap{
 		PID:    binary.LittleEndian.Uint32(b),
@@ -315,7 +342,7 @@ func parseMmap(b []byte) (*Mmap, error) {
 // backing array when it is large enough.
 func parseSampleInto(b []byte, s *Sample) error {
 	if len(b) < 20 {
-		return errors.New("perffile: short SAMPLE record")
+		return fmt.Errorf("%w: short SAMPLE record", ErrTruncatedRecord)
 	}
 	s.Event = b[0]
 	s.IP = binary.LittleEndian.Uint64(b[1:])
@@ -323,7 +350,7 @@ func parseSampleInto(b []byte, s *Sample) error {
 	s.Cycle = binary.LittleEndian.Uint64(b[10:])
 	nb := int(binary.LittleEndian.Uint16(b[18:20]))
 	if len(b) < 20+16*nb {
-		return errors.New("perffile: truncated SAMPLE stack")
+		return fmt.Errorf("%w: SAMPLE stack", ErrTruncatedRecord)
 	}
 	s.Stack = s.Stack[:0]
 	if nb > 0 {
@@ -344,7 +371,7 @@ func parseSampleInto(b []byte, s *Sample) error {
 
 func parseLost(b []byte) (*Lost, error) {
 	if len(b) < 8 {
-		return nil, errors.New("perffile: short LOST record")
+		return nil, fmt.Errorf("%w: short LOST record", ErrTruncatedRecord)
 	}
 	l := &Lost{Count: binary.LittleEndian.Uint64(b)}
 	// Version-1 records end after the count; their drops stay

@@ -1,0 +1,217 @@
+package hbbp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"hbbp/internal/collector"
+	"hbbp/internal/core"
+	"hbbp/internal/harness"
+)
+
+// Session is the library's entry point: a fixed configuration plus an
+// active profiling model, usable for any number of runs. Construct one
+// with [New]; the zero value is not usable.
+//
+// A Session is safe for concurrent use — [Session.Profile] calls may
+// run in parallel (each run owns its machine and PMU state) — with two
+// caveats. [Session.Train] installs the learned model for subsequent
+// calls, so profiles racing with a Train may use either model. And the
+// session-level option targets are shared across runs: a [WithRawOutput]
+// writer receives the interleaved streams of concurrent runs (useless
+// for replay — serialize profiles, or give each run its own session),
+// and [WithSinks] implementations observe concurrent Sample calls and
+// must be safe for that themselves.
+type Session struct {
+	cfg config
+
+	mu    sync.Mutex
+	model *Model
+	// expModel and expSuite cache the two expensive shared
+	// computations of the experiment harness — the corpus-trained
+	// model and the SPEC-suite evaluations: the harness produces them
+	// on first need, the session harvests them, and later runner
+	// invocations skip the collections. expModel is kept separate
+	// from model so running an experiment never silently changes what
+	// Profile uses.
+	expModel *Model
+	expSuite []*harness.WorkloadEval
+}
+
+// New builds a Session from functional options. Defaults: seed 1, all
+// cores, each workload's own runtime class, full-fidelity runs, the
+// shipped default model, no sinks, no raw output.
+func New(opts ...Option) (*Session, error) {
+	cfg := config{seed: 1}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	return &Session{cfg: cfg, model: cfg.model}, nil
+}
+
+// currentModel resolves the active model: installed by option or
+// Train, else the shipped default rule.
+func (s *Session) currentModel() *Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.model != nil {
+		return s.model
+	}
+	return core.DefaultModel()
+}
+
+// coreOptions resolves the session configuration and a workload into
+// the internal options structs — the single place the public options
+// surface maps onto the internal plumbing.
+func (s *Session) coreOptions(ctx context.Context, w *Workload) core.Options {
+	class := w.Class
+	if s.cfg.classSet {
+		class = s.cfg.class
+	}
+	return core.Options{
+		Collector: collector.Options{
+			Class:          class,
+			Scale:          w.Scale,
+			Seed:           s.cfg.seed,
+			Repeat:         w.Repeat,
+			Sinks:          s.cfg.sinks,
+			RawOut:         s.cfg.rawOut,
+			PerInstruction: s.cfg.perInstruction,
+			Context:        ctx,
+		},
+		KernelLivePatched: true,
+	}
+}
+
+// Profile runs one workload under the simulated PMU: one collection
+// pass, both estimators, bias detection, then the per-block hybrid
+// choice with the session's model. Extra listeners observe the
+// identical execution (the evaluation attaches the [Instrumenter]
+// reference this way). Cancelling ctx aborts the run promptly with an
+// error wrapping ctx.Err().
+func (s *Session) Profile(ctx context.Context, w *Workload, extra ...Listener) (*Profile, error) {
+	if w == nil {
+		return nil, fmt.Errorf("hbbp: Profile of a nil workload")
+	}
+	return core.Run(w.Prog, w.Entry, s.currentModel(), s.coreOptions(ctx, w), extra...)
+}
+
+// Replay re-analyzes a serialized collection stream (written earlier
+// by a [WithRawOutput] session) for the given workload: records stream
+// through the same sinks a live run dispatches to, then the session's
+// model makes the per-block choices. The workload must be the one the
+// stream was collected from — the file records samples, not
+// configuration, so the program image, sampling periods and scale are
+// resolved from it. Run statistics (cycles, PMI counts) are not in the
+// file; the replayed profile's overhead model reports a clean factor
+// of 1.
+//
+// Malformed streams return errors matching [ErrBadMagic],
+// [ErrTruncatedRecord] or [ErrUnsupportedVersion] under errors.Is.
+func (s *Session) Replay(ctx context.Context, w *Workload, r io.Reader) (*Profile, error) {
+	if w == nil {
+		return nil, fmt.Errorf("hbbp: Replay of a nil workload")
+	}
+	opts := s.coreOptions(ctx, w)
+	// Collection-time retention options do not apply to a replay pass.
+	opts.Collector.RawOut = nil
+	return core.AnalyzeReplay(w.Prog, s.currentModel(), r, opts)
+}
+
+// Train learns the classification-tree model on the training corpus —
+// the paper's Figure 1 pipeline — and installs it as the session's
+// active model for subsequent Profile and Replay calls. The corpus
+// runs execute on the session's worker pool; the dataset and the
+// learned tree are identical at any parallelism. Cancelling ctx stops
+// the corpus collection promptly.
+func (s *Session) Train(ctx context.Context) (*Model, error) {
+	r := s.runner(ctx)
+	m, err := r.Model()
+	if err != nil {
+		return nil, err
+	}
+	s.harvest(r)
+	s.mu.Lock()
+	s.model = m
+	s.mu.Unlock()
+	return m, nil
+}
+
+// runner maps the session configuration onto an experiment harness
+// bound to ctx. The harness is per call (a context binds at
+// construction), but the expensive state — the corpus-trained model —
+// is carried across calls through expModel and harvest.
+func (s *Session) runner(ctx context.Context) *harness.Runner {
+	s.mu.Lock()
+	trained, suite := s.expModel, s.expSuite
+	s.mu.Unlock()
+	return harness.New(harness.Config{
+		Out:            s.cfg.expOut,
+		Fast:           s.cfg.fastFactor > 0,
+		FastFactor:     s.cfg.fastFactor,
+		Seed:           s.cfg.seed,
+		Parallelism:    s.cfg.parallelism,
+		PerInstruction: s.cfg.perInstruction,
+		Ctx:            ctx,
+		Model:          trained,
+		Suite:          suite,
+	})
+}
+
+// harvest stores the model a runner trained and the suite it
+// evaluated, so the next runner skips those collections. Called after
+// every runner use, whether or not the invocation as a whole
+// succeeded — a successfully computed cache is valid even when a
+// later table failed or was cancelled.
+func (s *Session) harvest(r *harness.Runner) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := r.TrainedModel(); ok && s.expModel == nil {
+		s.expModel = m
+	}
+	if evals, ok := r.EvaluatedSuite(); ok && s.expSuite == nil {
+		s.expSuite = evals
+	}
+}
+
+// ExperimentNames lists every regenerable experiment of the paper's
+// evaluation, in paper order (table1..table8, figure1..figure4).
+func ExperimentNames() []string { return harness.ExperimentNames() }
+
+// RunExperiment regenerates one table or figure of the paper,
+// rendering it to the [WithExperimentOutput] writer. Unknown names
+// return an error matching [ErrUnknownExperiment]. Cancelling ctx
+// stops the worker pool and in-flight collections promptly.
+func (s *Session) RunExperiment(ctx context.Context, name string) error {
+	known := false
+	for _, n := range ExperimentNames() {
+		if n == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("%w: %q (known: %s)",
+			ErrUnknownExperiment, name, strings.Join(ExperimentNames(), ", "))
+	}
+	r := s.runner(ctx)
+	err := r.Run(name)
+	s.harvest(r)
+	return err
+}
+
+// RunAllExperiments regenerates every experiment in paper order on one
+// harness, so the trained model and suite evaluations are shared
+// across the tables that need them; the trained model also carries
+// over to the session's later experiment calls.
+func (s *Session) RunAllExperiments(ctx context.Context) error {
+	r := s.runner(ctx)
+	err := r.RunAll()
+	s.harvest(r)
+	return err
+}

@@ -1,0 +1,259 @@
+package hbbp
+
+import (
+	"hbbp/internal/analyzer"
+	"hbbp/internal/collector"
+	"hbbp/internal/core"
+	"hbbp/internal/cpu"
+	"hbbp/internal/isa"
+	"hbbp/internal/metrics"
+	"hbbp/internal/perffile"
+	"hbbp/internal/pivot"
+	"hbbp/internal/program"
+	"hbbp/internal/sde"
+	"hbbp/internal/workloads"
+)
+
+// The stable result and configuration types of the library, re-exported
+// from the internals as aliases: values returned by a Session ARE these
+// types, so the façade adds no conversion layer, and the internal
+// packages stay free to evolve behind it.
+
+// Profile is a completed HBBP profiling run: the hybrid per-block
+// execution counts (BBECs), the raw EBS and LBR estimates, the
+// per-block source choices, the LBR bias report and the underlying
+// collection result.
+type Profile = core.Profile
+
+// Model is a trained HBBP chooser: a classification tree with the
+// paper's block-length threshold rule as fallback.
+type Model = core.Model
+
+// Source identifies which estimator supplies a block's BBEC.
+type Source = core.Source
+
+// Data sources, in Profile.Choices.
+const (
+	SourceLBR = core.SourceLBR
+	SourceEBS = core.SourceEBS
+)
+
+// DefaultModel returns the shipped rule-of-thumb model — the paper's
+// published outcome: blocks of 18 instructions or fewer use LBR data,
+// longer blocks use EBS data. Use [Session.Train] to learn a model on
+// the training corpus instead.
+func DefaultModel() *Model { return core.DefaultModel() }
+
+// CollectionResult is the raw outcome of one collection run: sample
+// sets, effective periods, run statistics and the overhead model.
+// Profiles carry one in Profile.Collection.
+type CollectionResult = collector.Result
+
+// Stats summarises one simulated execution (retired instructions,
+// kernel share, taken branches, cycles).
+type Stats = cpu.Stats
+
+// RuntimeClass buckets workloads by expected runtime, selecting the
+// sampling periods of the paper's Table 4.
+type RuntimeClass = collector.RuntimeClass
+
+// Runtime classes.
+const (
+	// ClassSeconds is for workloads running for seconds.
+	ClassSeconds = collector.ClassSeconds
+	// ClassMinuteOrTwo is for ~1-2 minute workloads.
+	ClassMinuteOrTwo = collector.ClassMinuteOrTwo
+	// ClassMinutes is for multi-minute workloads (SPEC).
+	ClassMinutes = collector.ClassMinutes
+)
+
+// PeriodsFor returns the EBS and LBR sampling periods of the paper's
+// Table 4 for a runtime class, in paper units (real retirements).
+func PeriodsFor(c RuntimeClass) (ebsPeriod, lbrPeriod uint64) {
+	return collector.PeriodsFor(c)
+}
+
+// Workload is a runnable benchmark: a program, its entry point and its
+// execution scaling. Obtain one from [LookupWorkload] or a named
+// constructor such as [Test40].
+type Workload = workloads.Workload
+
+// FitterVariant selects one of the builds of the Fitter track-fitting
+// benchmark (Section VIII.C of the paper, Tables 3 and 6).
+type FitterVariant = workloads.FitterVariant
+
+// Fitter variants.
+const (
+	FitterX87    = workloads.FitterX87
+	FitterSSE    = workloads.FitterSSE
+	FitterAVX    = workloads.FitterAVX
+	FitterAVXFix = workloads.FitterAVXFix
+)
+
+// Sample is one PMI capture in the collection stream. The instance
+// passed to a SampleSink lives in a reused buffer and is only valid
+// for the duration of the call.
+type Sample = perffile.Sample
+
+// Lost reports PMIs dropped by overflow collisions on one counter.
+type Lost = perffile.Lost
+
+// Branch is one LBR entry in a sample record.
+type Branch = perffile.Branch
+
+// SampleSink consumes PMU sample records as they are produced — by a
+// live collection run or by replaying a serialized stream. Register
+// sinks with [WithSinks].
+type SampleSink = collector.SampleSink
+
+// Listener observes the simulated retirement stream directly; extra
+// listeners passed to [Session.Profile] see the identical execution
+// the PMU measures (the evaluation attaches the instrumentation
+// reference this way).
+type Listener = cpu.Listener
+
+// Instrumenter is the software-instrumentation reference (the paper's
+// SDE stand-in): exact user-mode instruction counts plus the slowdown
+// model behind Table 1. Create one with [NewInstrumenter] and pass it
+// to [Session.Profile] as an extra listener.
+type Instrumenter = sde.Instrumenter
+
+// NewInstrumenter returns an instrumentation reference for a program.
+func NewInstrumenter(p *Program) *Instrumenter { return sde.New(p) }
+
+// Program is a static program image: modules, functions, basic blocks.
+type Program = program.Program
+
+// Function is one function of a program.
+type Function = program.Function
+
+// Module is one linked image (binary, shared object or kernel module).
+type Module = program.Module
+
+// Ring is the privilege level code executes in.
+type Ring = program.Ring
+
+// Privilege levels.
+const (
+	RingUser   = program.RingUser
+	RingKernel = program.RingKernel
+)
+
+// Mix is a per-mnemonic execution histogram. Values are execution
+// counts (possibly fractional for PMU-estimated mixes).
+type Mix = metrics.Mix
+
+// ViewOptions configure mix and pivot generation: ring scope, live vs
+// static text, module and function filters.
+type ViewOptions = analyzer.Options
+
+// Scope filters which retirements contribute to a view.
+type Scope = analyzer.Scope
+
+// Scopes.
+const (
+	// ScopeAll covers user and kernel code.
+	ScopeAll = analyzer.ScopeAll
+	// ScopeUser covers ring 3 only — the visibility software
+	// instrumentation is limited to.
+	ScopeUser = analyzer.ScopeUser
+	// ScopeKernel covers ring 0 only.
+	ScopeKernel = analyzer.ScopeKernel
+)
+
+// PivotTable is an instruction-mix pivot table: one record per (block,
+// mnemonic) with static attributes attached, queryable by any
+// dimension combination.
+type PivotTable = pivot.Table
+
+// Query describes one pivot view (group-by dimensions, filters,
+// ordering, limit).
+type Query = pivot.Query
+
+// Order controls pivot result ordering.
+type Order = pivot.Order
+
+// Orders.
+const (
+	// OrderByValueDesc sorts by aggregated value, largest first.
+	OrderByValueDesc = pivot.OrderByValueDesc
+	// OrderByKey sorts lexicographically by group keys.
+	OrderByKey = pivot.OrderByKey
+)
+
+// ResultRow is one aggregated pivot output row.
+type ResultRow = pivot.ResultRow
+
+// Pivot dimension names emitted by [BuildPivot], for custom queries.
+const (
+	DimModule   = analyzer.DimModule
+	DimFunction = analyzer.DimFunction
+	DimBlock    = analyzer.DimBlock
+	DimRing     = analyzer.DimRing
+	DimMnemonic = analyzer.DimMnemonic
+	DimExt      = analyzer.DimExt
+	DimPacking  = analyzer.DimPacking
+	DimCategory = analyzer.DimCategory
+	DimMemory   = analyzer.DimMemory
+)
+
+// Op is one mnemonic of the synthetic ISA — the key type of a Mix.
+// Use [ParseOp] to look one up by name; CALL and JMP, which analyses
+// routinely test for, are exported directly.
+type Op = isa.Op
+
+// Frequently tested mnemonics.
+const (
+	CALL = isa.CALL
+	JMP  = isa.JMP
+)
+
+// OpInfo carries an instruction's static attributes (encoding size,
+// latency, ISA extension, packing, category, memory behaviour).
+type OpInfo = isa.Info
+
+// Ext is an ISA extension family (Table 6, Table 8 break mixes down
+// by it).
+type Ext = isa.Ext
+
+// ISA extensions.
+const (
+	ExtBase = isa.Base // scalar integer x86
+	ExtX87  = isa.X87  // legacy floating point stack
+	ExtSSE  = isa.SSE  // 128-bit vector extension
+	ExtAVX  = isa.AVX  // 256-bit vector extension
+)
+
+// Category is an instruction category.
+type Category = isa.Category
+
+// Instruction categories.
+const (
+	CatArith      = isa.CatArith
+	CatDivide     = isa.CatDivide
+	CatSqrt       = isa.CatSqrt
+	CatLogic      = isa.CatLogic
+	CatMove       = isa.CatMove
+	CatCompare    = isa.CatCompare
+	CatConvert    = isa.CatConvert
+	CatCondBranch = isa.CatCondBranch
+	CatJump       = isa.CatJump
+	CatCall       = isa.CatCall
+	CatReturn     = isa.CatReturn
+	CatStack      = isa.CatStack
+	CatNop        = isa.CatNop
+	CatSync       = isa.CatSync
+	CatOther      = isa.CatOther
+)
+
+// Decoded is one disassembled instruction.
+type Decoded = isa.Decoded
+
+// ParseOp looks a mnemonic up by name (e.g. "vaddps").
+func ParseOp(name string) (Op, error) { return isa.Parse(name) }
+
+// Disassemble decodes an instruction stream (e.g. a Module's static
+// Code or LiveText image) starting at base.
+func Disassemble(code []byte, base uint64) ([]Decoded, error) {
+	return isa.Decode(code, base)
+}

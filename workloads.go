@@ -1,0 +1,81 @@
+package hbbp
+
+import (
+	"fmt"
+	"strings"
+
+	"hbbp/internal/workloads"
+)
+
+// namedWorkloads maps the non-SPEC workload names to their
+// constructors, in listing order.
+var namedWorkloads = []struct {
+	name  string
+	build func() *Workload
+}{
+	{"test40", workloads.Test40},
+	{"hydro-post", workloads.HydroPost},
+	{"kernel-prime", workloads.KernelPrime},
+	{"clforward-before", func() *Workload { return workloads.CLForward(false) }},
+	{"clforward-after", func() *Workload { return workloads.CLForward(true) }},
+	{"fitter-x87", func() *Workload { return workloads.Fitter(workloads.FitterX87) }},
+	{"fitter-sse", func() *Workload { return workloads.Fitter(workloads.FitterSSE) }},
+	{"fitter-avx", func() *Workload { return workloads.Fitter(workloads.FitterAVX) }},
+	{"fitter-avxfix", func() *Workload { return workloads.Fitter(workloads.FitterAVXFix) }},
+}
+
+// WorkloadNames lists every built-in workload name accepted by
+// [LookupWorkload]: the paper's case studies first, then the SPEC
+// CPU2006 stand-ins.
+func WorkloadNames() []string {
+	names := make([]string, 0, len(namedWorkloads))
+	for _, nw := range namedWorkloads {
+		names = append(names, nw.name)
+	}
+	return append(names, workloads.SPECNames()...)
+}
+
+// LookupWorkload builds a workload by name — any SPEC CPU2006 name
+// (gcc, povray, lbm, ...) or one of the case studies (test40,
+// hydro-post, kernel-prime, clforward-before, clforward-after,
+// fitter-x87, fitter-sse, fitter-avx, fitter-avxfix). Unknown names
+// return an error matching [ErrUnknownWorkload] that lists the
+// available workloads.
+func LookupWorkload(name string) (*Workload, error) {
+	for _, nw := range namedWorkloads {
+		if nw.name == name {
+			return nw.build(), nil
+		}
+	}
+	if w := workloads.SPEC(name); w != nil {
+		return w, nil
+	}
+	return nil, fmt.Errorf("%w: %q (available: %s)",
+		ErrUnknownWorkload, name, strings.Join(WorkloadNames(), ", "))
+}
+
+// Test40 is the Geant4-like simulation workload (short object-oriented
+// methods — the hard case for plain EBS; Table 5, Figures 3 and 4).
+func Test40() *Workload { return workloads.Test40() }
+
+// HydroPost is the Hydro post-processing benchmark of Table 1.
+func HydroPost() *Workload { return workloads.HydroPost() }
+
+// KernelPrime is the synthetic user+kernel prime search of Table 7:
+// the same algorithm as a user-space function and as a kernel-module
+// function reached through a syscall.
+func KernelPrime() *Workload { return workloads.KernelPrime() }
+
+// CLForward is the CLForward vectorization case study of Table 8,
+// before or after the vectorization fix.
+func CLForward(fixed bool) *Workload { return workloads.CLForward(fixed) }
+
+// Fitter builds one variant of the track-fitting benchmark of
+// Tables 3 and 6.
+func Fitter(v FitterVariant) *Workload { return workloads.Fitter(v) }
+
+// FitterVariants lists the Fitter builds in Table 6 column order.
+func FitterVariants() []FitterVariant { return workloads.FitterVariants() }
+
+// SPECSuite builds the full SPEC-like suite in Figure 2 order.
+func SPECSuite() []*Workload { return workloads.SPECSuite() }
