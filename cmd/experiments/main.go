@@ -4,12 +4,17 @@
 // Usage:
 //
 //	experiments [-experiment NAME] [-fast] [-seed N] [-parallel N]
+//	experiments -list-workloads
 //
 // NAME is one of table1..table8, figure1..figure4, or "all" (default).
 // -fast trims workload repeats for a quick smoke run; the numbers keep
 // their shape but carry more sampling noise. -parallel bounds the
 // worker pool evaluating independent runs (0 = all cores, 1 =
-// sequential); the rendered numbers are identical at any setting.
+// sequential); the rendered numbers are identical at any setting —
+// workload construction itself now happens inside the worker pool,
+// through the concurrency-safe spec registry. -list-workloads prints
+// that registry (the workload set the experiments draw from) and
+// exits.
 package main
 
 import (
@@ -29,7 +34,15 @@ func main() {
 	fast := flag.Bool("fast", false, "reduced repeats for a quick run")
 	seed := flag.Int64("seed", 1, "base random seed")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = all cores, 1 = sequential)")
+	listWorkloads := flag.Bool("list-workloads", false, "list the workload registry and exit")
 	flag.Parse()
+
+	if *listWorkloads {
+		for _, info := range hbbp.Workloads() {
+			fmt.Printf("%-22s %-24s %s\n", info.Name, info.Class, info.Description)
+		}
+		return
+	}
 
 	opts := []hbbp.Option{
 		hbbp.WithSeed(*seed),

@@ -7,10 +7,15 @@
 //
 //	hbbp -workload NAME [-view top|ext|packing|functions|rings]
 //	     [-top N] [-raw FILE] [-replay FILE] [-trained] [-seed N]
+//	hbbp -list
 //
-// Workloads: any SPEC CPU2006 name (gcc, povray, lbm, ...), test40,
-// hydro-post, kernel-prime, clforward-before, clforward-after,
-// fitter-x87, fitter-sse, fitter-avx, fitter-avxfix.
+// Workloads: any SPEC CPU2006 name (gcc, povray, lbm, ...), the
+// paper's case studies (test40, hydro-post, kernel-prime,
+// clforward-before, clforward-after, fitter-x87, fitter-sse,
+// fitter-avx, fitter-avxfix), the extra scenario families
+// (pointer-chase, phase-alternating, megamorphic-branchy,
+// callgraph-deep) and the training corpus. -list prints the full
+// registry — name, runtime class and description — in sorted order.
 //
 // -raw FILE additionally writes the raw collection (perf.data-like) to
 // FILE; -replay FILE skips the run and analyzes such a file instead,
@@ -57,8 +62,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *list {
-		for _, name := range hbbp.WorkloadNames() {
-			fmt.Fprintln(stdout, name)
+		infos := hbbp.Workloads()
+		wName := len("WORKLOAD")
+		for _, info := range infos {
+			if len(info.Name) > wName {
+				wName = len(info.Name)
+			}
+		}
+		fmt.Fprintf(stdout, "%-*s  %-22s  %s\n", wName, "WORKLOAD", "CLASS", "DESCRIPTION")
+		for _, info := range infos {
+			fmt.Fprintf(stdout, "%-*s  %-22s  %s\n", wName, info.Name, info.Class, info.Description)
 		}
 		return 0
 	}
@@ -81,9 +94,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	w, err := hbbp.LookupWorkload(*workload)
 	if err != nil {
-		// Unknown workload: a usage error, with the available names
-		// spelled out (the lookup error lists them and already carries
-		// the hbbp: prefix).
+		// Unknown workload: a usage error; the lookup error points at
+		// -list (which prints name, class and description per entry)
+		// and already carries the hbbp: prefix.
 		fmt.Fprintf(stderr, "%v\n", err)
 		fmt.Fprintln(stderr, "usage: hbbp -workload NAME (or -list to enumerate workloads)")
 		return 2

@@ -47,8 +47,12 @@
 // Results are analyzed with [InstructionMix], [BuildPivot] and the
 // view helpers ([TopMnemonics], [ExtBreakdown], ...), and scored with
 // [AvgWeightedError] against a [NewInstrumenter] reference attached
-// to the same run. Workloads come from [LookupWorkload] or the named
-// constructors ([Test40], [KernelPrime], [Fitter], ...).
+// to the same run. Workloads live in a declarative registry:
+// [Workloads] enumerates it with descriptions, [LookupWorkload]
+// builds any entry by name (the named constructors [Test40],
+// [KernelPrime], [Fitter], ... remain as shorthands), and callers
+// author their own purely as data — a [ShapeSpec] compiled with
+// [NewWorkload] or added to the registry with [RegisterWorkload].
 //
 // Determinism is the library's backbone: the same seed yields the same
 // samples, the same trained model and the same rendered tables, at any

@@ -5,6 +5,7 @@ import (
 
 	"hbbp/internal/cpu"
 	"hbbp/internal/perffile"
+	"hbbp/internal/workloads"
 )
 
 // Typed sentinel errors. Errors returned by the façade wrap these, so
@@ -25,6 +26,11 @@ var (
 	// ErrUnknownWorkload reports a workload name LookupWorkload does
 	// not recognise.
 	ErrUnknownWorkload = errors.New("hbbp: unknown workload")
+	// ErrWorkloadBuild reports a workload that failed to build —
+	// typically a calibration dry run that could not complete (e.g. a
+	// runaway custom spec tripping the retirement guard). The old code
+	// panicked here; the registry reports it as a classified error.
+	ErrWorkloadBuild = workloads.ErrBuild
 	// ErrUnknownExperiment reports an experiment name RunExperiment
 	// does not recognise.
 	ErrUnknownExperiment = errors.New("hbbp: unknown experiment")

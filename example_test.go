@@ -20,7 +20,11 @@ import (
 // against ground-truth instrumentation attached to the same run.
 func ExampleSession_Profile() {
 	// The Geant4-like Test40 simulation, scaled down for a quick run.
-	w := hbbp.Test40().Scaled(0.2)
+	w, err := hbbp.Test40()
+	if err != nil {
+		log.Fatal(err)
+	}
+	w = w.Scaled(0.2)
 
 	s, err := hbbp.New(hbbp.WithSeed(42))
 	if err != nil {
@@ -55,7 +59,11 @@ func ExampleSession_Profile() {
 // per-block counts, because replay feeds the same sinks the live run
 // dispatched to.
 func ExampleSession_Replay() {
-	w := hbbp.KernelPrime().Scaled(0.5)
+	w, err := hbbp.KernelPrime()
+	if err != nil {
+		log.Fatal(err)
+	}
+	w = w.Scaled(0.5)
 
 	var raw bytes.Buffer
 	s, err := hbbp.New(hbbp.WithSeed(11), hbbp.WithRawOutput(&raw))

@@ -26,7 +26,10 @@ import (
 
 func main() {
 	ctx := context.Background()
-	w := hbbp.KernelPrime()
+	w, err := hbbp.KernelPrime()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("workload: %s — %s\n\n", w.Name, w.Description)
 
 	// Instrumentation reference, faithfully user-mode only. The raw

@@ -44,7 +44,10 @@ func main() {
 
 	// 1. A workload: the Geant4-like Test40 simulation (short
 	//    object-oriented methods — the hard case for plain EBS).
-	w := hbbp.Test40()
+	w, err := hbbp.Test40()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("workload: %s — %s\n", w.Name, w.Description)
 
 	// 2. A session: one options surface configures every layer. The

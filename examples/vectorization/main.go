@@ -47,7 +47,10 @@ func main() {
 	rows := make([]rowT, len(variants))
 	var wg sync.WaitGroup
 	for i, v := range variants {
-		w := hbbp.Fitter(v)
+		w, err := hbbp.Fitter(v)
+		if err != nil {
+			log.Fatal(err)
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

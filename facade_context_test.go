@@ -11,8 +11,6 @@ import (
 	"errors"
 	"testing"
 	"time"
-
-	"hbbp/internal/workloads"
 )
 
 // promptly runs fn and fails the test if it takes longer than the
@@ -31,7 +29,7 @@ func promptly(t *testing.T, what string, bound time.Duration, fn func() error) e
 func TestProfileObservesCancellation(t *testing.T) {
 	// A workload long enough that an uncancelled run takes many
 	// seconds: cancellation mid-run must cut it to milliseconds.
-	w := workloads.Test40()
+	w := testWorkload(t, "test40")
 	long := *w
 	long.Repeat = w.Repeat * 100
 
@@ -63,7 +61,7 @@ func TestProfileObservesCancellation(t *testing.T) {
 }
 
 func TestReplayObservesCancellation(t *testing.T) {
-	w := workloads.Test40().Scaled(0.2)
+	w := testWorkload(t, "test40").Scaled(0.2)
 	var raw bytes.Buffer
 	s, err := New(WithSeed(1), WithRawOutput(&raw))
 	if err != nil {
@@ -146,7 +144,7 @@ func TestUnknownExperimentIsTyped(t *testing.T) {
 // classify through the façade's re-exported sentinels with errors.Is —
 // callers never need the internal perffile package.
 func TestReplaySurfacesPerffileSentinels(t *testing.T) {
-	w := workloads.Test40().Scaled(0.1)
+	w := testWorkload(t, "test40").Scaled(0.1)
 	var raw bytes.Buffer
 	s, err := New(WithSeed(1), WithRawOutput(&raw))
 	if err != nil {

@@ -19,6 +19,17 @@ import (
 	"hbbp/internal/workloads"
 )
 
+// testWorkload builds a registry workload the way the pre-redesign
+// internal callers constructed one.
+func testWorkload(t *testing.T, name string) *Workload {
+	t.Helper()
+	w, err := workloads.Default().Build(name)
+	if err != nil {
+		t.Fatalf("Build(%s): %v", name, err)
+	}
+	return w
+}
+
 // internalOptions reproduces the exact collector configuration the
 // pre-redesign callers (cmd/hbbp, the examples) built by hand.
 func internalOptions(w *Workload, seed int64) core.Options {
@@ -35,7 +46,7 @@ func internalOptions(w *Workload, seed int64) core.Options {
 // choices, same sample sets, same stats — and the same serialized
 // perffile byte-for-byte.
 func TestProfileParity(t *testing.T) {
-	w := workloads.Test40().Scaled(0.2)
+	w := testWorkload(t, "test40").Scaled(0.2)
 	const seed = 42
 
 	var rawInternal bytes.Buffer
@@ -72,7 +83,7 @@ func TestProfileParity(t *testing.T) {
 // matches both the internal core.AnalyzeReplay path and the live
 // profile's estimates.
 func TestReplayParity(t *testing.T) {
-	w := workloads.KernelPrime().Scaled(0.5)
+	w := testWorkload(t, "kernel-prime").Scaled(0.5)
 	const seed = 11
 
 	var raw bytes.Buffer
@@ -125,8 +136,8 @@ func TestTrainParity(t *testing.T) {
 	// (b) The sequential loop cmd/hbbp -trained used to run, on the
 	// same scaled corpus.
 	var runs []*core.TrainingRun
-	for i, w := range workloads.TrainingCorpus() {
-		w = w.Scaled(factor)
+	for i, name := range workloads.TrainingNames() {
+		w := testWorkload(t, name).Scaled(factor)
 		run, err := core.CollectTrainingRun(w.Prog, w.Entry, collector.Options{
 			Class: w.Class, Scale: w.Scale, Seed: seed + int64(100+i), Repeat: w.Repeat,
 		})
@@ -204,7 +215,7 @@ func (c *countingSink) Lost(Lost)      { c.lost++ }
 // streams exactly like live ones — the documented "live collections
 // and replays alike" contract.
 func TestReplayDispatchesToSinks(t *testing.T) {
-	w := workloads.Test40().Scaled(0.1)
+	w := testWorkload(t, "test40").Scaled(0.1)
 	var raw bytes.Buffer
 	liveSink := &countingSink{}
 	s, err := New(WithSeed(1), WithRawOutput(&raw), WithSinks(liveSink))
@@ -294,7 +305,7 @@ func TestExperimentRunnerReusesCaches(t *testing.T) {
 // onto the reference dispatch and stays bit-identical to the fast
 // path — the PR 2 invariant surfaced publicly.
 func TestPerInstructionReferenceParity(t *testing.T) {
-	w := workloads.Test40().Scaled(0.1)
+	w := testWorkload(t, "test40").Scaled(0.1)
 	run := func(opts ...Option) *Profile {
 		s, err := New(append([]Option{WithSeed(9)}, opts...)...)
 		if err != nil {

@@ -1,0 +1,195 @@
+package hbbp
+
+// Tests for the workload half of the façade: registry enumeration,
+// custom shape-spec workloads, the build-error sentinel and the
+// per-profile workload scaling option.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestWorkloadsEnumeration pins the registry listing the façade
+// exposes: sorted, described, and covering every workload family.
+func TestWorkloadsEnumeration(t *testing.T) {
+	infos := Workloads()
+	if len(infos) < 58 {
+		t.Fatalf("Workloads() returned %d entries, want >= 58", len(infos))
+	}
+	names := make([]string, len(infos))
+	for i, info := range infos {
+		names[i] = info.Name
+		if info.Description == "" {
+			t.Errorf("%s: empty description", info.Name)
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Workloads() not sorted: %v", names)
+	}
+	if !reflect.DeepEqual(names, WorkloadNames()) {
+		t.Error("Workloads() and WorkloadNames() disagree")
+	}
+	for _, want := range []string{
+		"test40", "povray", "pointer-chase", "phase-alternating",
+		"megamorphic-branchy", "callgraph-deep", "trainloop01",
+	} {
+		if sort.SearchStrings(names, want) >= len(names) || names[sort.SearchStrings(names, want)] != want {
+			t.Errorf("Workloads() missing %s", want)
+		}
+	}
+	// Every enumerated name must build.
+	for _, name := range []string{"pointer-chase", "phase-alternating", "megamorphic-branchy", "callgraph-deep"} {
+		if _, err := LookupWorkload(name); err != nil {
+			t.Errorf("LookupWorkload(%s): %v", name, err)
+		}
+	}
+}
+
+// TestLookupUnknownSuggestsList pins the unknown-name contract: the
+// typed sentinel plus a message pointing at the enumeration.
+func TestLookupUnknownSuggestsList(t *testing.T) {
+	_, err := LookupWorkload("no-such-workload")
+	if !errors.Is(err, ErrUnknownWorkload) {
+		t.Fatalf("err = %v, want ErrUnknownWorkload", err)
+	}
+	if !strings.Contains(err.Error(), "-list") {
+		t.Errorf("error %q does not suggest -list", err)
+	}
+}
+
+// TestNewWorkloadCustomSpec builds a caller-authored spec through the
+// façade and runs it end to end.
+func TestNewWorkloadCustomSpec(t *testing.T) {
+	spec := ShapeSpec{
+		Name:        "facade-custom",
+		Description: "caller-authored workload",
+		Class:       ClassSeconds,
+		Scale:       500,
+		TargetInst:  100_000,
+		Synth: &SynthSpec{
+			Name: "facade-custom", Seed: 99, Funcs: 4,
+			Profile: SynthProfile{
+				MeanBlockLen: 6, DiamondFrac: 0.3, LoopFrac: 0.2, CallFrac: 0.2,
+				Mix: MixProfile{Base: 0.7, SSEPacked: 0.3},
+			},
+			OuterTrips: 8, LeafFrac: 0.6,
+		},
+	}
+	w, err := NewWorkload(spec)
+	if err != nil {
+		t.Fatalf("NewWorkload: %v", err)
+	}
+	s, err := New(WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := s.Profile(context.Background(), w)
+	if err != nil {
+		t.Fatalf("Profile(custom): %v", err)
+	}
+	if prof.Collection.Stats.Retired == 0 {
+		t.Error("custom workload retired nothing")
+	}
+	// One-off builds stay out of the registry...
+	if _, err := LookupWorkload("facade-custom"); !errors.Is(err, ErrUnknownWorkload) {
+		t.Fatalf("NewWorkload leaked into the registry: %v", err)
+	}
+	// ...while RegisterWorkload makes the spec a first-class citizen.
+	reg := spec
+	reg.Name = "facade-registered"
+	reg.Synth = &SynthSpec{Name: "facade-registered", Seed: 99, Funcs: 2, OuterTrips: 4}
+	if err := RegisterWorkload(reg); err != nil {
+		t.Fatalf("RegisterWorkload: %v", err)
+	}
+	if _, err := LookupWorkload("facade-registered"); err != nil {
+		t.Errorf("registered spec not buildable: %v", err)
+	}
+	found := false
+	for _, info := range Workloads() {
+		if info.Name == "facade-registered" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered spec not enumerated")
+	}
+	if err := RegisterWorkload(reg); err == nil {
+		t.Error("duplicate RegisterWorkload accepted")
+	}
+}
+
+// TestWorkloadBuildErrorSentinel pins the satellite contract: a
+// workload whose calibration dry run cannot complete surfaces
+// ErrWorkloadBuild through the façade instead of panicking.
+func TestWorkloadBuildErrorSentinel(t *testing.T) {
+	runaway := ShapeSpec{
+		Name:        "runaway",
+		Description: "spins past the calibration guard",
+		Class:       ClassSeconds,
+		Scale:       1,
+		TargetInst:  1000,
+		Synth: &SynthSpec{
+			Name: "runaway", Seed: 1, Funcs: 1,
+			Profile:    SynthProfile{MeanBlockLen: 8, LoopFrac: 0.8, InnerTripMin: 100, InnerTripMax: 200},
+			OuterTrips: 1 << 40, // one entry invocation never finishes
+		},
+	}
+	_, err := NewWorkload(runaway)
+	if !errors.Is(err, ErrWorkloadBuild) {
+		t.Fatalf("runaway spec: err = %v, want ErrWorkloadBuild", err)
+	}
+	// The cause stays on the unwrap chain: the retirement guard is
+	// what stopped the dry run.
+	if !errors.Is(err, ErrRetireLimit) {
+		t.Fatalf("runaway spec: err = %v, want ErrRetireLimit on the chain", err)
+	}
+}
+
+// TestWithWorkloadScale asserts the option is exactly Workload.Scaled
+// applied at Profile time: same samples, same profile, bit for bit.
+func TestWithWorkloadScale(t *testing.T) {
+	w, err := Test40()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scaled, err := New(WithSeed(5), WithWorkloadScale(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := scaled.Profile(context.Background(), w)
+	if err != nil {
+		t.Fatalf("Profile(scaled session): %v", err)
+	}
+
+	plain, err := New(WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Profile(context.Background(), w.Scaled(0.2))
+	if err != nil {
+		t.Fatalf("Profile(pre-scaled workload): %v", err)
+	}
+
+	if !reflect.DeepEqual(got, want) {
+		t.Error("WithWorkloadScale profile differs from manually scaled workload")
+	}
+	full, err := plain.Profile(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Collection.Stats.Retired >= full.Collection.Stats.Retired {
+		t.Error("scaled run did not shrink the collection")
+	}
+
+	// Out-of-range factors are rejected at New.
+	for _, bad := range []float64{0, -1, 1.5} {
+		if _, err := New(WithWorkloadScale(bad)); err == nil {
+			t.Errorf("WithWorkloadScale(%g) accepted", bad)
+		}
+	}
+}

@@ -47,12 +47,12 @@ func collectPair(t *testing.T, w *workloads.Workload, seed int64) (fast, ref *co
 // Hydro-post shape): same EBS IPs, same LBR stacks, same lost counts,
 // same run statistics, and byte-identical serialized perffiles.
 func TestFastPathParityAcrossWorkloads(t *testing.T) {
-	for _, build := range []func() *workloads.Workload{
-		workloads.Test40,
-		workloads.KernelPrime,
-		workloads.HydroPost,
-	} {
-		w := build().Scaled(0.1)
+	for _, name := range []string{"test40", "kernel-prime", "hydro-post"} {
+		w, err := workloads.Default().Build(name)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		w = w.Scaled(0.1)
 		t.Run(w.Name, func(t *testing.T) {
 			for _, seed := range []int64{7, 42} {
 				fast, ref, fastSDE, refSDE, fastOracle, refOracle := collectPair(t, w, seed)

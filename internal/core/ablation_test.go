@@ -8,7 +8,6 @@ import (
 	"hbbp/internal/collector"
 	"hbbp/internal/metrics"
 	"hbbp/internal/sde"
-	"hbbp/internal/workloads"
 )
 
 // TestAblations quantifies the contribution of HBBP's design choices on
@@ -31,7 +30,7 @@ func TestAblations(t *testing.T) {
 		t.Fatalf("Train: %v", err)
 	}
 
-	w := workloads.Test40().Scaled(0.5)
+	w := buildWorkload(t, "test40").Scaled(0.5)
 	ref := sde.New(w.Prog)
 	ref.UserOnly = false
 	res, err := collector.Collect(w.Prog, w.Entry, collector.Options{

@@ -13,6 +13,17 @@ import (
 	"hbbp/internal/workloads"
 )
 
+// buildWorkload compiles one registry workload for the tests here and
+// in the parity/ablation files.
+func buildWorkload(t testing.TB, name string) *workloads.Workload {
+	t.Helper()
+	w, err := workloads.Default().Build(name)
+	if err != nil {
+		t.Fatalf("Build(%s): %v", name, err)
+	}
+	return w
+}
+
 func TestSourceStrings(t *testing.T) {
 	if SourceLBR.String() != "LBR" || SourceEBS.String() != "EBS" {
 		t.Fatal("bad source names")
@@ -105,8 +116,8 @@ func trainingRuns(t *testing.T) []*TrainingRun {
 	if corpusRuns != nil {
 		return corpusRuns
 	}
-	for i, w := range workloads.TrainingCorpus() {
-		w = w.Scaled(0.5)
+	for i, name := range workloads.TrainingNames() {
+		w := buildWorkload(t, name).Scaled(0.5)
 		run, err := CollectTrainingRun(w.Prog, w.Entry, collector.Options{
 			// Training samples at the production class periods so the
 			// learned rule internalises production sampling noise.
@@ -169,7 +180,7 @@ func TestHBBPBeatsRawEstimators(t *testing.T) {
 		t.Fatalf("Train: %v", err)
 	}
 
-	w := workloads.Test40().Scaled(0.5)
+	w := buildWorkload(t, "test40").Scaled(0.5)
 	ref := sde.New(w.Prog)
 	ref.UserOnly = false
 	prof, err := Run(w.Prog, w.Entry, model, Options{
@@ -205,7 +216,7 @@ func TestHBBPBeatsRawEstimators(t *testing.T) {
 }
 
 func TestRunWithDefaultModel(t *testing.T) {
-	w := workloads.KernelPrime().Scaled(0.3)
+	w := buildWorkload(t, "kernel-prime").Scaled(0.3)
 	prof, err := Run(w.Prog, w.Entry, nil, DefaultOptions(w.Class, 9)) // nil model -> default
 
 	if err != nil {

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"hbbp/internal/collector"
-	"hbbp/internal/workloads"
 )
 
 // TestProfilePathParity asserts an end-to-end HBBP profile — both
@@ -13,7 +12,7 @@ import (
 // guard — is identical whether the collection ran on the block
 // fast path or on the per-instruction reference dispatch.
 func TestProfilePathParity(t *testing.T) {
-	w := workloads.Test40().Scaled(0.2)
+	w := buildWorkload(t, "test40").Scaled(0.2)
 	profile := func(perInstruction bool) *Profile {
 		prof, err := Run(w.Prog, w.Entry, DefaultModel(), Options{
 			Collector: collector.Options{

@@ -7,7 +7,6 @@ import (
 	"hbbp/internal/analyzer"
 	"hbbp/internal/isa"
 	"hbbp/internal/metrics"
-	"hbbp/internal/workloads"
 )
 
 // ---------------------------------------------------------------- Figure 1
@@ -194,8 +193,7 @@ func (f *Figure4Result) Render() string {
 // test40PerMnemonic computes the shared Figure 3/4 data: top-20
 // mnemonics by reference count with per-method errors.
 func (r *Runner) test40PerMnemonic() ([]Figure4Row, error) {
-	w := workloads.Test40()
-	ev, err := r.evalWorkload(w)
+	ev, err := r.evalNamedOne("test40")
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +208,7 @@ func (r *Runner) test40PerMnemonic() ([]Figure4Row, error) {
 		ref := ev.RefMix[op]
 		rows = append(rows, Figure4Row{
 			Mnemonic: op,
-			Count:    ref * float64(w.Scale),
+			Count:    ref * float64(ev.Scale),
 			HBBP:     metrics.Error(ref, hbbpMix[op]),
 			LBR:      metrics.Error(ref, lbrMix[op]),
 			EBS:      metrics.Error(ref, ebsMix[op]),

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden table files")
+
+// goldenConfig is the fixed configuration the golden tables were
+// rendered with. Fast mode keeps the run short; the seed is arbitrary
+// but frozen — the files record the exact bytes the pre-refactor
+// hand-rolled workload constructors produced.
+func goldenConfig(parallelism int) Config {
+	return Config{Fast: true, FastFactor: 0.1, Seed: 3, Parallelism: parallelism}
+}
+
+// renderGoldenTables renders the multi-workload experiments — the ones
+// whose workload sets the declarative registry now assembles — with
+// the given parallelism.
+func renderGoldenTables(t *testing.T, parallelism int) map[string]string {
+	t.Helper()
+	r := New(goldenConfig(parallelism))
+	out := map[string]string{}
+	t1, err := r.Table1()
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	out["table1"] = t1.Render()
+	t6, err := r.Table6()
+	if err != nil {
+		t.Fatalf("Table6: %v", err)
+	}
+	out["table6"] = t6.Render()
+	t8, err := r.Table8()
+	if err != nil {
+		t.Fatalf("Table8: %v", err)
+	}
+	out["table8"] = t8.Render()
+	f2, err := r.Figure2()
+	if err != nil {
+		t.Fatalf("Figure2: %v", err)
+	}
+	out["figure2"] = f2.Render()
+	return out
+}
+
+// TestGoldenTablesBitIdentical freezes the rendered bytes of Tables 1,
+// 6 and 8 and Figure 2 against files recorded before the workload
+// subsystem moved onto shape specs: the declarative registry must
+// reproduce the hand-rolled constructors' programs — and therefore the
+// paper tables — bit for bit, at any parallelism (construction now
+// happens inside the worker pool).
+func TestGoldenTablesBitIdentical(t *testing.T) {
+	for _, parallelism := range []int{1, 4} {
+		got := renderGoldenTables(t, parallelism)
+		for name, text := range got {
+			path := filepath.Join("testdata", "golden_"+name+".txt")
+			if *updateGolden && parallelism == 1 {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if text != string(want) {
+				t.Errorf("parallelism %d: %s drifted from the pre-refactor golden bytes:\ngot:\n%s\nwant:\n%s",
+					parallelism, name, text, want)
+			}
+		}
+	}
+}

@@ -116,6 +116,18 @@ func (r *Runner) scaled(w *workloads.Workload) *workloads.Workload {
 	return w
 }
 
+// workload compiles one registry workload with the fast factor
+// applied. Construction is concurrency-safe (the registry memoizes
+// calibration behind per-entry synchronization), so workers call this
+// from inside the pool.
+func (r *Runner) workload(name string) (*workloads.Workload, error) {
+	w, err := workloads.Default().Build(name)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	return r.scaled(w), nil
+}
+
 // workers resolves the configured pool width for n independent items.
 func (r *Runner) workers(n int) int {
 	w := r.cfg.Parallelism
@@ -206,13 +218,13 @@ func (r *Runner) Model() (*core.Model, error) {
 			r.model = r.cfg.Model
 			return
 		}
-		corpus := workloads.TrainingCorpus()
-		for i, w := range corpus {
-			corpus[i] = r.scaled(w)
-		}
-		runs := make([]*core.TrainingRun, len(corpus))
-		err := r.forEach(len(corpus), func(i int) error {
-			w := corpus[i]
+		names := workloads.TrainingNames()
+		runs := make([]*core.TrainingRun, len(names))
+		err := r.forEach(len(names), func(i int) error {
+			w, err := r.workload(names[i])
+			if err != nil {
+				return err
+			}
 			run, err := core.CollectTrainingRun(w.Prog, w.Entry, collector.Options{
 				// Training samples at the same class-based periods used in
 				// production, so the learned rule internalises the sampling
@@ -254,6 +266,9 @@ func (r *Runner) TrainedModel() (m *core.Model, ok bool) {
 // accuracy of every method, scored per Section VI.
 type WorkloadEval struct {
 	Name string
+	// Scale is the evaluated workload's retirement scaling, carried so
+	// the table renderers need not rebuild the workload.
+	Scale uint64
 	// CleanSeconds is the modelled uninstrumented runtime.
 	CleanSeconds float64
 	// SDESeconds is the modelled runtime under software
@@ -279,14 +294,14 @@ type WorkloadEval struct {
 	refBBECs []float64
 }
 
-// evalWorkload runs one workload once with both the PMU collection and
-// the instrumentation reference attached and scores every method.
+// evalWorkload runs one already-scaled workload once with both the PMU
+// collection and the instrumentation reference attached and scores
+// every method.
 func (r *Runner) evalWorkload(w *workloads.Workload) (*WorkloadEval, error) {
 	model, err := r.Model()
 	if err != nil {
 		return nil, err
 	}
-	w = r.scaled(w)
 	ref := sde.New(w.Prog)
 	prof, err := core.Run(w.Prog, w.Entry, model, core.Options{
 		Collector: collector.Options{
@@ -313,6 +328,7 @@ func (r *Runner) evalWorkload(w *workloads.Workload) (*WorkloadEval, error) {
 	opts := analyzer.Options{Scope: analyzer.ScopeUser, LiveText: true}
 	ev := &WorkloadEval{
 		Name:         w.Name,
+		Scale:        w.Scale,
 		CleanSeconds: clean,
 		SDESeconds:   clean * sdeFactor,
 		SDEFactor:    sdeFactor,
@@ -332,22 +348,27 @@ func (r *Runner) evalWorkload(w *workloads.Workload) (*WorkloadEval, error) {
 	return ev, nil
 }
 
-// evalWorkloads evaluates already-constructed workloads on the worker
-// pool, returning results in input order. Workload construction stays
-// with the caller (and thus sequential): some constructors calibrate
-// against package-level caches that are not synchronized, while the
-// evaluation runs themselves are fully independent.
-func (r *Runner) evalWorkloads(ws []*workloads.Workload) ([]*WorkloadEval, error) {
+// evalNamed evaluates registry workloads by name on the worker pool,
+// returning results in input order. Construction happens inside each
+// worker — the registry's synchronized calibration removed the old
+// restriction that kept construction sequential in the caller — and
+// every run still carries the same derived seed, so results are
+// bit-identical at any parallelism.
+func (r *Runner) evalNamed(names []string) ([]*WorkloadEval, error) {
 	// Resolve the shared model before fanning out so every worker hits
 	// the cache instead of contending on the lazy training pass.
 	if _, err := r.Model(); err != nil {
 		return nil, err
 	}
-	evs := make([]*WorkloadEval, len(ws))
-	err := r.forEach(len(ws), func(i int) error {
-		ev, err := r.evalWorkload(ws[i])
+	evs := make([]*WorkloadEval, len(names))
+	err := r.forEach(len(names), func(i int) error {
+		w, err := r.workload(names[i])
 		if err != nil {
-			return fmt.Errorf("harness: evaluating %s: %w", ws[i].Name, err)
+			return err
+		}
+		ev, err := r.evalWorkload(w)
+		if err != nil {
+			return fmt.Errorf("harness: evaluating %s: %w", names[i], err)
 		}
 		evs[i] = ev
 		return nil
@@ -356,6 +377,19 @@ func (r *Runner) evalWorkloads(ws []*workloads.Workload) ([]*WorkloadEval, error
 		return nil, err
 	}
 	return evs, nil
+}
+
+// evalNamedOne evaluates a single registry workload.
+func (r *Runner) evalNamedOne(name string) (*WorkloadEval, error) {
+	w, err := r.workload(name)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := r.evalWorkload(w)
+	if err != nil {
+		return nil, fmt.Errorf("harness: evaluating %s: %w", name, err)
+	}
+	return ev, nil
 }
 
 // SuiteEvals evaluates the full SPEC-like suite once, caching results.
@@ -368,7 +402,7 @@ func (r *Runner) SuiteEvals() ([]*WorkloadEval, error) {
 			r.suiteReady.Store(true)
 			return
 		}
-		r.suite, r.suiteErr = r.evalWorkloads(workloads.SPECSuite())
+		r.suite, r.suiteErr = r.evalNamed(workloads.SPECNames())
 		if r.suiteErr == nil {
 			r.suiteReady.Store(true)
 		}

@@ -55,13 +55,13 @@ func (r *Runner) Table1() (*Table1Result, error) {
 		add("SPEC "+name, ev.CleanSeconds, ev.SDESeconds)
 	}
 
-	evs, err := r.evalWorkloads([]*workloads.Workload{
-		workloads.Test40(),
-		workloads.Fitter(workloads.FitterSSE),
-		workloads.Fitter(workloads.FitterX87),
-		workloads.CLForward(false),
-		workloads.KernelPrime(),
-		workloads.HydroPost(),
+	evs, err := r.evalNamed([]string{
+		"test40",
+		"fitter-sse",
+		"fitter-x87",
+		"clforward-before",
+		"kernel-prime",
+		"hydro-post",
 	})
 	if err != nil {
 		return nil, err
@@ -166,13 +166,12 @@ type Table3Result struct {
 // Table3 profiles Fitter-SSE and reports the fit_track function's
 // blocks plus the main driver's, numbered from 1 as in the paper.
 func (r *Runner) Table3() (*Table3Result, error) {
-	w := workloads.Fitter(workloads.FitterSSE)
-	ev, err := r.evalWorkload(w)
+	ev, err := r.evalNamedOne(workloads.FitterSSE.WorkloadName())
 	if err != nil {
 		return nil, err
 	}
 	prof := ev.Profile
-	scale := float64(w.Scale) / 1e6 // counts -> paper-style millions
+	scale := float64(ev.Scale) / 1e6 // counts -> paper-style millions
 	res := &Table3Result{}
 	prog := prof.Prog
 	n := 0

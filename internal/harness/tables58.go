@@ -26,7 +26,7 @@ type Table5Result struct {
 
 // Table5 evaluates Test40.
 func (r *Runner) Table5() (*Table5Result, error) {
-	ev, err := r.evalWorkload(workloads.Test40())
+	ev, err := r.evalNamedOne("test40")
 	if err != nil {
 		return nil, err
 	}
@@ -84,20 +84,20 @@ func (r *Runner) Table6() (*Table6Result, error) {
 		Expected: map[workloads.FitterVariant]Table6Cell{},
 		Measured: map[workloads.FitterVariant]Table6Cell{},
 	}
-	ws := make([]*workloads.Workload, len(res.Variants))
+	names := make([]string, len(res.Variants))
 	for i, v := range res.Variants {
-		ws[i] = workloads.Fitter(v)
+		names[i] = v.WorkloadName()
 	}
-	evs, err := r.evalWorkloads(ws)
+	evs, err := r.evalNamed(names)
 	if err != nil {
 		return nil, err
 	}
 	for i, v := range res.Variants {
-		w, ev := ws[i], evs[i]
+		ev := evs[i]
 		tracks := trackCount(ev)
 		cyclesPerTrack := float64(ev.Profile.Collection.Stats.Cycles) / tracks
-		usPerTrack := cyclesPerTrack * float64(w.Scale) / tracks2us
-		scale := float64(w.Scale) / 1e6
+		usPerTrack := cyclesPerTrack * float64(ev.Scale) / tracks2us
+		scale := float64(ev.Scale) / 1e6
 
 		res.Expected[v] = fitterCell(ev.RefMix, scale, usPerTrack, 0)
 		hbbpMix := analyzer.Mix(ev.Profile.Prog, ev.Profile.BBECs,
@@ -198,13 +198,12 @@ type Table7Result struct {
 
 // Table7 runs the kernel-prime workload.
 func (r *Runner) Table7() (*Table7Result, error) {
-	w := workloads.KernelPrime()
-	ev, err := r.evalWorkload(w)
+	ev, err := r.evalNamedOne("kernel-prime")
 	if err != nil {
 		return nil, err
 	}
 	prof := ev.Profile
-	scale := float64(w.Scale) / 1e6
+	scale := float64(ev.Scale) / 1e6
 
 	hbbpUser := scaleMix(analyzer.Mix(prof.Prog, prof.BBECs, analyzer.Options{
 		Scope: analyzer.ScopeUser, LiveText: true, Function: "hello_u",
@@ -296,23 +295,22 @@ type Table8Result struct {
 }
 
 // Table8 profiles both CLForward builds and renders the ext x packing
-// pivot.
+// pivot. The fixed build's invocation count is calibrated against the
+// pre-fix build through the registry's memoized calibration, so the
+// two builds evaluate concurrently without ordering concerns.
 func (r *Runner) Table8() (*Table8Result, error) {
-	// Construct before evaluating: the fixed build's invocation count
-	// is calibrated against the pre-fix build through a package cache.
-	ws := []*workloads.Workload{workloads.CLForward(false), workloads.CLForward(true)}
-	evs, err := r.evalWorkloads(ws)
+	evs, err := r.evalNamed([]string{"clforward-before", "clforward-after"})
 	if err != nil {
 		return nil, err
 	}
 	views := map[bool]map[string]float64{}
 	var totals [2]float64
 	for idx, fixed := range []bool{false, true} {
-		w, ev := ws[idx], evs[idx]
+		ev := evs[idx]
 		tab := analyzer.BuildPivot(ev.Profile.Prog, ev.Profile.BBECs,
 			analyzer.Options{Scope: analyzer.ScopeUser, LiveText: true})
 		view := map[string]float64{}
-		scale := float64(w.Scale) / 1e9 // paper reports billions
+		scale := float64(ev.Scale) / 1e9 // paper reports billions
 		for _, row := range analyzer.PackingView(tab) {
 			view[row.Keys[0]+"/"+row.Keys[1]] = row.Value * scale
 		}

@@ -6,16 +6,43 @@ import (
 	"hbbp/internal/program"
 )
 
-// CLForward models the online HPC code of Section VIII.E / Table 8: a
-// forward-projection kernel that initially compiled to scalar AVX
-// instructions because of an #omp simd reduction issue. HBBP's packing
-// view exposed the scalar hotspot; after the fix, a large number of
-// scalar instructions is replaced by a smaller number of packed ones
-// and total instruction volume drops (19.2B -> 15.8B in the paper).
+// clforwardSpec models the online HPC code of Section VIII.E /
+// Table 8: a forward-projection kernel that initially compiled to
+// scalar AVX instructions because of an #omp simd reduction issue.
+// HBBP's packing view exposed the scalar hotspot; after the fix, a
+// large number of scalar instructions is replaced by a smaller number
+// of packed ones and total instruction volume drops (19.2B -> 15.8B in
+// the paper).
 //
-// CLForward(false) is the pre-fix build, CLForward(true) the
-// vectorized one.
-func CLForward(fixed bool) *Workload {
+// clforwardSpec(false) is the pre-fix build, clforwardSpec(true) the
+// vectorized one. Both builds perform the same number of kernel
+// invocations — the fix's point is that the same work takes fewer
+// instructions (Table 8's shrinking TOTAL row) — so the fixed build's
+// spec calibrates by reference (RepeatOf) against the pre-fix build,
+// through the registry's memoized calibration instead of the old
+// unsynchronized package cache.
+func clforwardSpec(fixed bool) ShapeSpec {
+	name := "clforward-before"
+	if fixed {
+		name = "clforward-after"
+	}
+	spec := ShapeSpec{
+		Name:        name,
+		Description: "online HPC forward projection, vectorization case study (Table 8)",
+		Class:       collector.ClassMinuteOrTwo,
+		Scale:       20_000,
+		Program:     func() (*program.Program, *program.Function) { return clforwardProgram(fixed) },
+	}
+	if fixed {
+		spec.RepeatOf = "clforward-before"
+	} else {
+		spec.TargetInst = 2_500_000
+	}
+	return spec
+}
+
+// clforwardProgram builds the forward-projection image for one build.
+func clforwardProgram(fixed bool) (*program.Program, *program.Function) {
 	name := "clforward-before"
 	if fixed {
 		name = "clforward-after"
@@ -73,33 +100,5 @@ func CLForward(fixed bool) *Workload {
 	b.Loop(mlatch, isa.JLE, mhead, mexit, 500)
 	b.Return(mexit)
 
-	w := &Workload{
-		Name:        name,
-		Prog:        mustFinish(b, name),
-		Entry:       main,
-		Class:       collector.ClassMinuteOrTwo,
-		Scale:       20_000,
-		Description: "online HPC forward projection, vectorization case study (Table 8)",
-	}
-	// Both builds perform the same number of kernel invocations — the
-	// fix's point is that the same work takes fewer instructions
-	// (Table 8's shrinking TOTAL row) — so the invocation count is
-	// calibrated on the pre-fix build only.
-	if fixed {
-		w.Repeat = clforwardRepeat()
-	} else {
-		w.calibrateRepeat(2_500_000)
-	}
-	return w
-}
-
-// clforwardRepeat returns the invocation count calibrated on the
-// pre-fix build, caching the dry run.
-var clforwardRepeatCached int
-
-func clforwardRepeat() int {
-	if clforwardRepeatCached == 0 {
-		clforwardRepeatCached = CLForward(false).Repeat
-	}
-	return clforwardRepeatCached
+	return mustFinish(b, name), main
 }

@@ -1,0 +1,165 @@
+package workloads
+
+import "hbbp/internal/collector"
+
+// The extra scenario families: spec-defined workloads probing code
+// shapes the paper's suite does not isolate. Each stresses a different
+// axis of the EBS/LBR decision surface, so they double as
+// out-of-distribution checks on the learned chooser.
+
+// pointerChaseSpec is a memory-bound linked-structure traversal:
+// load-dominated short blocks (MOV/MOVZX/MOVSXD chains with the
+// compare guarding each hop), deep counted loops, almost no calls.
+// High mem_frac with low long-latency density — the opposite corner
+// from hmmer's divide-dense loops.
+func pointerChaseSpec() ShapeSpec {
+	return ShapeSpec{
+		Name:        "pointer-chase",
+		Description: "memory-bound pointer chase: load-dominated short blocks, deep loops",
+		Class:       collector.ClassMinuteOrTwo,
+		Scale:       10_000,
+		TargetInst:  3_000_000,
+		Synth: &SynthSpec{
+			Name:  "pointer-chase",
+			Seed:  0x9C4A5E,
+			Funcs: 4,
+			Profile: Profile{
+				MeanBlockLen:   3,
+				BlockLenSpread: 1,
+				Segments:       6,
+				DiamondFrac:    0.15,
+				LoopFrac:       0.55,
+				CallFrac:       0.05,
+				DivFrac:        0.002,
+				InnerTripMin:   8,
+				InnerTripMax:   24,
+				Mix:            MixProfile{Base: 0.15, Mem: 0.85},
+			},
+			OuterTrips: 40,
+			LeafFrac:   1,
+		},
+	}
+}
+
+// phaseAlternatingSpec interleaves vectorized and scalar phases in one
+// image: even helpers are packed-AVX numeric kernels, odd helpers are
+// scalar integer bookkeeping. Per-block mixes are bimodal, so any
+// profiler averaging across blocks (or sampling one phase more than
+// the other) misreports the packing split the paper's Table 8 view
+// depends on.
+func phaseAlternatingSpec() ShapeSpec {
+	return ShapeSpec{
+		Name:        "phase-alternating",
+		Description: "alternating vectorized and scalar phases in one image (bimodal per-block mixes)",
+		Class:       collector.ClassMinutes,
+		Scale:       50_000,
+		TargetInst:  4_000_000,
+		Synth: &SynthSpec{
+			Name:  "phase-alternating",
+			Seed:  0xA17E4,
+			Funcs: 8,
+			Profile: Profile{
+				MeanBlockLen:   12,
+				BlockLenSpread: 5,
+				Segments:       7,
+				DiamondFrac:    0.20,
+				LoopFrac:       0.35,
+				CallFrac:       0.10,
+				DivFrac:        0.01,
+				InnerTripMin:   4,
+				InnerTripMax:   14,
+			},
+			PhaseMixes: []MixProfile{
+				{Base: 0.25, AVXPacked: 0.6, AVXScalar: 0.15}, // vectorized phase
+				{Base: 0.9, SSEScalar: 0.1},                   // scalar phase
+			},
+			OuterTrips: 35,
+			LeafFrac:   0.7,
+		},
+	}
+}
+
+// megamorphicBranchySpec is dense data-dependent branching over a wide
+// callee set — the shape of a megamorphic interpreter dispatch loop:
+// tiny blocks, diamonds with taken probabilities spread across the
+// whole range (no branch predictably biased), and call sites fanning
+// out over many small targets. Maximum structural stress for the LBR
+// estimator's per-branch windows.
+func megamorphicBranchySpec() ShapeSpec {
+	return ShapeSpec{
+		Name:        "megamorphic-branchy",
+		Description: "megamorphic dispatch: dense unbiased branching over a wide callee set",
+		Class:       collector.ClassMinuteOrTwo,
+		Scale:       20_000,
+		TargetInst:  3_500_000,
+		Synth: &SynthSpec{
+			Name:  "megamorphic-branchy",
+			Seed:  0x3E6A11,
+			Funcs: 28,
+			Profile: Profile{
+				MeanBlockLen:   2,
+				BlockLenSpread: 1,
+				Segments:       6,
+				DiamondFrac:    0.56,
+				LoopFrac:       0.02,
+				CallFrac:       0.32,
+				DivFrac:        0.004,
+				InnerTripMin:   2,
+				InnerTripMax:   3,
+				TakenProbMin:   0.05,
+				TakenProbMax:   0.95,
+				Mix:            MixProfile{Base: 1},
+			},
+			OuterTrips: 30,
+			LeafFrac:   0.5,
+		},
+	}
+}
+
+// callgraphDeepSpec layers tiny functions into call chains six frames
+// deep: most retirement is call/return scaffolding and short leaf
+// bodies — the recursive-descent shape where EBS samples scatter
+// across many small frames.
+func callgraphDeepSpec() ShapeSpec {
+	return ShapeSpec{
+		Name:        "callgraph-deep",
+		Description: "deep call chains of tiny functions (call/return-dominated retirement)",
+		Class:       collector.ClassSeconds,
+		Scale:       3000,
+		TargetInst:  3_000_000,
+		Synth: &SynthSpec{
+			Name:  "callgraph-deep",
+			Seed:  0xDEE9C4,
+			Funcs: 18,
+			Profile: Profile{
+				MeanBlockLen:   3,
+				BlockLenSpread: 1,
+				Segments:       4,
+				DiamondFrac:    0.22,
+				LoopFrac:       0.06,
+				CallFrac:       0.50,
+				DivFrac:        0.005,
+				InnerTripMin:   2,
+				InnerTripMax:   4,
+				Mix:            MixProfile{Base: 0.85, SSEScalar: 0.15},
+			},
+			CallDepth:  6,
+			OuterTrips: 20,
+		},
+	}
+}
+
+// FamilyNames lists the extra scenario families in registration order.
+func FamilyNames() []string {
+	return []string{"pointer-chase", "phase-alternating", "megamorphic-branchy", "callgraph-deep"}
+}
+
+// familySpecs assembles the extra families.
+func familySpecs() []ShapeSpec {
+	return []ShapeSpec{
+		pointerChaseSpec(),
+		phaseAlternatingSpec(),
+		megamorphicBranchySpec(),
+		callgraphDeepSpec(),
+	}
+}

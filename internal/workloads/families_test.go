@@ -1,0 +1,220 @@
+package workloads
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"hbbp/internal/isa"
+	"hbbp/internal/program"
+)
+
+var updateGoldenMix = flag.Bool("update", false, "rewrite golden mix files")
+
+// familyMix runs a few invocations of a family workload under the
+// exact instrumentation reference and renders the user+kernel
+// mnemonic histogram as sorted "OP count" lines — a deterministic
+// fingerprint of the generated program and its execution.
+func familyMix(t *testing.T, name string) string {
+	t.Helper()
+	w := build(t, name)
+	mix, _ := runMix(t, w, 3)
+	lines := make([]string, 0, len(mix))
+	for op, n := range mix {
+		lines = append(lines, fmt.Sprintf("%s %d", op, n))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// TestFamilyGoldenMixes pins each new scenario family to a golden
+// mnemonic mix: same spec, same seed, same generator ⇒ the same
+// instructions retire the same number of times, forever. A drifting
+// golden means the generator changed under existing specs — exactly
+// what the gating in synth.go forbids.
+func TestFamilyGoldenMixes(t *testing.T) {
+	for _, name := range FamilyNames() {
+		got := familyMix(t, name)
+		path := filepath.Join("testdata", "goldenmix_"+name+".txt")
+		if *updateGoldenMix {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden mix (regenerate with -update): %v", name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s mix drifted from golden:\ngot:\n%s\nwant:\n%s", name, got, want)
+		}
+	}
+}
+
+// classFractions aggregates a mnemonic mix into the structural
+// fractions the family shape assertions check.
+func classFractions(t *testing.T, name string) (memRead, condBr, call, avxPacked, scalarBase float64) {
+	t.Helper()
+	mix, _ := runMix(t, build(t, name), 3)
+	var total uint64
+	for op, n := range mix {
+		info := op.Info()
+		total += n
+		if info.ReadsMem && info.Cat != isa.CatReturn && info.Cat != isa.CatStack {
+			memRead += float64(n)
+		}
+		switch info.Cat {
+		case isa.CatCondBranch:
+			condBr += float64(n)
+		case isa.CatCall:
+			call += float64(n)
+		}
+		if info.Ext == isa.AVX && info.Packing == isa.Packed {
+			avxPacked += float64(n)
+		}
+		if info.Ext == isa.Base {
+			scalarBase += float64(n)
+		}
+	}
+	f := float64(total)
+	return memRead / f, condBr / f, call / f, avxPacked / f, scalarBase / f
+}
+
+// TestPointerChaseIsMemoryBound: the defining property is a
+// load-dominated retirement stream.
+func TestPointerChaseIsMemoryBound(t *testing.T) {
+	memRead, _, call, _, _ := classFractions(t, "pointer-chase")
+	if memRead < 0.45 {
+		t.Errorf("memory-read fraction %.2f, want a load-dominated stream (>= 0.45)", memRead)
+	}
+	if call > 0.05 {
+		t.Errorf("call fraction %.2f, want a near-leaf traversal", call)
+	}
+}
+
+// TestPhaseAlternatingIsBimodal: both the packed-AVX and the scalar
+// phase must contribute substantially, and individual helper functions
+// must be nearly pure one phase or the other (the bimodality the
+// family exists to produce).
+func TestPhaseAlternatingIsBimodal(t *testing.T) {
+	_, _, _, avxPacked, scalarBase := classFractions(t, "phase-alternating")
+	if avxPacked < 0.15 {
+		t.Errorf("packed AVX fraction %.2f, want a real vectorized phase", avxPacked)
+	}
+	if scalarBase < 0.25 {
+		t.Errorf("scalar base fraction %.2f, want a real scalar phase", scalarBase)
+	}
+	// Static bimodality: every helper is dominated by one phase.
+	w := build(t, "phase-alternating")
+	for _, mod := range w.Prog.Modules {
+		for _, f := range mod.Funcs {
+			if f.Name == "phase-alternating_main" {
+				continue
+			}
+			var avx, base, all int
+			for _, blk := range f.Blocks {
+				for _, op := range blk.Ops {
+					info := op.Info()
+					all++
+					switch {
+					case info.Ext == isa.AVX:
+						avx++
+					case info.Ext == isa.Base:
+						base++
+					}
+				}
+			}
+			avxFrac := float64(avx) / float64(all)
+			if avxFrac > 0.15 && avxFrac < 0.30 {
+				t.Errorf("%s: AVX fraction %.2f is mid-range; phases should be bimodal", f.Name, avxFrac)
+			}
+		}
+	}
+}
+
+// TestMegamorphicBranchyIsBranchDense: conditional branches dominate
+// beyond the SPEC stand-ins, their taken probabilities span the whole
+// range (no predictably biased branch), and dispatch fans out over a
+// wide callee set.
+func TestMegamorphicBranchyIsBranchDense(t *testing.T) {
+	_, condBr, call, _, _ := classFractions(t, "megamorphic-branchy")
+	if condBr < 0.10 {
+		t.Errorf("conditional-branch fraction %.2f, want dense branching", condBr)
+	}
+	if call < 0.02 {
+		t.Errorf("call fraction %.2f, want a wide dispatch fan-out", call)
+	}
+	w := build(t, "megamorphic-branchy")
+	minProb, maxProb := 1.0, 0.0
+	for _, blk := range w.Prog.Blocks() {
+		if blk.Term.Kind != program.TermCond {
+			continue
+		}
+		if blk.Term.Prob < minProb {
+			minProb = blk.Term.Prob
+		}
+		if blk.Term.Prob > maxProb {
+			maxProb = blk.Term.Prob
+		}
+	}
+	if minProb > 0.2 || maxProb < 0.8 {
+		t.Errorf("taken probabilities span [%.2f, %.2f]; megamorphic branches must be unbiased in aggregate",
+			minProb, maxProb)
+	}
+}
+
+// TestCallgraphDeepChains: the static call graph must actually be
+// CallDepth layers deep, and call/return scaffolding must dominate.
+func TestCallgraphDeepChains(t *testing.T) {
+	w := build(t, "callgraph-deep")
+	callees := map[string][]string{}
+	for _, mod := range w.Prog.Modules {
+		for _, f := range mod.Funcs {
+			for _, blk := range f.Blocks {
+				if blk.Term.Kind == program.TermCall && blk.Term.Callee != nil {
+					callees[f.Name] = append(callees[f.Name], blk.Term.Callee.Name)
+				}
+			}
+		}
+	}
+	var depth func(fn string, seen map[string]bool) int
+	depth = func(fn string, seen map[string]bool) int {
+		if seen[fn] {
+			return 0
+		}
+		seen[fn] = true
+		max := 0
+		for _, c := range callees[fn] {
+			if d := depth(c, seen); d > max {
+				max = d
+			}
+		}
+		delete(seen, fn)
+		return max + 1
+	}
+	if d := depth(w.Entry.Name, map[string]bool{}); d < 6 {
+		t.Errorf("static call depth %d frames, want >= 6", d)
+	}
+	// Call/return/stack scaffolding dominates retirement: every frame
+	// of the chain pays CALL+RET+PUSH+POP around a tiny body.
+	mix, _ := runMix(t, w, 3)
+	var scaffolding, total uint64
+	for op, n := range mix {
+		total += n
+		switch op.Info().Cat {
+		case isa.CatCall, isa.CatReturn, isa.CatStack:
+			scaffolding += n
+		}
+	}
+	if frac := float64(scaffolding) / float64(total); frac < 0.10 {
+		t.Errorf("scaffolding fraction %.2f, want call/return-dominated retirement (>= 0.10)", frac)
+	}
+}

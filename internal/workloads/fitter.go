@@ -44,20 +44,50 @@ func (v FitterVariant) String() string {
 	return fmt.Sprintf("FitterVariant(%d)", uint8(v))
 }
 
+// WorkloadName returns the registry name of the variant's build
+// ("fitter-x87", "fitter-sse", "fitter-avx", "fitter-avxfix").
+func (v FitterVariant) WorkloadName() string {
+	switch v {
+	case FitterX87:
+		return "fitter-x87"
+	case FitterSSE:
+		return "fitter-sse"
+	case FitterAVX:
+		return "fitter-avx"
+	case FitterAVXFix:
+		return "fitter-avxfix"
+	}
+	return fmt.Sprintf("fitter-variant-%d", uint8(v))
+}
+
+// fitterSpec declares one build of the track-fitting benchmark. The
+// invocation count is the paper's fixed 60 runs — no calibration dry
+// run is needed.
+func fitterSpec(variant FitterVariant) ShapeSpec {
+	return ShapeSpec{
+		Name:        variant.WorkloadName(),
+		Description: "track-fitting kernel, " + variant.String() + " build (Tables 3 and 6)",
+		Class:       collector.ClassSeconds,
+		Scale:       2000,
+		Repeat:      60,
+		Program:     func() (*program.Program, *program.Function) { return fitterProgram(variant) },
+	}
+}
+
 // fitterEntryPad aligns fit_track; see Fitter.
 const fitterEntryPad = 6
 
 // fitterTracks is how many tracks one entry invocation fits.
 const fitterTracks = 400
 
-// Fitter builds the requested variant. The program fits sparse position
-// measurements into tracks: per track, an inner loop over measurements
-// performs the vectorizable math; a finalisation step runs a division
-// and a square root. Lane widths shrink the packed instruction volume
-// by 4x (SSE) and 8x (AVX) relative to the scalar build, reproducing
-// the Expected half of Table 6.
-func Fitter(variant FitterVariant) *Workload {
-	b := program.NewBuilder("fitter-" + variant.String())
+// fitterProgram builds the requested variant's image. The program fits
+// sparse position measurements into tracks: per track, an inner loop
+// over measurements performs the vectorizable math; a finalisation
+// step runs a division and a square root. Lane widths shrink the
+// packed instruction volume by 4x (SSE) and 8x (AVX) relative to the
+// scalar build, reproducing the Expected half of Table 6.
+func fitterProgram(variant FitterVariant) (*program.Program, *program.Function) {
+	b := program.NewBuilder(variant.WorkloadName())
 	mod := b.Module("fitter", program.RingUser)
 
 	// Non-inlined kernels for the broken AVX build: each carries x87
@@ -135,15 +165,7 @@ func Fitter(variant FitterVariant) *Workload {
 	b.Loop(mlatch, isa.JNZ, head, mexit, fitterTracks)
 	b.Return(mexit)
 
-	return &Workload{
-		Name:        "fitter-" + variant.String(),
-		Prog:        mustFinish(b, "fitter"),
-		Entry:       main,
-		Repeat:      60,
-		Class:       collector.ClassSeconds,
-		Scale:       2000,
-		Description: "track-fitting kernel, " + variant.String() + " build (Tables 3 and 6)",
-	}
+	return mustFinish(b, "fitter"), main
 }
 
 // computeOps returns the per-measurement math for a variant. The scalar

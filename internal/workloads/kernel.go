@@ -9,19 +9,31 @@ import (
 // kernelEntryPad aligns hello_k; see buildPrimeSearch.
 const kernelEntryPad = 1
 
-// KernelPrime builds the synthetic kernel benchmark of Section VIII.D:
-// a small prime-number trial-division search that exists twice in the
-// same program — once as a user-space function (hello_u, visible to
-// both SDE and HBBP) and once inside a kernel module (hello_k, visible
-// only to HBBP), triggered from user space through a syscall. Calls to
-// the kernel are separated in time by user-side filler, as in the
-// paper. The kernel copy additionally carries trace points (patched
-// JMP/NOP sites), exercising the self-modifying-kernel handling of
-// Section III.C.
+// kernelPrimeSpec declares the synthetic kernel benchmark of Section
+// VIII.D: a small prime-number trial-division search that exists twice
+// in the same program — once as a user-space function (hello_u,
+// visible to both SDE and HBBP) and once inside a kernel module
+// (hello_k, visible only to HBBP), triggered from user space through a
+// syscall. Calls to the kernel are separated in time by user-side
+// filler, as in the paper. The kernel copy additionally carries trace
+// points (patched JMP/NOP sites), exercising the self-modifying-kernel
+// handling of Section III.C.
 //
 // Both copies use the instruction vocabulary of Table 7: ADD, CDQE,
 // CMP, IMUL, JLE, JNLE, JNZ, JZ, MOV, MOVSXD, SUB, TEST.
-func KernelPrime() *Workload {
+func kernelPrimeSpec() ShapeSpec {
+	return ShapeSpec{
+		Name:        "kernel-prime",
+		Description: "prime search in user space and as a kernel module (Table 7)",
+		Class:       collector.ClassSeconds,
+		Scale:       1000,
+		TargetInst:  3_000_000,
+		Program:     kernelPrimeProgram,
+	}
+}
+
+// kernelPrimeProgram builds the two-copy prime-search image.
+func kernelPrimeProgram() (*program.Program, *program.Function) {
 	b := program.NewBuilder("kernel-prime")
 	umod := b.Module("hello", program.RingUser)
 	kmod := b.Module("hello.ko", program.RingKernel)
@@ -52,16 +64,7 @@ func KernelPrime() *Workload {
 	b.Loop(latch, isa.JLE, head, exit, 50)
 	b.Return(exit)
 
-	w := &Workload{
-		Name:        "kernel-prime",
-		Prog:        mustFinish(b, "kernel-prime"),
-		Entry:       main,
-		Class:       collector.ClassSeconds,
-		Scale:       1000,
-		Description: "prime search in user space and as a kernel module (Table 7)",
-	}
-	w.calibrateRepeat(3_000_000)
-	return w
+	return mustFinish(b, "kernel-prime"), main
 }
 
 // buildPrimeSearch emits the trial-division prime counter. The block

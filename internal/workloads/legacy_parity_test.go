@@ -1,0 +1,336 @@
+package workloads
+
+// This file freezes the pre-refactor hand-rolled workload constructors
+// — the imperative code the declarative shape-spec registry replaced —
+// and proves the registry compiles every pre-existing workload to a
+// bit-identical program with identical execution metadata. The paper
+// tables are pure functions of (program, repeat, class, scale, seed),
+// so program-level identity here plus the harness golden-table test
+// pins the whole pipeline to its pre-refactor output.
+
+import (
+	"testing"
+
+	"hbbp/internal/collector"
+	"hbbp/internal/cpu"
+	"hbbp/internal/program"
+)
+
+// legacyCalibrate reproduces the old Workload.calibrateRepeat: dry-run
+// one invocation, derive the repeat hitting the target volume.
+func legacyCalibrate(t *testing.T, w *Workload, target uint64) {
+	t.Helper()
+	stats, err := cpu.Run(w.Prog, w.Entry, cpu.Config{Seed: 1, Repeat: 1})
+	if err != nil {
+		t.Fatalf("legacy %s dry run: %v", w.Name, err)
+	}
+	per := stats.Retired
+	if per == 0 {
+		w.Repeat = 1
+		return
+	}
+	w.Repeat = int(target / per)
+	if w.Repeat < 1 {
+		w.Repeat = 1
+	}
+}
+
+// legacyBuildSPEC is the pre-refactor buildSPEC, verbatim.
+func legacyBuildSPEC(t *testing.T, i int, d specDef) *Workload {
+	prog, entry := Synthesize(SynthSpec{
+		Name:  d.name,
+		Seed:  specSeed(i),
+		Funcs: d.funcs,
+		Profile: Profile{
+			MeanBlockLen:   d.meanLen,
+			BlockLenSpread: d.spread,
+			Segments:       d.segments,
+			DiamondFrac:    d.diamond,
+			LoopFrac:       d.loop,
+			CallFrac:       d.call,
+			DivFrac:        d.div,
+			InnerTripMin:   3,
+			InnerTripMax:   12,
+			Mix:            d.mix,
+		},
+		OuterTrips: 40,
+		LeafFrac:   0.6,
+	})
+	w := &Workload{
+		Name: d.name, Prog: prog, Entry: entry,
+		Class: collector.ClassMinutes, Scale: specScale, SDEBug: d.sdeBug,
+	}
+	legacyCalibrate(t, w, d.targetInst)
+	return w
+}
+
+// legacyTest40 is the pre-refactor Test40 constructor, verbatim.
+func legacyTest40(t *testing.T) *Workload {
+	prog, entry := Synthesize(SynthSpec{
+		Name:  "test40",
+		Seed:  0x6EA47,
+		Funcs: 40,
+		Profile: Profile{
+			MeanBlockLen:   4,
+			BlockLenSpread: 2,
+			Segments:       5,
+			DiamondFrac:    0.42,
+			LoopFrac:       0.10,
+			CallFrac:       0.30,
+			DivFrac:        0.015,
+			InnerTripMin:   2,
+			InnerTripMax:   6,
+			Mix:            MixProfile{Base: 0.82, SSEScalar: 0.16, X87: 0.02},
+		},
+		OuterTrips: 25,
+		LeafFrac:   0.55,
+	})
+	w := &Workload{Name: "test40", Prog: prog, Entry: entry,
+		Class: collector.ClassSeconds, Scale: 3000}
+	legacyCalibrate(t, w, 5_000_000)
+	return w
+}
+
+// legacyHydroPost is the pre-refactor HydroPost constructor, verbatim.
+func legacyHydroPost(t *testing.T) *Workload {
+	prog, entry := Synthesize(SynthSpec{
+		Name:  "hydro-post",
+		Seed:  0x44D120,
+		Funcs: 24,
+		Profile: Profile{
+			MeanBlockLen:   1,
+			BlockLenSpread: 1,
+			Segments:       4,
+			DiamondFrac:    0.40,
+			LoopFrac:       0.04,
+			CallFrac:       0.50,
+			DivFrac:        0.002,
+			InnerTripMin:   2,
+			InnerTripMax:   4,
+			Mix:            MixProfile{Base: 0.92, SSEScalar: 0.08},
+		},
+		OuterTrips: 30,
+		LeafFrac:   0.5,
+	})
+	w := &Workload{Name: "hydro-post", Prog: prog, Entry: entry,
+		Class: collector.ClassMinuteOrTwo, Scale: 10_000}
+	legacyCalibrate(t, w, 4_000_000)
+	return w
+}
+
+// legacyTrainingCorpus is the pre-refactor TrainingCorpus, rebuilt
+// from the same frozen sweep (hot loops first, then the structural
+// sweep, exactly the old ordering and seeds).
+func legacyTrainingCorpus(t *testing.T) []*Workload {
+	out := make([]*Workload, 0, len(hotLoopSeeds)+len(trainingDefs))
+	for i, seed := range hotLoopSeeds {
+		name := "trainloop0" + string(rune('1'+i))
+		prog, entry := Synthesize(SynthSpec{
+			Name:  name,
+			Seed:  seed,
+			Funcs: 2,
+			Profile: Profile{
+				MeanBlockLen:   4,
+				BlockLenSpread: 2,
+				Segments:       3,
+				DiamondFrac:    0.2,
+				LoopFrac:       0.6,
+				CallFrac:       0.0,
+				DivFrac:        0.02,
+				InnerTripMin:   8,
+				InnerTripMax:   30,
+				Mix:            MixProfile{Base: 0.8, SSEScalar: 0.2},
+			},
+			OuterTrips: 60,
+			LeafFrac:   1,
+		})
+		w := &Workload{Name: name, Prog: prog, Entry: entry,
+			Class: collector.ClassSeconds, Scale: 1000}
+		legacyCalibrate(t, w, 1_200_000)
+		out = append(out, w)
+	}
+	for i, s := range trainingDefs {
+		name := "train" + string(rune('0'+(i+1)/10)) + string(rune('0'+(i+1)%10))
+		prog, entry := Synthesize(SynthSpec{
+			Name:  name,
+			Seed:  0x7EA1 + int64(i)*6151,
+			Funcs: s.funcs,
+			Profile: Profile{
+				MeanBlockLen:   s.meanLen,
+				BlockLenSpread: s.spread,
+				Segments:       7,
+				DiamondFrac:    s.diamond,
+				LoopFrac:       s.loop,
+				CallFrac:       s.call,
+				DivFrac:        s.div,
+				InnerTripMin:   3,
+				InnerTripMax:   10,
+				Mix:            s.mix,
+			},
+			OuterTrips: 30,
+			LeafFrac:   0.6,
+		})
+		w := &Workload{Name: name, Prog: prog, Entry: entry,
+			Class: collector.ClassSeconds, Scale: 1000}
+		legacyCalibrate(t, w, 2_500_000)
+		out = append(out, w)
+	}
+	return out
+}
+
+// legacyFitter reproduces the pre-refactor Fitter constructor: the
+// (unchanged) program builder plus the fixed 60-repeat metadata.
+func legacyFitter(v FitterVariant) *Workload {
+	prog, entry := fitterProgram(v)
+	return &Workload{Name: v.WorkloadName(), Prog: prog, Entry: entry,
+		Repeat: 60, Class: collector.ClassSeconds, Scale: 2000}
+}
+
+// legacyCLForward reproduces the pre-refactor CLForward constructor,
+// including the package-cache semantics: the fixed build runs exactly
+// as many invocations as the pre-fix build's calibration produced.
+func legacyCLForward(t *testing.T, fixed bool) *Workload {
+	name := "clforward-before"
+	if fixed {
+		name = "clforward-after"
+	}
+	prog, entry := clforwardProgram(fixed)
+	w := &Workload{Name: name, Prog: prog, Entry: entry,
+		Class: collector.ClassMinuteOrTwo, Scale: 20_000}
+	if fixed {
+		w.Repeat = legacyCLForward(t, false).Repeat
+	} else {
+		legacyCalibrate(t, w, 2_500_000)
+	}
+	return w
+}
+
+// legacyKernelPrime reproduces the pre-refactor KernelPrime.
+func legacyKernelPrime(t *testing.T) *Workload {
+	prog, entry := kernelPrimeProgram()
+	w := &Workload{Name: "kernel-prime", Prog: prog, Entry: entry,
+		Class: collector.ClassSeconds, Scale: 1000}
+	legacyCalibrate(t, w, 3_000_000)
+	return w
+}
+
+// ---------------------------------------------------------------------
+
+// termEqual compares two terminators structurally (targets by address,
+// callees by name).
+func termEqual(a, b program.Terminator) bool {
+	if a.Kind != b.Kind || a.Trip != b.Trip || a.Prob != b.Prob {
+		return false
+	}
+	addr := func(blk *program.Block) uint64 {
+		if blk == nil {
+			return ^uint64(0)
+		}
+		return blk.Addr
+	}
+	if addr(a.Target) != addr(b.Target) || addr(a.Next) != addr(b.Next) {
+		return false
+	}
+	if (a.Callee == nil) != (b.Callee == nil) {
+		return false
+	}
+	if a.Callee != nil && a.Callee.Name != b.Callee.Name {
+		return false
+	}
+	return true
+}
+
+// requireProgramsIdentical asserts two programs are bit-identical:
+// same modules (name, ring, base, encoded bytes), same blocks (owner,
+// address, opcodes, terminator, trace flag). The cosmetic top-level
+// program name is excluded — the refactor normalised the fitter
+// builds' to their registry keys.
+func requireProgramsIdentical(t *testing.T, name string, got, want *program.Program) {
+	t.Helper()
+	if len(got.Modules) != len(want.Modules) {
+		t.Fatalf("%s: %d modules, want %d", name, len(got.Modules), len(want.Modules))
+	}
+	for i, gm := range got.Modules {
+		wm := want.Modules[i]
+		if gm.Name != wm.Name || gm.Ring != wm.Ring || gm.Base != wm.Base {
+			t.Fatalf("%s: module %d header differs: %s/%v/%#x vs %s/%v/%#x",
+				name, i, gm.Name, gm.Ring, gm.Base, wm.Name, wm.Ring, wm.Base)
+		}
+		if string(gm.Code) != string(wm.Code) {
+			t.Fatalf("%s: module %s code bytes differ", name, gm.Name)
+		}
+	}
+	if got.NumBlocks() != want.NumBlocks() {
+		t.Fatalf("%s: %d blocks, want %d", name, got.NumBlocks(), want.NumBlocks())
+	}
+	for id := 0; id < want.NumBlocks(); id++ {
+		g, w := got.BlockByID(id), want.BlockByID(id)
+		if g.Fn.Name != w.Fn.Name || g.Addr != w.Addr || g.TraceJump != w.TraceJump {
+			t.Fatalf("%s: block %d differs: %s@%#x vs %s@%#x", name, id,
+				g.Fn.Name, g.Addr, w.Fn.Name, w.Addr)
+		}
+		if len(g.Ops) != len(w.Ops) {
+			t.Fatalf("%s: block %d has %d ops, want %d", name, id, len(g.Ops), len(w.Ops))
+		}
+		for j := range g.Ops {
+			if g.Ops[j] != w.Ops[j] {
+				t.Fatalf("%s: block %d op %d: %v vs %v", name, id, j, g.Ops[j], w.Ops[j])
+			}
+		}
+		if !termEqual(g.Term, w.Term) {
+			t.Fatalf("%s: block %d terminator differs", name, id)
+		}
+	}
+}
+
+// requireWorkloadsIdentical compares program plus execution metadata.
+func requireWorkloadsIdentical(t *testing.T, got, want *Workload) {
+	t.Helper()
+	if got.Name != want.Name {
+		t.Fatalf("name %q, want %q", got.Name, want.Name)
+	}
+	if got.Repeat != want.Repeat || got.Class != want.Class ||
+		got.Scale != want.Scale || got.SDEBug != want.SDEBug {
+		t.Fatalf("%s metadata differs: repeat %d/%d class %v/%v scale %d/%d sdebug %v/%v",
+			got.Name, got.Repeat, want.Repeat, got.Class, want.Class,
+			got.Scale, want.Scale, got.SDEBug, want.SDEBug)
+	}
+	if got.Entry.Name != want.Entry.Name {
+		t.Fatalf("%s: entry %q, want %q", got.Name, got.Entry.Name, want.Entry.Name)
+	}
+	requireProgramsIdentical(t, got.Name, got.Prog, want.Prog)
+}
+
+// TestRegistryParityWithLegacyConstructors proves every pre-existing
+// workload compiled from its shape spec is bit-identical — program
+// image, entry point, calibrated repeat, class, scale, flags — to the
+// output of the frozen pre-refactor constructors above.
+func TestRegistryParityWithLegacyConstructors(t *testing.T) {
+	reg := Default()
+	build := func(name string) *Workload {
+		w, err := reg.Build(name)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		return w
+	}
+
+	for i, d := range specDefs {
+		requireWorkloadsIdentical(t, build(d.name), legacyBuildSPEC(t, i, d))
+	}
+	requireWorkloadsIdentical(t, build("test40"), legacyTest40(t))
+	requireWorkloadsIdentical(t, build("hydro-post"), legacyHydroPost(t))
+	requireWorkloadsIdentical(t, build("kernel-prime"), legacyKernelPrime(t))
+	requireWorkloadsIdentical(t, build("clforward-before"), legacyCLForward(t, false))
+	requireWorkloadsIdentical(t, build("clforward-after"), legacyCLForward(t, true))
+	for _, v := range FitterVariants() {
+		requireWorkloadsIdentical(t, build(v.WorkloadName()), legacyFitter(v))
+	}
+	for i, want := range legacyTrainingCorpus(t) {
+		name := TrainingNames()[i]
+		if name != want.Name {
+			t.Fatalf("training order: %s at %d, legacy had %s", name, i, want.Name)
+		}
+		requireWorkloadsIdentical(t, build(name), want)
+	}
+}

@@ -1,0 +1,105 @@
+package workloads
+
+import (
+	"fmt"
+
+	"hbbp/internal/collector"
+	"hbbp/internal/program"
+)
+
+// ShapeSpec declaratively describes one workload purely by *shape* —
+// the only thing the paper's evaluation depends on. A spec is plain
+// data: the block-length distribution, branch/call/taken densities and
+// ISA-class mix live in Synth (compiled by the generic generator), the
+// sampling class and retirement scaling are fields, and the execution
+// volume is one of three calibration policies. The handful of case
+// studies whose control-flow graphs the paper describes structurally
+// (Fitter, CLForward, kernel-prime) keep a bespoke Program builder but
+// share every other field.
+//
+// Specs are registered in a [Registry], which compiles them to
+// [Workload]s on demand and owns calibration.
+type ShapeSpec struct {
+	// Name is the registry key and the built workload's name.
+	Name string
+	// Description summarises what the workload models.
+	Description string
+	// Class selects the Table 4 sampling periods.
+	Class collector.RuntimeClass
+	// Scale maps simulated retirements to real ones.
+	Scale uint64
+	// SDEBug marks workloads the reference tool miscounts (the paper's
+	// x264ref footnote); they are excluded from error aggregation.
+	SDEBug bool
+
+	// Synth, when non-nil, compiles the program with the generic
+	// structured generator. Exactly one of Synth and Program must be
+	// set.
+	Synth *SynthSpec
+	// Program, when non-nil, builds a bespoke control-flow graph (the
+	// case studies whose structure the paper spells out).
+	Program func() (*program.Program, *program.Function)
+
+	// Execution volume — exactly one of the three:
+	//
+	// TargetInst calibrates Repeat so one full run retires about this
+	// many simulated instructions (a memoized dry run, owned by the
+	// registry).
+	TargetInst uint64
+	// Repeat fixes the invocation count directly (no dry run).
+	Repeat int
+	// RepeatOf copies another registered spec's calibrated Repeat —
+	// e.g. clforward-after runs as many kernel invocations as the
+	// pre-fix build it is compared against.
+	RepeatOf string
+}
+
+// validate reports structural errors in a spec before registration.
+func (s *ShapeSpec) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workloads: spec with empty name")
+	}
+	if (s.Synth == nil) == (s.Program == nil) {
+		return fmt.Errorf("workloads: spec %s must set exactly one of Synth and Program", s.Name)
+	}
+	n := 0
+	if s.TargetInst > 0 {
+		n++
+	}
+	if s.Repeat > 0 {
+		n++
+	}
+	if s.RepeatOf != "" {
+		n++
+	}
+	if n != 1 {
+		return fmt.Errorf("workloads: spec %s must set exactly one of TargetInst, Repeat and RepeatOf", s.Name)
+	}
+	if s.Scale == 0 {
+		return fmt.Errorf("workloads: spec %s has no retirement scale", s.Name)
+	}
+	return nil
+}
+
+// compile builds the spec's program image. Construction is
+// deterministic — every call returns a structurally identical fresh
+// program — and safe to run concurrently with other compilations.
+func (s *ShapeSpec) compile() (*program.Program, *program.Function) {
+	if s.Synth != nil {
+		return Synthesize(*s.Synth)
+	}
+	return s.Program()
+}
+
+// clone returns a deep copy: the Synth spec and its PhaseMixes slice
+// are duplicated, so a caller mutating the copy (or the spec they
+// registered) never reaches registry state through shared pointers.
+func (s ShapeSpec) clone() ShapeSpec {
+	out := s
+	if s.Synth != nil {
+		synth := *s.Synth
+		synth.PhaseMixes = append([]MixProfile(nil), s.Synth.PhaseMixes...)
+		out.Synth = &synth
+	}
+	return out
+}

@@ -70,38 +70,46 @@ func specSeed(i int) int64 { return 0x5EC_0000 + int64(i)*7919 }
 // density.
 const specScale = 100_000
 
-// buildSPEC constructs one benchmark from its definition.
-func buildSPEC(i int, d specDef) *Workload {
-	prog, entry := Synthesize(SynthSpec{
-		Name:  d.name,
-		Seed:  specSeed(i),
-		Funcs: d.funcs,
-		Profile: Profile{
-			MeanBlockLen:   d.meanLen,
-			BlockLenSpread: d.spread,
-			Segments:       d.segments,
-			DiamondFrac:    d.diamond,
-			LoopFrac:       d.loop,
-			CallFrac:       d.call,
-			DivFrac:        d.div,
-			InnerTripMin:   3,
-			InnerTripMax:   12,
-			Mix:            d.mix,
-		},
-		OuterTrips: 40,
-		LeafFrac:   0.6,
-	})
-	w := &Workload{
+// specShape maps one suite definition onto its declarative spec. The
+// seed is positional ([specSeed]), so the generated programs are
+// bit-identical to the historical hand-rolled constructors.
+func specShape(i int, d specDef) ShapeSpec {
+	return ShapeSpec{
 		Name:        d.name,
-		Prog:        prog,
-		Entry:       entry,
+		Description: specDescription(d),
 		Class:       collector.ClassMinutes,
 		Scale:       specScale,
 		SDEBug:      d.sdeBug,
-		Description: specDescription(d),
+		TargetInst:  d.targetInst,
+		Synth: &SynthSpec{
+			Name:  d.name,
+			Seed:  specSeed(i),
+			Funcs: d.funcs,
+			Profile: Profile{
+				MeanBlockLen:   d.meanLen,
+				BlockLenSpread: d.spread,
+				Segments:       d.segments,
+				DiamondFrac:    d.diamond,
+				LoopFrac:       d.loop,
+				CallFrac:       d.call,
+				DivFrac:        d.div,
+				InnerTripMin:   3,
+				InnerTripMax:   12,
+				Mix:            d.mix,
+			},
+			OuterTrips: 40,
+			LeafFrac:   0.6,
+		},
 	}
-	w.calibrateRepeat(d.targetInst)
-	return w
+}
+
+// specSuiteSpecs lists the suite's specs in Figure 2 order.
+func specSuiteSpecs() []ShapeSpec {
+	out := make([]ShapeSpec, len(specDefs))
+	for i, d := range specDefs {
+		out[i] = specShape(i, d)
+	}
+	return out
 }
 
 func specDescription(d specDef) string {
@@ -127,30 +135,12 @@ func itoa(n int) string {
 	return string(buf[i:])
 }
 
-// SPECNames lists the benchmark names in suite order.
+// SPECNames lists the benchmark names in suite order — the name set
+// the harness evaluates Figure 2 and Table 1 over.
 func SPECNames() []string {
 	names := make([]string, len(specDefs))
 	for i, d := range specDefs {
 		names[i] = d.name
 	}
 	return names
-}
-
-// SPEC builds one benchmark by name, or nil if unknown.
-func SPEC(name string) *Workload {
-	for i, d := range specDefs {
-		if d.name == name {
-			return buildSPEC(i, d)
-		}
-	}
-	return nil
-}
-
-// SPECSuite builds the full 29-benchmark suite.
-func SPECSuite() []*Workload {
-	out := make([]*Workload, len(specDefs))
-	for i, d := range specDefs {
-		out[i] = buildSPEC(i, d)
-	}
-	return out
 }

@@ -18,12 +18,13 @@ type MixProfile struct {
 	AVXPacked float64 // VADDPS-class packed AVX
 	X87       float64 // legacy FP stack
 	IntSIMD   float64 // PADDD-class integer SIMD
+	Mem       float64 // load-dominated pointer-chase traffic
 }
 
 // normalize returns cumulative weights for sampling; all-zero profiles
 // degrade to pure Base.
 func (m MixProfile) normalize() MixProfile {
-	total := m.Base + m.SSEScalar + m.SSEPacked + m.AVXScalar + m.AVXPacked + m.X87 + m.IntSIMD
+	total := m.Base + m.SSEScalar + m.SSEPacked + m.AVXScalar + m.AVXPacked + m.X87 + m.IntSIMD + m.Mem
 	if total == 0 {
 		return MixProfile{Base: 1}
 	}
@@ -35,6 +36,7 @@ func (m MixProfile) normalize() MixProfile {
 		AVXPacked: m.AVXPacked / total,
 		X87:       m.X87 / total,
 		IntSIMD:   m.IntSIMD / total,
+		Mem:       m.Mem / total,
 	}
 }
 
@@ -70,6 +72,13 @@ var (
 	poolIntSIMD = []isa.Op{
 		isa.PADDD, isa.PSUBD, isa.PMULLD, isa.PAND, isa.POR, isa.PCMPEQD,
 		isa.MOVD,
+	}
+	// poolMem is load-dominated: the dependent-address traffic of a
+	// pointer chase (next = node->next), with the index arithmetic and
+	// guard compares around it.
+	poolMem = []isa.Op{
+		isa.MOV, isa.MOV, isa.MOV, isa.MOV, isa.MOVZX, isa.MOVSXD,
+		isa.MOVSXD, isa.LEA, isa.CMP, isa.TEST,
 	}
 	poolDiv    = []isa.Op{isa.DIV, isa.IDIV, isa.DIVSS, isa.FDIV, isa.DIVPS, isa.SQRTSS}
 	poolCondBr = []isa.Op{
@@ -109,9 +118,22 @@ func (p *opPicker) pick() isa.Op {
 	case r < m.Base+m.SSEScalar+m.SSEPacked+m.AVXScalar+m.AVXPacked+m.X87:
 		return p.fromPool(poolX87)
 	default:
+		// Mem draws from the tail beyond IntSIMD, so profiles without a
+		// Mem weight keep their historical draw mapping bit-exactly
+		// (floating-point rounding of the cumulative sum included).
+		if m.Mem > 0 &&
+			r >= m.Base+m.SSEScalar+m.SSEPacked+m.AVXScalar+m.AVXPacked+m.X87+m.IntSIMD {
+			return p.fromPool(poolMem)
+		}
 		return p.fromPool(poolIntSIMD)
 	}
 }
+
+// setMix switches the picker onto another profile (the
+// phase-alternating family swaps mixes between functions). The switch
+// consumes no randomness, so gated callers leave draw sequences
+// untouched.
+func (p *opPicker) setMix(mix MixProfile) { p.mix = mix.normalize() }
 
 // condBranch draws a conditional branch opcode.
 func (p *opPicker) condBranch() isa.Op { return p.fromPool(poolCondBr) }
@@ -294,8 +316,20 @@ type SynthSpec struct {
 	Profile    Profile // per-function structure
 	OuterTrips int     // main loop iterations per entry invocation
 	// LeafFrac is the fraction of helpers that are leaves; the rest may
-	// call leaves.
+	// call leaves. Ignored when CallDepth layers the call graph.
 	LeafFrac float64
+	// PhaseMixes, when non-empty, cycles the instruction mix across
+	// helper functions (function i draws from PhaseMixes[i mod len]),
+	// overriding Profile.Mix — the phase-alternating family's
+	// vectorized↔scalar phases. Empty leaves generation bit-identical
+	// to the single-mix path.
+	PhaseMixes []MixProfile
+	// CallDepth, when >= 2, layers the helpers into a call chain that
+	// deep: layer 0 functions are leaves, each higher layer calls the
+	// one below, and the driver calls the top layer — the
+	// callgraph-deep family. Zero keeps the historical two-level
+	// leaves/uppers shape.
+	CallDepth int
 }
 
 // Synthesize builds a program from a spec and returns it with its entry
@@ -311,24 +345,68 @@ func Synthesize(spec SynthSpec) (*program.Program, *program.Function) {
 	if spec.OuterTrips < 1 {
 		spec.OuterTrips = 1
 	}
-	nLeaf := int(float64(spec.Funcs) * spec.LeafFrac)
-	if nLeaf < 1 {
-		nLeaf = 1
-	}
-	var leaves, uppers []*program.Function
-	for i := 0; i < spec.Funcs; i++ {
-		if i < nLeaf {
-			leaves = append(leaves, s.genFunction(mod, fnName(spec.Name, i), nil))
-		} else {
-			uppers = append(uppers, s.genFunction(mod, fnName(spec.Name, i), leaves))
+	// phase switches the picker onto function i's mix; a no-op unless
+	// the spec declares phases.
+	phase := func(i int) {
+		if len(spec.PhaseMixes) > 0 {
+			s.pick.setMix(spec.PhaseMixes[i%len(spec.PhaseMixes)])
 		}
 	}
-	targets := uppers
-	if len(targets) == 0 {
-		targets = leaves
+
+	var targets []*program.Function
+	if spec.CallDepth >= 2 {
+		targets = genLayers(s, mod, spec, phase)
+	} else {
+		nLeaf := int(float64(spec.Funcs) * spec.LeafFrac)
+		if nLeaf < 1 {
+			nLeaf = 1
+		}
+		var leaves, uppers []*program.Function
+		for i := 0; i < spec.Funcs; i++ {
+			phase(i)
+			if i < nLeaf {
+				leaves = append(leaves, s.genFunction(mod, fnName(spec.Name, i), nil))
+			} else {
+				uppers = append(uppers, s.genFunction(mod, fnName(spec.Name, i), leaves))
+			}
+		}
+		targets = uppers
+		if len(targets) == 0 {
+			targets = leaves
+		}
 	}
 	main := s.genMain(mod, spec.Name+"_main", targets, spec.OuterTrips)
 	return mustFinish(b, spec.Name), main
+}
+
+// genLayers builds the CallDepth-layered helper set: functions are
+// assigned to layers bottom-up, every layer's calls target the layer
+// below, and the returned top layer is the driver's fan-out set.
+func genLayers(s *synthesizer, mod *program.Module, spec SynthSpec, phase func(int)) []*program.Function {
+	depth := spec.CallDepth
+	if depth > spec.Funcs {
+		depth = spec.Funcs
+	}
+	perLayer := spec.Funcs / depth
+	if perLayer < 1 {
+		perLayer = 1
+	}
+	var below, top []*program.Function
+	idx := 0
+	for layer := 0; layer < depth; layer++ {
+		count := perLayer
+		if layer == depth-1 {
+			count = spec.Funcs - idx // the top layer absorbs the remainder
+		}
+		var cur []*program.Function
+		for j := 0; j < count && idx < spec.Funcs; j++ {
+			phase(idx)
+			cur = append(cur, s.genFunction(mod, fnName(spec.Name, idx), below))
+			idx++
+		}
+		below, top = cur, cur
+	}
+	return top
 }
 
 func fnName(base string, i int) string {

@@ -2,78 +2,88 @@ package workloads
 
 import "hbbp/internal/collector"
 
-// Test40 models the Geant4-based particle-passage simulation of Section
-// VIII.B: a large, complex, object-oriented C++ workload whose defining
-// property for profiling purposes is that "its methods are short" — the
-// case EBS struggles with. The generator produces a deep library of
-// tiny virtual-method-like functions (physics processes, geometry
-// navigation, stepping) called from a per-event loop.
-func Test40() *Workload {
-	prog, entry := Synthesize(SynthSpec{
-		Name:  "test40",
-		Seed:  0x6EA47,
-		Funcs: 40, // the "40" in Test40: forty short methods
-		Profile: Profile{
-			MeanBlockLen:   4,
-			BlockLenSpread: 2,
-			Segments:       5,
-			DiamondFrac:    0.42,
-			LoopFrac:       0.10,
-			CallFrac:       0.30,
-			DivFrac:        0.015,
-			InnerTripMin:   2,
-			InnerTripMax:   6,
-			Mix:            MixProfile{Base: 0.82, SSEScalar: 0.16, X87: 0.02},
-		},
-		OuterTrips: 25, // events per entry invocation
-		LeafFrac:   0.55,
-	})
-	w := &Workload{
+// test40Spec models the Geant4-based particle-passage simulation of
+// Section VIII.B: a large, complex, object-oriented C++ workload whose
+// defining property for profiling purposes is that "its methods are
+// short" — the case EBS struggles with. The shape produces a deep
+// library of tiny virtual-method-like functions (physics processes,
+// geometry navigation, stepping) called from a per-event loop.
+func test40Spec() ShapeSpec {
+	return ShapeSpec{
 		Name:        "test40",
-		Prog:        prog,
-		Entry:       entry,
+		Description: "Geant4-like particle simulation: object-oriented, short methods (Table 5, Figures 3-4)",
 		Class:       collector.ClassSeconds,
 		Scale:       3000,
-		Description: "Geant4-like particle simulation: object-oriented, short methods (Table 5, Figures 3-4)",
+		TargetInst:  5_000_000,
+		Synth: &SynthSpec{
+			Name:  "test40",
+			Seed:  0x6EA47,
+			Funcs: 40, // the "40" in Test40: forty short methods
+			Profile: Profile{
+				MeanBlockLen:   4,
+				BlockLenSpread: 2,
+				Segments:       5,
+				DiamondFrac:    0.42,
+				LoopFrac:       0.10,
+				CallFrac:       0.30,
+				DivFrac:        0.015,
+				InnerTripMin:   2,
+				InnerTripMax:   6,
+				Mix:            MixProfile{Base: 0.82, SSEScalar: 0.16, X87: 0.02},
+			},
+			OuterTrips: 25, // events per entry invocation
+			LeafFrac:   0.55,
+		},
 	}
-	w.calibrateRepeat(5_000_000)
-	return w
 }
 
-// HydroPost models the post-processing stage of a hydrodynamics code —
-// the workload with the paper's worst instrumentation slowdown (76.6x
-// in Table 1). Its shape is pathological for software instrumentation:
-// one- and two-instruction basic blocks, near-total branch/call
-// density, and almost no straight-line work for the instrumented code
-// to amortise dispatch against.
-func HydroPost() *Workload {
-	prog, entry := Synthesize(SynthSpec{
-		Name:  "hydro-post",
-		Seed:  0x44D120,
-		Funcs: 24,
-		Profile: Profile{
-			MeanBlockLen:   1,
-			BlockLenSpread: 1,
-			Segments:       4,
-			DiamondFrac:    0.40,
-			LoopFrac:       0.04,
-			CallFrac:       0.50,
-			DivFrac:        0.002,
-			InnerTripMin:   2,
-			InnerTripMax:   4,
-			Mix:            MixProfile{Base: 0.92, SSEScalar: 0.08},
-		},
-		OuterTrips: 30,
-		LeafFrac:   0.5,
-	})
-	w := &Workload{
+// hydroPostSpec models the post-processing stage of a hydrodynamics
+// code — the workload with the paper's worst instrumentation slowdown
+// (76.6x in Table 1). Its shape is pathological for software
+// instrumentation: one- and two-instruction basic blocks, near-total
+// branch/call density, and almost no straight-line work for the
+// instrumented code to amortise dispatch against.
+func hydroPostSpec() ShapeSpec {
+	return ShapeSpec{
 		Name:        "hydro-post",
-		Prog:        prog,
-		Entry:       entry,
+		Description: "hydrodynamics post-processing: pathologically short blocks (Table 1's 76.6x SDE extreme)",
 		Class:       collector.ClassMinuteOrTwo,
 		Scale:       10_000,
-		Description: "hydrodynamics post-processing: pathologically short blocks (Table 1's 76.6x SDE extreme)",
+		TargetInst:  4_000_000,
+		Synth: &SynthSpec{
+			Name:  "hydro-post",
+			Seed:  0x44D120,
+			Funcs: 24,
+			Profile: Profile{
+				MeanBlockLen:   1,
+				BlockLenSpread: 1,
+				Segments:       4,
+				DiamondFrac:    0.40,
+				LoopFrac:       0.04,
+				CallFrac:       0.50,
+				DivFrac:        0.002,
+				InnerTripMin:   2,
+				InnerTripMax:   4,
+				Mix:            MixProfile{Base: 0.92, SSEScalar: 0.08},
+			},
+			OuterTrips: 30,
+			LeafFrac:   0.5,
+		},
 	}
-	w.calibrateRepeat(4_000_000)
-	return w
+}
+
+// caseStudySpecs lists the paper's non-SPEC case studies, in the
+// historical façade listing order.
+func caseStudySpecs() []ShapeSpec {
+	specs := []ShapeSpec{
+		test40Spec(),
+		hydroPostSpec(),
+		kernelPrimeSpec(),
+		clforwardSpec(false),
+		clforwardSpec(true),
+	}
+	for _, v := range FitterVariants() {
+		specs = append(specs, fitterSpec(v))
+	}
+	return specs
 }

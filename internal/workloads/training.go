@@ -6,70 +6,33 @@ import (
 	"hbbp/internal/collector"
 )
 
-// TrainingCorpus builds the non-SPEC training workloads of Section IV.B.
-// The paper trains its classification trees "on approximately 1,100
-// basic blocks of training input from non-SPEC benchmarks"; the corpus
-// here sweeps the structural dimensions that matter to the EBS/LBR
-// decision — block length from 2 to 34 instructions, long-latency
-// density, call/branch fragmentation — so the learned rule generalises
-// rather than memorising one code shape.
-func TrainingCorpus() []*Workload {
-	specs := []struct {
-		meanLen, spread int
-		div             float64
-		call, diamond   float64
-		loop            float64
-		funcs           int
-		mix             MixProfile
-	}{
-		{meanLen: 2, spread: 1, div: 0.01, call: 0.35, diamond: 0.40, loop: 0.08, funcs: 10, mix: MixProfile{Base: 1}},
-		{meanLen: 4, spread: 2, div: 0.02, call: 0.28, diamond: 0.40, loop: 0.10, funcs: 10, mix: MixProfile{Base: 0.9, SSEScalar: 0.1}},
-		{meanLen: 6, spread: 3, div: 0.05, call: 0.20, diamond: 0.35, loop: 0.15, funcs: 9, mix: MixProfile{Base: 0.8, SSEScalar: 0.2}},
-		{meanLen: 8, spread: 4, div: 0.03, call: 0.15, diamond: 0.32, loop: 0.20, funcs: 8, mix: MixProfile{Base: 0.7, SSEScalar: 0.2, SSEPacked: 0.1}},
-		{meanLen: 11, spread: 5, div: 0.04, call: 0.12, diamond: 0.28, loop: 0.25, funcs: 8, mix: MixProfile{Base: 0.7, SSEPacked: 0.3}},
-		{meanLen: 14, spread: 6, div: 0.06, call: 0.10, diamond: 0.24, loop: 0.30, funcs: 7, mix: MixProfile{Base: 0.6, SSEPacked: 0.3, X87: 0.1}},
-		{meanLen: 18, spread: 7, div: 0.03, call: 0.08, diamond: 0.20, loop: 0.34, funcs: 6, mix: MixProfile{Base: 0.5, SSEPacked: 0.4, SSEScalar: 0.1}},
-		{meanLen: 22, spread: 8, div: 0.05, call: 0.06, diamond: 0.16, loop: 0.38, funcs: 6, mix: MixProfile{Base: 0.5, AVXPacked: 0.4, AVXScalar: 0.1}},
-		{meanLen: 27, spread: 9, div: 0.04, call: 0.05, diamond: 0.12, loop: 0.42, funcs: 5, mix: MixProfile{Base: 0.45, AVXPacked: 0.45, SSEPacked: 0.1}},
-		{meanLen: 32, spread: 10, div: 0.06, call: 0.04, diamond: 0.10, loop: 0.44, funcs: 5, mix: MixProfile{Base: 0.4, AVXPacked: 0.5, IntSIMD: 0.1}},
-	}
-	out := make([]*Workload, 0, len(specs)+len(hotLoopSeeds))
-	for i, seed := range hotLoopSeeds {
-		out = append(out, hotLoopWorkload(i, seed))
-	}
-	for i, s := range specs {
-		name := fmt.Sprintf("train%02d", i+1)
-		prog, entry := Synthesize(SynthSpec{
-			Name:  name,
-			Seed:  0x7EA1 + int64(i)*6151,
-			Funcs: s.funcs,
-			Profile: Profile{
-				MeanBlockLen:   s.meanLen,
-				BlockLenSpread: s.spread,
-				Segments:       7,
-				DiamondFrac:    s.diamond,
-				LoopFrac:       s.loop,
-				CallFrac:       s.call,
-				DivFrac:        s.div,
-				InnerTripMin:   3,
-				InnerTripMax:   10,
-				Mix:            s.mix,
-			},
-			OuterTrips: 30,
-			LeafFrac:   0.6,
-		})
-		w := &Workload{
-			Name:        name,
-			Prog:        prog,
-			Entry:       entry,
-			Class:       collector.ClassSeconds,
-			Scale:       1000,
-			Description: fmt.Sprintf("HBBP training workload (mean block length %d)", s.meanLen),
-		}
-		w.calibrateRepeat(2_500_000)
-		out = append(out, w)
-	}
-	return out
+// The non-SPEC training workloads of Section IV.B. The paper trains
+// its classification trees "on approximately 1,100 basic blocks of
+// training input from non-SPEC benchmarks"; the corpus here sweeps the
+// structural dimensions that matter to the EBS/LBR decision — block
+// length from 2 to 34 instructions, long-latency density, call/branch
+// fragmentation — so the learned rule generalises rather than
+// memorising one code shape.
+
+// trainingDefs sweeps the structural dimensions of the corpus.
+var trainingDefs = []struct {
+	meanLen, spread int
+	div             float64
+	call, diamond   float64
+	loop            float64
+	funcs           int
+	mix             MixProfile
+}{
+	{meanLen: 2, spread: 1, div: 0.01, call: 0.35, diamond: 0.40, loop: 0.08, funcs: 10, mix: MixProfile{Base: 1}},
+	{meanLen: 4, spread: 2, div: 0.02, call: 0.28, diamond: 0.40, loop: 0.10, funcs: 10, mix: MixProfile{Base: 0.9, SSEScalar: 0.1}},
+	{meanLen: 6, spread: 3, div: 0.05, call: 0.20, diamond: 0.35, loop: 0.15, funcs: 9, mix: MixProfile{Base: 0.8, SSEScalar: 0.2}},
+	{meanLen: 8, spread: 4, div: 0.03, call: 0.15, diamond: 0.32, loop: 0.20, funcs: 8, mix: MixProfile{Base: 0.7, SSEScalar: 0.2, SSEPacked: 0.1}},
+	{meanLen: 11, spread: 5, div: 0.04, call: 0.12, diamond: 0.28, loop: 0.25, funcs: 8, mix: MixProfile{Base: 0.7, SSEPacked: 0.3}},
+	{meanLen: 14, spread: 6, div: 0.06, call: 0.10, diamond: 0.24, loop: 0.30, funcs: 7, mix: MixProfile{Base: 0.6, SSEPacked: 0.3, X87: 0.1}},
+	{meanLen: 18, spread: 7, div: 0.03, call: 0.08, diamond: 0.20, loop: 0.34, funcs: 6, mix: MixProfile{Base: 0.5, SSEPacked: 0.4, SSEScalar: 0.1}},
+	{meanLen: 22, spread: 8, div: 0.05, call: 0.06, diamond: 0.16, loop: 0.38, funcs: 6, mix: MixProfile{Base: 0.5, AVXPacked: 0.4, AVXScalar: 0.1}},
+	{meanLen: 27, spread: 9, div: 0.04, call: 0.05, diamond: 0.12, loop: 0.42, funcs: 5, mix: MixProfile{Base: 0.45, AVXPacked: 0.45, SSEPacked: 0.1}},
+	{meanLen: 32, spread: 10, div: 0.06, call: 0.04, diamond: 0.10, loop: 0.44, funcs: 5, mix: MixProfile{Base: 0.4, AVXPacked: 0.5, IntSIMD: 0.1}},
 }
 
 // hotLoopSeeds picks the tight-loop training programs. Multiple seeds
@@ -79,38 +42,86 @@ func TrainingCorpus() []*Workload {
 // well as clean tight loops.
 var hotLoopSeeds = []int64{0x11, 0x23, 0x37, 0x4D, 0x5F, 0x71}
 
-// hotLoopWorkload builds one tight-loop kernel: a small set of nested
+// trainingSpecs lists the corpus specs in training order: the
+// tight-loop kernels first, then the structural sweep.
+func trainingSpecs() []ShapeSpec {
+	out := make([]ShapeSpec, 0, len(hotLoopSeeds)+len(trainingDefs))
+	for i, seed := range hotLoopSeeds {
+		out = append(out, hotLoopSpec(i, seed))
+	}
+	for i, d := range trainingDefs {
+		name := fmt.Sprintf("train%02d", i+1)
+		out = append(out, ShapeSpec{
+			Name:        name,
+			Description: fmt.Sprintf("HBBP training workload (mean block length %d)", d.meanLen),
+			Class:       collector.ClassSeconds,
+			Scale:       1000,
+			TargetInst:  2_500_000,
+			Synth: &SynthSpec{
+				Name:  name,
+				Seed:  0x7EA1 + int64(i)*6151,
+				Funcs: d.funcs,
+				Profile: Profile{
+					MeanBlockLen:   d.meanLen,
+					BlockLenSpread: d.spread,
+					Segments:       7,
+					DiamondFrac:    d.diamond,
+					LoopFrac:       d.loop,
+					CallFrac:       d.call,
+					DivFrac:        d.div,
+					InnerTripMin:   3,
+					InnerTripMax:   10,
+					Mix:            d.mix,
+				},
+				OuterTrips: 30,
+				LeafFrac:   0.6,
+			},
+		})
+	}
+	return out
+}
+
+// hotLoopSpec declares one tight-loop kernel: a small set of nested
 // counted loops over short blocks, the code shape where a bias-prone
 // branch dominates every LBR window.
-func hotLoopWorkload(i int, seed int64) *Workload {
+func hotLoopSpec(i int, seed int64) ShapeSpec {
 	name := fmt.Sprintf("trainloop%02d", i+1)
-	prog, entry := Synthesize(SynthSpec{
-		Name:  name,
-		Seed:  seed,
-		Funcs: 2,
-		Profile: Profile{
-			MeanBlockLen:   4,
-			BlockLenSpread: 2,
-			Segments:       3,
-			DiamondFrac:    0.2,
-			LoopFrac:       0.6,
-			CallFrac:       0.0,
-			DivFrac:        0.02,
-			InnerTripMin:   8,
-			InnerTripMax:   30,
-			Mix:            MixProfile{Base: 0.8, SSEScalar: 0.2},
-		},
-		OuterTrips: 60,
-		LeafFrac:   1,
-	})
-	w := &Workload{
+	return ShapeSpec{
 		Name:        name,
-		Prog:        prog,
-		Entry:       entry,
+		Description: "tight-loop HBBP training workload (concentrated LBR anomaly exposure)",
 		Class:       collector.ClassSeconds,
 		Scale:       1000,
-		Description: "tight-loop HBBP training workload (concentrated LBR anomaly exposure)",
+		TargetInst:  1_200_000,
+		Synth: &SynthSpec{
+			Name:  name,
+			Seed:  seed,
+			Funcs: 2,
+			Profile: Profile{
+				MeanBlockLen:   4,
+				BlockLenSpread: 2,
+				Segments:       3,
+				DiamondFrac:    0.2,
+				LoopFrac:       0.6,
+				CallFrac:       0.0,
+				DivFrac:        0.02,
+				InnerTripMin:   8,
+				InnerTripMax:   30,
+				Mix:            MixProfile{Base: 0.8, SSEScalar: 0.2},
+			},
+			OuterTrips: 60,
+			LeafFrac:   1,
+		},
 	}
-	w.calibrateRepeat(1_200_000)
-	return w
+}
+
+// TrainingNames lists the corpus workload names in training order —
+// the harness collects them with per-index derived seeds, so the order
+// is part of the learned model's determinism contract.
+func TrainingNames() []string {
+	specs := trainingSpecs()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
 }

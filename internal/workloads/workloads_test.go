@@ -9,6 +9,16 @@ import (
 	"hbbp/internal/sde"
 )
 
+// build compiles a registered workload, failing the test on error.
+func build(t testing.TB, name string) *Workload {
+	t.Helper()
+	w, err := Default().Build(name)
+	if err != nil {
+		t.Fatalf("Build(%s): %v", name, err)
+	}
+	return w
+}
+
 func runMix(t testing.TB, w *Workload, repeatCap int) (map[isa.Op]uint64, cpu.Stats) {
 	t.Helper()
 	repeat := w.Repeat
@@ -29,8 +39,8 @@ func TestSPECSuiteBuildsAndRuns(t *testing.T) {
 	if len(names) != 29 {
 		t.Fatalf("suite has %d benchmarks, want 29 (SPEC CPU2006)", len(names))
 	}
-	for _, d := range specDefs {
-		w := buildSPEC(0, d) // seed by def only for speed of this loop
+	for _, name := range names {
+		w := build(t, name)
 		if w.Repeat < 1 {
 			t.Errorf("%s: repeat %d", w.Name, w.Repeat)
 		}
@@ -45,20 +55,20 @@ func TestSPECSuiteBuildsAndRuns(t *testing.T) {
 }
 
 func TestSPECByName(t *testing.T) {
-	w := SPEC("povray")
-	if w == nil || w.Name != "povray" {
-		t.Fatal("SPEC(povray) lookup failed")
+	w := build(t, "povray")
+	if w.Name != "povray" {
+		t.Fatal("Build(povray) lookup failed")
 	}
-	if SPEC("doom") != nil {
-		t.Fatal("unknown benchmark returned non-nil")
+	if _, err := Default().Build("doom"); err == nil {
+		t.Fatal("unknown benchmark built without error")
 	}
-	if !SPEC("h264ref").SDEBug {
+	if !build(t, "h264ref").SDEBug {
 		t.Error("h264ref must carry the SDE bug flag (paper's footnote 2)")
 	}
 }
 
 func TestPovrayShorterBlocksThanLbm(t *testing.T) {
-	pov, lbm := SPEC("povray"), SPEC("lbm")
+	pov, lbm := build(t, "povray"), build(t, "lbm")
 	meanLen := func(w *Workload) float64 {
 		var insts, blocks int
 		for _, blk := range w.Prog.Blocks() {
@@ -74,7 +84,7 @@ func TestPovrayShorterBlocksThanLbm(t *testing.T) {
 }
 
 func TestDeterministicGeneration(t *testing.T) {
-	a, b := SPEC("gcc"), SPEC("gcc")
+	a, b := build(t, "gcc"), build(t, "gcc")
 	if a.Prog.NumBlocks() != b.Prog.NumBlocks() {
 		t.Fatal("generation is not deterministic")
 	}
@@ -88,7 +98,7 @@ func TestDeterministicGeneration(t *testing.T) {
 
 func TestFitterVariantShapes(t *testing.T) {
 	classTotals := func(v FitterVariant) (x87, sse, avx, calls uint64) {
-		mix, _ := runMix(t, Fitter(v), 10)
+		mix, _ := runMix(t, build(t, v.WorkloadName()), 10)
 		for op, n := range mix {
 			switch op.Info().Ext {
 			case isa.X87:
@@ -136,7 +146,7 @@ func TestFitterVariantShapes(t *testing.T) {
 
 func TestFitterBrokenBuildSlower(t *testing.T) {
 	perTrack := func(v FitterVariant) float64 {
-		w := Fitter(v)
+		w := build(t, v.WorkloadName())
 		stats, err := cpu.Run(w.Prog, w.Entry, cpu.Config{Seed: 1, Repeat: 3})
 		if err != nil {
 			t.Fatalf("%v: %v", v, err)
@@ -156,7 +166,7 @@ func TestFitterBrokenBuildSlower(t *testing.T) {
 }
 
 func TestKernelPrimeRings(t *testing.T) {
-	w := KernelPrime()
+	w := build(t, "kernel-prime")
 	in := sde.New(w.Prog) // faithful: user-only
 	all := sde.New(w.Prog)
 	all.UserOnly = false
@@ -213,8 +223,9 @@ func TestKernelPrimeRings(t *testing.T) {
 }
 
 func TestCLForwardShape(t *testing.T) {
-	mixB, statsB := runMix(t, CLForward(false), 20)
-	mixF, statsF := runMix(t, CLForward(true), 20)
+	before, after := build(t, "clforward-before"), build(t, "clforward-after")
+	mixB, statsB := runMix(t, before, 20)
+	mixF, statsF := runMix(t, after, 20)
 	classify := func(mix map[isa.Op]uint64) (scalarAVX, packedAVX, total uint64) {
 		for op, n := range mix {
 			info := op.Info()
@@ -230,8 +241,8 @@ func TestCLForwardShape(t *testing.T) {
 		}
 		return
 	}
-	sB, pB, tB := classify(mixB)
-	sF, pF, tF := classify(mixF)
+	sB, pB, _ := classify(mixB)
+	sF, pF, _ := classify(mixF)
 	// Table 8: scalar 14.7 -> 0.4, packed 1.5 -> 10.6, total shrinks.
 	if sB <= pB {
 		t.Errorf("before: scalar AVX %d should dominate packed %d", sB, pB)
@@ -239,26 +250,28 @@ func TestCLForwardShape(t *testing.T) {
 	if pF <= sF {
 		t.Errorf("after: packed AVX %d should dominate scalar %d", pF, sF)
 	}
-	perRunB := float64(tB) / float64(min(20, CLForward(false).Repeat))
-	perRunF := float64(tF) / float64(min(20, CLForward(true).Repeat))
-	_ = perRunB
-	_ = perRunF
+	// Both builds run the same invocation count (RepeatOf calibration).
+	if before.Repeat != after.Repeat {
+		t.Errorf("repeat: before %d, after %d — the fix must not change invocations",
+			before.Repeat, after.Repeat)
+	}
 	// Normalize per entry invocation: the fix reduces instruction volume.
-	nb := float64(statsB.Retired) / float64(min(20, CLForward(false).Repeat))
-	nf := float64(statsF.Retired) / float64(min(20, CLForward(true).Repeat))
+	nb := float64(statsB.Retired) / float64(min(20, before.Repeat))
+	nf := float64(statsF.Retired) / float64(min(20, after.Repeat))
 	if nf >= nb {
 		t.Errorf("fix should reduce per-run instructions: before %.0f, after %.0f", nb, nf)
 	}
 }
 
 func TestTrainingCorpusDiversity(t *testing.T) {
-	corpus := TrainingCorpus()
-	if len(corpus) < 8 {
-		t.Fatalf("corpus has %d workloads", len(corpus))
+	names := TrainingNames()
+	if len(names) < 8 {
+		t.Fatalf("corpus has %d workloads", len(names))
 	}
 	var totalBlocks int
 	var sawShort, sawLong bool
-	for _, w := range corpus {
+	for _, name := range names {
+		w := build(t, name)
 		totalBlocks += w.Prog.NumBlocks()
 		for _, blk := range w.Prog.Blocks() {
 			if blk.Len() <= 3 {
@@ -278,25 +291,8 @@ func TestTrainingCorpusDiversity(t *testing.T) {
 	}
 }
 
-func TestScaledWorkload(t *testing.T) {
-	w := Test40()
-	half := w.Scaled(0.5)
-	if half.Repeat != w.Repeat/2 {
-		t.Errorf("Scaled(0.5): repeat %d, want %d", half.Repeat, w.Repeat/2)
-	}
-	if w.Repeat == half.Repeat && w.Repeat > 1 {
-		t.Error("scaling did nothing")
-	}
-	defer func() {
-		if recover() == nil {
-			t.Error("Scaled(0) should panic")
-		}
-	}()
-	w.Scaled(0)
-}
-
 func TestTest40IsShortBlockHeavy(t *testing.T) {
-	w := Test40()
+	w := build(t, "test40")
 	var short, all int
 	for _, blk := range w.Prog.Blocks() {
 		all++

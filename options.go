@@ -25,6 +25,7 @@ type config struct {
 	perInstruction bool
 	model          *Model
 	fastFactor     float64
+	workloadScale  float64
 	expOut         io.Writer
 }
 
@@ -137,6 +138,22 @@ func WithFast(factor float64) Option {
 			factor = 0.25
 		}
 		c.fastFactor = factor
+		return nil
+	}
+}
+
+// WithWorkloadScale scales every [Session.Profile] workload's
+// calibrated Repeat by factor in (0, 1] before the run — the
+// single-workload counterpart of [WithFast] (which scales training and
+// experiment runs). Sampling statistics shrink proportionally; the
+// floor is one invocation. The default 1 runs workloads at full
+// calibrated volume.
+func WithWorkloadScale(factor float64) Option {
+	return func(c *config) error {
+		if factor <= 0 || factor > 1 {
+			return fmt.Errorf("hbbp: workload scale %g outside (0, 1]", factor)
+		}
+		c.workloadScale = factor
 		return nil
 	}
 }

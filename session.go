@@ -98,6 +98,9 @@ func (s *Session) Profile(ctx context.Context, w *Workload, extra ...Listener) (
 	if w == nil {
 		return nil, fmt.Errorf("hbbp: Profile of a nil workload")
 	}
+	if s.cfg.workloadScale > 0 && s.cfg.workloadScale < 1 {
+		w = w.Scaled(s.cfg.workloadScale)
+	}
 	return core.Run(w.Prog, w.Entry, s.currentModel(), s.coreOptions(ctx, w), extra...)
 }
 

@@ -74,9 +74,32 @@ func PeriodsFor(c RuntimeClass) (ebsPeriod, lbrPeriod uint64) {
 }
 
 // Workload is a runnable benchmark: a program, its entry point and its
-// execution scaling. Obtain one from [LookupWorkload] or a named
-// constructor such as [Test40].
+// execution scaling. Obtain one from [LookupWorkload], a named
+// constructor such as [Test40], or compile a custom [ShapeSpec] with
+// [NewWorkload].
 type Workload = workloads.Workload
+
+// ShapeSpec declaratively describes a workload purely by shape:
+// block-length distribution, branch/call densities, ISA-class mix,
+// runtime class, retirement scale and target volume. Built-in
+// workloads are specs in a registry; callers author their own and
+// compile them with [NewWorkload] or add them via [RegisterWorkload].
+type ShapeSpec = workloads.ShapeSpec
+
+// SynthSpec is the generic-generator half of a [ShapeSpec]: the
+// whole-program structure (function count, call-graph depth, phase
+// mixes, outer trip count) around a per-function [SynthProfile].
+type SynthSpec = workloads.SynthSpec
+
+// SynthProfile parameterises the per-function structure of a
+// generated workload: block lengths, segment counts, diamond/loop/call
+// densities and the instruction-class mix.
+type SynthProfile = workloads.Profile
+
+// MixProfile weights the instruction-class pools a generated workload
+// draws from (scalar integer, scalar/packed SSE and AVX, x87, integer
+// SIMD, and load-dominated pointer-chase traffic).
+type MixProfile = workloads.MixProfile
 
 // FitterVariant selects one of the builds of the Fitter track-fitting
 // benchmark (Section VIII.C of the paper, Tables 3 and 6).
