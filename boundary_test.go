@@ -6,9 +6,10 @@ package hbbp
 //     hbbp package — never internal/ packages directly. The façade is
 //     the library's contract; anything the entry points need and
 //     cannot get is a façade gap, not a license to reach inside.
-//  2. internal/perffile imports only the standard library (the
-//     DESIGN.md self-containment invariant), so the file format can be
-//     lifted into external tooling unchanged.
+//  2. The serialization-format packages — internal/perffile and
+//     internal/profstore — import only the standard library (the
+//     DESIGN.md self-containment invariant), so both file formats can
+//     be lifted into external tooling unchanged.
 
 import (
 	"go/parser"
@@ -69,20 +70,24 @@ func TestCommandsAndExamplesUseOnlyTheFacade(t *testing.T) {
 	}
 }
 
-// TestPerffileImportsOnlyStdlib asserts internal/perffile (tests
-// included) depends on nothing but the standard library: no module
-// packages, no third-party modules.
-func TestPerffileImportsOnlyStdlib(t *testing.T) {
-	for _, file := range goFilesUnder(t, filepath.Join("internal", "perffile")) {
-		for _, imp := range imports(t, file) {
-			if strings.HasPrefix(imp, "hbbp") {
-				t.Errorf("%s imports %q; perffile must stay self-contained", file, imp)
-				continue
-			}
-			// Standard-library import paths have no dot in their first
-			// element (golang.org/x/..., github.com/... do).
-			if first, _, _ := strings.Cut(imp, "/"); strings.Contains(first, ".") {
-				t.Errorf("%s imports non-stdlib package %q", file, imp)
+// TestFormatPackagesImportOnlyStdlib asserts the serialization-format
+// packages (tests included) depend on nothing but the standard
+// library: no module packages, no third-party modules. perffile is
+// the raw-collection format; profstore is the fleet profile store —
+// the same lift-out rule applies to both.
+func TestFormatPackagesImportOnlyStdlib(t *testing.T) {
+	for _, pkg := range []string{"perffile", "profstore"} {
+		for _, file := range goFilesUnder(t, filepath.Join("internal", pkg)) {
+			for _, imp := range imports(t, file) {
+				if strings.HasPrefix(imp, "hbbp") {
+					t.Errorf("%s imports %q; %s must stay self-contained", file, imp, pkg)
+					continue
+				}
+				// Standard-library import paths have no dot in their first
+				// element (golang.org/x/..., github.com/... do).
+				if first, _, _ := strings.Cut(imp, "/"); strings.Contains(first, ".") {
+					t.Errorf("%s imports non-stdlib package %q", file, imp)
+				}
 			}
 		}
 	}

@@ -6,7 +6,10 @@
 // Usage:
 //
 //	hbbp -workload NAME [-view top|ext|packing|functions|rings]
-//	     [-top N] [-raw FILE] [-replay FILE] [-trained] [-seed N]
+//	     [-top N] [-raw FILE] [-replay FILE] [-save FILE] [-trained]
+//	     [-seed N]
+//	hbbp -merge A,B,C... [-view ...] [-top N]
+//	hbbp -diff BEFORE,AFTER [-threshold PP] [-top N]
 //	hbbp -list
 //
 // Workloads: any SPEC CPU2006 name (gcc, povray, lbm, ...), the
@@ -24,6 +27,13 @@
 // which the file does not record). -trained trains the decision-tree
 // model on the training corpus first (slower); the default uses the
 // shipped length-18 rule.
+//
+// The fleet modes work on stored profiles. -save FILE captures the
+// run's result into the mergeable profile-store format. -merge loads
+// any number of stored profiles (comma-separated), merges them and
+// prints the selected view of the merged fleet mix. -diff loads a
+// before,after pair and prints the per-mnemonic share deltas, flagging
+// movements of at least -threshold percentage points as regressions.
 package main
 
 import (
@@ -32,7 +42,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"strings"
 
 	"hbbp"
 )
@@ -51,6 +63,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	topN := fs.Int("top", 20, "rows for top views")
 	rawOut := fs.String("raw", "", "write raw collection data to this file")
 	replay := fs.String("replay", "", "analyze a previously written raw file instead of running")
+	saveOut := fs.String("save", "", "capture the run into a mergeable stored profile at this file")
+	merge := fs.String("merge", "", "merge stored profiles (comma-separated files) and print the fleet view")
+	diff := fs.String("diff", "", "diff two stored profiles given as BEFORE,AFTER")
+	threshold := fs.Float64("threshold", 1.0, "regression threshold for -diff, in percentage points of share (0 flags every movement)")
 	trained := fs.Bool("trained", false, "train the model on the corpus instead of the shipped rule")
 	seed := fs.Int64("seed", 1, "random seed")
 	list := fs.Bool("list", false, "list available workloads")
@@ -90,6 +106,42 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if !ok {
 		fmt.Fprintf(stderr, "hbbp: unknown view %q (known: top, ext, packing, functions, rings)\n", *view)
 		return 2
+	}
+
+	// The fleet modes work entirely on stored profiles: no workload
+	// resolution, no collection.
+	if *merge != "" && *diff != "" {
+		fmt.Fprintln(stderr, "hbbp: -merge and -diff are mutually exclusive")
+		return 2
+	}
+	if *merge != "" {
+		return runMerge(strings.Split(*merge, ","), *view, render, stdout, stderr)
+	}
+	if *diff != "" {
+		names := strings.Split(*diff, ",")
+		if len(names) != 2 {
+			fmt.Fprintf(stderr, "hbbp: -diff needs exactly two files as BEFORE,AFTER (got %d)\n", len(names))
+			return 2
+		}
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+			if names[i] == "" {
+				fmt.Fprintln(stderr, "hbbp: -diff needs exactly two files as BEFORE,AFTER (empty file name)")
+				return 2
+			}
+		}
+		if *threshold < 0 {
+			fmt.Fprintf(stderr, "hbbp: -threshold %g is negative\n", *threshold)
+			return 2
+		}
+		// An explicit 0 means "flag every movement": the smallest
+		// positive threshold, not the library default a zero would
+		// otherwise select.
+		th := *threshold / 100
+		if *threshold == 0 {
+			th = math.SmallestNonzeroFloat64
+		}
+		return runDiff(names[0], names[1], th, *topN, stdout, stderr)
 	}
 
 	w, err := hbbp.LookupWorkload(*workload)
@@ -167,6 +219,112 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			(prof.Collection.OverheadFactor()-1)*100)
 	}
 
+	if *saveOut != "" {
+		sp, err := hbbp.CaptureProfile(prof, w.Name)
+		if err != nil {
+			fmt.Fprintf(stderr, "hbbp: %v\n", err)
+			return 1
+		}
+		f, err := os.Create(*saveOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "hbbp: %v\n", err)
+			return 1
+		}
+		if err := hbbp.SaveProfile(f, sp); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "hbbp: saving profile: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "hbbp: saving profile: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "saved profile to %s (%d blocks, %d mnemonics, %d retired instructions)\n",
+			*saveOut, len(sp.Blocks), len(sp.Ops), sp.TotalMass())
+	}
+
 	fmt.Fprint(stdout, render(hbbp.Pivot(prof, hbbp.ViewOptions{LiveText: true})))
+	return 0
+}
+
+// loadStored opens and decodes one stored profile, translating the
+// classified decode errors into actionable messages: a version
+// mismatch or truncation is the user's file, not their invocation, so
+// the message names the file and what is wrong with it.
+func loadStored(name string, stderr io.Writer) (*hbbp.StoredProfile, bool) {
+	f, err := os.Open(name)
+	if err != nil {
+		fmt.Fprintf(stderr, "hbbp: %v\n", err)
+		return nil, false
+	}
+	defer f.Close()
+	sp, err := hbbp.LoadProfile(f)
+	switch {
+	case errors.Is(err, hbbp.ErrProfileVersion):
+		fmt.Fprintf(stderr, "hbbp: %s: %v\n", name, err)
+		fmt.Fprintf(stderr, "hbbp: %s was written by an incompatible hbbp version; re-save it with this build (-save)\n", name)
+		return nil, false
+	case errors.Is(err, hbbp.ErrProfileTruncated):
+		fmt.Fprintf(stderr, "hbbp: %s: %v\n", name, err)
+		fmt.Fprintf(stderr, "hbbp: %s is truncated — the save may have been interrupted; re-run with -save to regenerate it\n", name)
+		return nil, false
+	case errors.Is(err, hbbp.ErrProfileMagic):
+		fmt.Fprintf(stderr, "hbbp: %s: %v\n", name, err)
+		fmt.Fprintf(stderr, "hbbp: %s is not a stored profile (expecting a file written by -save)\n", name)
+		return nil, false
+	case err != nil:
+		fmt.Fprintf(stderr, "hbbp: %s: %v\n", name, err)
+		return nil, false
+	}
+	return sp, true
+}
+
+// runMerge implements -merge: load, merge, summarize, render the
+// selected view of the merged fleet mix. Mix views read the op-level
+// pivot; the functions view needs code locations, which live on the
+// block-level pivot (stored profiles keep the two breakdowns
+// separate).
+func runMerge(names []string, view string, render func(*hbbp.PivotTable) string, stdout, stderr io.Writer) int {
+	// Validate the whole list before opening anything: a malformed
+	// invocation is a usage error, not a half-completed merge.
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+		if names[i] == "" {
+			fmt.Fprintln(stderr, "hbbp: -merge: empty file name in list")
+			return 2
+		}
+	}
+	profiles := make([]*hbbp.StoredProfile, 0, len(names))
+	for _, name := range names {
+		sp, ok := loadStored(name, stderr)
+		if !ok {
+			return 1
+		}
+		profiles = append(profiles, sp)
+	}
+	merged := hbbp.MergeProfiles(profiles...)
+	fmt.Fprintf(stderr, "merged %d profiles: %d runs of %d workloads, %d blocks, %d retired instructions\n",
+		len(profiles), merged.TotalRuns(), len(merged.Workloads), len(merged.Blocks), merged.TotalMass())
+	tab := hbbp.StoredPivot(merged)
+	if view == "functions" {
+		tab = hbbp.StoredBlockPivot(merged)
+	}
+	fmt.Fprint(stdout, render(tab))
+	return 0
+}
+
+// runDiff implements -diff: load the pair and print the movement
+// report.
+func runDiff(before, after string, threshold float64, topN int, stdout, stderr io.Writer) int {
+	b, ok := loadStored(before, stderr)
+	if !ok {
+		return 1
+	}
+	a, ok := loadStored(after, stderr)
+	if !ok {
+		return 1
+	}
+	rep := hbbp.DiffProfiles(b, a, threshold)
+	fmt.Fprint(stdout, rep.Render(topN))
 	return 0
 }

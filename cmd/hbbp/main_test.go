@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
@@ -98,5 +100,168 @@ func TestListWorkloads(t *testing.T) {
 	// Classes render as Table 4 runtime buckets, not raw numbers.
 	if !strings.Contains(out, "Seconds") || !strings.Contains(out, "Minutes") {
 		t.Errorf("-list rows carry no human-readable class:\n%s", out)
+	}
+}
+
+// writeStoredProfile profiles a workload with -save and returns the
+// file path, failing the test on any non-zero exit.
+func writeStoredProfile(t *testing.T, workload, path string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-workload", workload, "-save", path}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("-save exited %d; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "saved profile to "+path) {
+		t.Fatalf("-save printed no confirmation:\n%s", stderr.String())
+	}
+}
+
+// TestSaveMergeDiffEndToEnd drives the fleet modes through the CLI:
+// two saved runs merge into one fleet view, and the before/after pair
+// of the vectorization case study diffs with flagged regressions.
+func TestSaveMergeDiffEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	before := filepath.Join(dir, "before.prof")
+	after := filepath.Join(dir, "after.prof")
+	writeStoredProfile(t, "clforward-before", before)
+	writeStoredProfile(t, "clforward-after", after)
+
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-merge", before + "," + after}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("-merge exited %d; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "merged 2 profiles") {
+		t.Errorf("-merge printed no summary:\n%s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "MNEMONIC") {
+		t.Errorf("-merge rendered no view:\n%s", stdout.String())
+	}
+
+	// The functions view reads the block-level pivot: real function
+	// names, not a single blank row.
+	stdout.Reset()
+	stderr.Reset()
+	code = run(context.Background(), []string{"-merge", before + "," + after, "-view", "functions"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("-merge -view functions exited %d; stderr:\n%s", code, stderr.String())
+	}
+	if out := stdout.String(); !strings.Contains(out, "FUNCTION") || !strings.Contains(out, "forward_project") {
+		t.Errorf("-merge -view functions shows no function names:\n%s", out)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code = run(context.Background(), []string{"-diff", after + "," + before}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("-diff exited %d; stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "PROFILE DIFF") {
+		t.Errorf("-diff rendered no report:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Errorf("backing out the vectorization fix flagged no regression:\n%s", out)
+	}
+}
+
+// TestMergeRejectsBadProfileFiles pins the CLI contract for damaged
+// stored profiles: non-zero exit and a message that names the file
+// and what is wrong with it.
+func TestMergeRejectsBadProfileFiles(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.prof")
+	writeStoredProfile(t, "clforward-before", good)
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	truncated := filepath.Join(dir, "truncated.prof")
+	if err := os.WriteFile(truncated, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	versioned := filepath.Join(dir, "future.prof")
+	future := append([]byte(nil), data...)
+	future[8] = 0xEE // version field
+	if err := os.WriteFile(versioned, future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	notAProfile := filepath.Join(dir, "garbage.prof")
+	if err := os.WriteFile(notAProfile, []byte("not a stored profile"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name, file, want string
+	}{
+		{"truncated", truncated, "truncated"},
+		{"version", versioned, "incompatible hbbp version"},
+		{"magic", notAProfile, "not a stored profile"},
+		{"missing", filepath.Join(dir, "nope.prof"), "no such file"},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		code := run(context.Background(), []string{"-merge", good + "," + tc.file}, &stdout, &stderr)
+		if code == 0 {
+			t.Errorf("%s: -merge exited 0; stderr:\n%s", tc.name, stderr.String())
+			continue
+		}
+		if !strings.Contains(stderr.String(), tc.want) {
+			t.Errorf("%s: message lacks %q:\n%s", tc.name, tc.want, stderr.String())
+		}
+		if tc.name != "missing" && !strings.Contains(stderr.String(), tc.file) {
+			t.Errorf("%s: message does not name the file:\n%s", tc.name, stderr.String())
+		}
+		// -diff classifies identically through the same loader.
+		stderr.Reset()
+		if code := run(context.Background(), []string{"-diff", tc.file + "," + good}, &stdout, &stderr); code == 0 {
+			t.Errorf("%s: -diff exited 0", tc.name)
+		}
+	}
+}
+
+// TestDiffThresholdZeroFlagsEverything pins that an explicit
+// -threshold 0 means "flag every movement", not the library default.
+func TestDiffThresholdZeroFlagsEverything(t *testing.T) {
+	dir := t.TempDir()
+	before := filepath.Join(dir, "b.prof")
+	after := filepath.Join(dir, "a.prof")
+	writeStoredProfile(t, "clforward-before", before)
+	writeStoredProfile(t, "clforward-after", after)
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-diff", before + "," + after, "-threshold", "0"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-threshold 0 exited %d; stderr:\n%s", code, stderr.String())
+	}
+	if out := stdout.String(); !strings.Contains(out, ">= 0.0pp") {
+		t.Errorf("-threshold 0 fell back to the default threshold:\n%s", out)
+	}
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-diff", before + "," + after, "-threshold", "-1"}, &stdout, &stderr); code != 2 {
+		t.Errorf("negative threshold exited %d, want 2", code)
+	}
+}
+
+// TestDiffUsageErrors pins the argument contract of the fleet modes.
+func TestDiffUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-diff", "only-one.prof"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-diff with one file exited %d, want 2; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "BEFORE,AFTER") {
+		t.Errorf("message does not explain the form:\n%s", stderr.String())
+	}
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-merge", "a.prof", "-diff", "a.prof,b.prof"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-merge plus -diff exited %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-merge", "a.prof,"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-merge with empty entry exited %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-diff", "a.prof,"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-diff with empty entry exited %d, want 2; stderr:\n%s", code, stderr.String())
 	}
 }

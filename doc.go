@@ -54,10 +54,22 @@
 // author their own purely as data — a [ShapeSpec] compiled with
 // [NewWorkload] or added to the registry with [RegisterWorkload].
 //
+// The fleet layer scales consumption past a single run: a profile
+// captures into a mergeable [StoredProfile] ([CaptureProfile]) that
+// persists in a versioned binary format ([SaveProfile], [LoadProfile]),
+// merges exactly in any order or sharding ([MergeProfiles], or the
+// concurrent lock-striped [Aggregator] with consistent snapshots), and
+// compares across fleet mixes with [DiffProfiles], which flags per-op
+// share regressions. [StoredPivot], [StoredBlockPivot] and [StoredMix]
+// bring the standard views and metrics to merged fleet profiles;
+// examples/fleet shows the whole loop.
+//
 // Determinism is the library's backbone: the same seed yields the same
 // samples, the same trained model and the same rendered tables, at any
 // parallelism, on the block-granularity fast path or the
-// per-instruction reference path, live or replayed from disk.
+// per-instruction reference path, live or replayed from disk — and the
+// same ingested profiles yield the same merged fleet profile at any
+// ingestion parallelism.
 //
 // Start at examples/quickstart for the library's happy path (the same
 // flow is verified as Example functions in this package), cmd/hbbp to

@@ -5,6 +5,7 @@ import (
 
 	"hbbp/internal/cpu"
 	"hbbp/internal/perffile"
+	"hbbp/internal/profstore"
 	"hbbp/internal/workloads"
 )
 
@@ -34,4 +35,12 @@ var (
 	// ErrUnknownExperiment reports an experiment name RunExperiment
 	// does not recognise.
 	ErrUnknownExperiment = errors.New("hbbp: unknown experiment")
+	// ErrProfileMagic reports a LoadProfile stream that is not a
+	// stored profile at all.
+	ErrProfileMagic = profstore.ErrBadMagic
+	// ErrProfileTruncated reports a stored profile cut mid-record.
+	ErrProfileTruncated = profstore.ErrTruncatedRecord
+	// ErrProfileVersion reports a stored profile written in a format
+	// version this library cannot read.
+	ErrProfileVersion = profstore.ErrUnsupportedVersion
 )

@@ -1,0 +1,285 @@
+package hbbp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// fleetTestWorkloads is a small mixed set (user-only, user+kernel,
+// vectorized) keeping the fleet tests fast while covering both rings
+// and several ISA families.
+var fleetTestWorkloads = []string{"test40", "kernel-prime", "clforward-after", "lbm"}
+
+// profileFleet collects one profile per workload, with the
+// instrumentation reference attached so tests can score against
+// ground truth.
+func profileFleet(t *testing.T) (profiles []*Profile, refs []*Instrumenter) {
+	t.Helper()
+	s, err := New(WithSeed(9), WithWorkloadScale(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range fleetTestWorkloads {
+		w, err := LookupWorkload(name)
+		if err != nil {
+			t.Fatalf("LookupWorkload(%s): %v", name, err)
+		}
+		ref := NewInstrumenter(w.Prog)
+		prof, err := s.Profile(context.Background(), w, ref)
+		if err != nil {
+			t.Fatalf("Profile(%s): %v", name, err)
+		}
+		profiles = append(profiles, prof)
+		refs = append(refs, ref)
+	}
+	return profiles, refs
+}
+
+// TestSaveLoadMergeRoundTripParity pins the acceptance criterion:
+// save -> load -> merge of K single-workload profiles is bit-identical
+// to one in-memory merge of the captures.
+func TestSaveLoadMergeRoundTripParity(t *testing.T) {
+	profiles, _ := profileFleet(t)
+	var inMemory, reloaded []*StoredProfile
+	for i, prof := range profiles {
+		sp, err := CaptureProfile(prof, fleetTestWorkloads[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		inMemory = append(inMemory, sp)
+
+		var buf bytes.Buffer
+		if err := SaveProfile(&buf, sp); err != nil {
+			t.Fatalf("SaveProfile(%s): %v", fleetTestWorkloads[i], err)
+		}
+		back, err := LoadProfile(&buf)
+		if err != nil {
+			t.Fatalf("LoadProfile(%s): %v", fleetTestWorkloads[i], err)
+		}
+		reloaded = append(reloaded, back)
+	}
+	want := MergeProfiles(inMemory...)
+	got := MergeProfiles(reloaded...)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("save -> load -> merge differs from the in-memory merge")
+	}
+	var a, b bytes.Buffer
+	if err := SaveProfile(&a, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveProfile(&b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("merged profiles serialize to different bytes")
+	}
+}
+
+// TestAggregatorFleetMixAccuracyAtAnyParallelism pins the other half
+// of the acceptance criterion: the aggregator's merged mix matches the
+// ground-truth union of the per-run instrumentation references within
+// the harness's error metric, and the snapshot is bit-identical
+// whether one goroutine ingested the runs or eight did.
+func TestAggregatorFleetMixAccuracyAtAnyParallelism(t *testing.T) {
+	profiles, refs := profileFleet(t)
+	union := make(Mix)
+	for _, ref := range refs {
+		for op, v := range ReferenceMix(ref) {
+			union[op] += v
+		}
+	}
+
+	var snapshots []*StoredProfile
+	for _, workers := range []int{1, 8} {
+		agg := NewAggregator()
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		errs := make([]error, len(profiles))
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					errs[i] = agg.Add(profiles[i], fleetTestWorkloads[i])
+				}
+			}()
+		}
+		for i := range profiles {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		snapshots = append(snapshots, agg.Snapshot())
+	}
+
+	var a, b bytes.Buffer
+	if err := SaveProfile(&a, snapshots[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveProfile(&b, snapshots[1]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("aggregator snapshot differs between ingestion parallelism 1 and 8")
+	}
+
+	// Accuracy: the instrumentation reference is user-mode only, so
+	// score the user-scope fleet mix. The workloads run at reduced
+	// scale (noisier sampling), hence the loose bound; what this
+	// guards is that quantization + merging preserves the estimate.
+	err := AvgWeightedError(union, StoredMix(snapshots[0], ScopeUser))
+	if err > 0.25 {
+		t.Errorf("merged fleet mix error %.1f%% vs instrumentation union", err*100)
+	}
+	t.Logf("fleet mix error vs union: %.2f%%", err*100)
+}
+
+// TestStoredPivotViews pins that the standard views work on stored
+// profiles: mnemonic totals match the stored op masses and the ring
+// breakdown matches RingMass.
+func TestStoredPivotViews(t *testing.T) {
+	profiles, _ := profileFleet(t)
+	var stored []*StoredProfile
+	for i, prof := range profiles {
+		sp, err := CaptureProfile(prof, fleetTestWorkloads[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		stored = append(stored, sp)
+	}
+	merged := MergeProfiles(stored...)
+	tab := StoredPivot(merged)
+	var pivotTotal float64
+	for _, row := range TopMnemonics(tab, 0) {
+		pivotTotal += row.Value
+	}
+	if want := float64(merged.TotalMass()); pivotTotal != want {
+		t.Errorf("pivot mnemonic total %v != stored mass %v", pivotTotal, want)
+	}
+	rings := RingBreakdown(tab)
+	if len(rings) != 2 {
+		t.Fatalf("RingBreakdown = %+v (want user and kernel rows)", rings)
+	}
+	for _, row := range rings {
+		var want uint64
+		switch row.Keys[0] {
+		case "user":
+			want = merged.RingMass(0)
+		case "kernel":
+			want = merged.RingMass(1)
+		default:
+			t.Fatalf("unexpected ring %q", row.Keys[0])
+		}
+		if row.Value != float64(want) {
+			t.Errorf("ring %s pivot %v != stored %d", row.Keys[0], row.Value, want)
+		}
+	}
+	if len(ExtBreakdown(tab)) == 0 {
+		t.Error("ExtBreakdown empty on stored pivot")
+	}
+
+	// Location views read the block-level pivot: function totals match
+	// the stored block masses and the total matches the op mass.
+	btab := StoredBlockPivot(merged)
+	funcs := TopFunctions(btab, 0)
+	if len(funcs) == 0 {
+		t.Fatal("TopFunctions empty on stored block pivot")
+	}
+	var blockTotal float64
+	for _, row := range funcs {
+		if row.Keys[0] == "" {
+			t.Errorf("blank function name in block pivot: %+v", row)
+		}
+		blockTotal += row.Value
+	}
+	if want := float64(merged.TotalMass()); blockTotal != want {
+		t.Errorf("block pivot total %v != stored mass %v", blockTotal, want)
+	}
+	// The unit dimension keeps builds apart in custom queries.
+	units := btab.Pivot(Query{GroupBy: []string{DimUnit}})
+	if len(units) != len(fleetTestWorkloads) {
+		t.Errorf("unit rollup = %+v, want %d units", units, len(fleetTestWorkloads))
+	}
+}
+
+// TestDiffProfilesFlagsVectorizationRegression drives the diff on the
+// CLForward pair — the paper's own before/after case study — and
+// expects the share movement between scalar and packed SSE code to
+// surface as regressions.
+func TestDiffProfilesFlagsVectorizationRegression(t *testing.T) {
+	s, err := New(WithSeed(9), WithWorkloadScale(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture := func(name string) *StoredProfile {
+		w, err := LookupWorkload(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := s.Profile(context.Background(), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := CaptureProfile(prof, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}
+	// after -> before models the regression direction: a fix backed
+	// out, packed work collapsing to scalar.
+	diff := DiffProfiles(capture("clforward-after"), capture("clforward-before"), 0)
+	if diff.Threshold != DefaultDiffThreshold {
+		t.Fatalf("threshold = %v", diff.Threshold)
+	}
+	if len(diff.Regressions) == 0 {
+		t.Fatalf("vectorization change produced no regressions; deltas: %+v", diff.Deltas[:min(5, len(diff.Deltas))])
+	}
+	if out := diff.Render(10); !bytes.Contains([]byte(out), []byte("REGRESSION")) {
+		t.Errorf("render does not flag the regression:\n%s", out)
+	}
+}
+
+// TestLoadProfileErrorClassification pins the façade sentinels on
+// corrupted stored-profile streams.
+func TestLoadProfileErrorClassification(t *testing.T) {
+	profiles, _ := profileFleet(t)
+	sp, err := CaptureProfile(profiles[0], "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveProfile(&buf, sp); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	if _, err := LoadProfile(bytes.NewReader([]byte("not a profile at all"))); !errors.Is(err, ErrProfileMagic) {
+		t.Errorf("bad magic = %v", err)
+	}
+	if _, err := LoadProfile(bytes.NewReader(full[:len(full)/2])); !errors.Is(err, ErrProfileTruncated) {
+		t.Errorf("truncated = %v", err)
+	}
+	future := append([]byte(nil), full...)
+	future[8] = 0xEE // bump the version field past anything supported
+	if _, err := LoadProfile(bytes.NewReader(future)); !errors.Is(err, ErrProfileVersion) {
+		t.Errorf("future version = %v", err)
+	}
+	// The profile-store sentinels are distinct from the perffile ones:
+	// a replay stream is not a stored profile and vice versa.
+	if errors.Is(ErrProfileMagic, ErrBadMagic) {
+		t.Error("profile-store magic sentinel aliases the perffile one")
+	}
+	if _, err := CaptureProfile(nil, "x"); err == nil {
+		t.Error("CaptureProfile(nil) succeeded")
+	}
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// fleetRunner builds a fast-mode runner for the fleet experiment.
+func fleetRunner(parallelism int) *Runner {
+	return New(Config{Fast: true, FastFactor: 0.1, Seed: 5, Parallelism: parallelism})
+}
+
+// TestFleetMergedMixMatchesUnion pins the experiment's headline claim:
+// the merged fleet mix — every suite run quantized into the profile
+// store and merged — matches the union of the instrumentation
+// references within the error regime of the per-workload evaluations
+// (single-digit percent), and the merged HBBP mix is no worse than
+// the worse single estimator.
+func TestFleetMergedMixMatchesUnion(t *testing.T) {
+	res, err := fleetRunner(0).Fleet()
+	if err != nil {
+		t.Fatalf("Fleet: %v", err)
+	}
+	if len(res.Rows) == 0 || res.Merged.TotalMass() == 0 {
+		t.Fatalf("empty fleet result: %+v", res)
+	}
+	if res.Merged.TotalRuns() != uint64(len(res.Rows)) {
+		t.Errorf("merged runs %d != %d workloads", res.Merged.TotalRuns(), len(res.Rows))
+	}
+	// Fast mode shrinks sampling statistics, so the bound is loose;
+	// full runs land well under it. What it guards is the layer this
+	// experiment adds: quantization plus merging must not wreck the
+	// estimate.
+	if res.ErrHBBP > 0.25 {
+		t.Errorf("merged fleet mix error %.1f%% vs instrumentation union", res.ErrHBBP*100)
+	}
+	// At fleet level the union averages away most per-workload
+	// differences (all three estimators land within a couple percent),
+	// so the comparative check only guards against the hybrid falling
+	// off a cliff relative to its own inputs.
+	worst := res.ErrEBS
+	if res.ErrLBR > worst {
+		worst = res.ErrLBR
+	}
+	if res.ErrHBBP > worst+0.01 {
+		t.Errorf("merged HBBP error %.2f%% well beyond both raw estimators (EBS %.2f%%, LBR %.2f%%)",
+			res.ErrHBBP*100, res.ErrEBS*100, res.ErrLBR*100)
+	}
+	t.Logf("fleet merged errors: HBBP %.2f%%, EBS %.2f%%, LBR %.2f%%",
+		res.ErrHBBP*100, res.ErrEBS*100, res.ErrLBR*100)
+	var shares float64
+	for _, row := range res.Rows {
+		shares += row.Share
+	}
+	if shares < 0.999 || shares > 1.001 {
+		t.Errorf("shares sum to %v", shares)
+	}
+}
+
+// TestFleetParityAcrossParallelism pins that the rendered fleet view
+// is bit-identical whether the suite ran sequentially or on a wide
+// pool — the same determinism contract every other experiment keeps.
+func TestFleetParityAcrossParallelism(t *testing.T) {
+	render := func(parallelism int) string {
+		res, err := fleetRunner(parallelism).Fleet()
+		if err != nil {
+			t.Fatalf("Fleet(parallelism %d): %v", parallelism, err)
+		}
+		return res.Render()
+	}
+	seq, par := render(1), render(4)
+	if seq != par {
+		t.Errorf("fleet view differs under parallelism:\nsequential:\n%s\nparallel:\n%s", seq, par)
+	}
+}
+
+// TestFleetRunsThroughExperimentRegistry pins the registry wiring and
+// the rendered shape.
+func TestFleetRunsThroughExperimentRegistry(t *testing.T) {
+	var found bool
+	for _, name := range ExperimentNames() {
+		if name == "fleet" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fleet missing from ExperimentNames")
+	}
+	var sb strings.Builder
+	r := New(Config{Out: &sb, Fast: true, FastFactor: 0.1, Seed: 5})
+	if err := r.Run("fleet"); err != nil {
+		t.Fatalf("Run(fleet): %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fleet:", "WORKLOAD", "SHARE", "avg weighted error", "HBBP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -421,12 +421,15 @@ func (r *Runner) EvaluatedSuite() (evals []*WorkloadEval, ok bool) {
 	return r.suite, true
 }
 
-// ExperimentNames lists every regenerable experiment in paper order.
+// ExperimentNames lists every regenerable experiment: the paper's
+// tables and figures in paper order, then the reproduction's own
+// fleet-scale experiment.
 func ExperimentNames() []string {
 	return []string{
 		"table1", "table2", "table3", "table4",
 		"table5", "table6", "table7", "table8",
 		"figure1", "figure2", "figure3", "figure4",
+		"fleet",
 	}
 }
 
@@ -497,6 +500,12 @@ func (r *Runner) Run(name string) error {
 		r.printf("%s", res.Render())
 	case "figure4":
 		res, err := r.Figure4()
+		if err != nil {
+			return err
+		}
+		r.printf("%s", res.Render())
+	case "fleet":
+		res, err := r.Fleet()
 		if err != nil {
 			return err
 		}

@@ -372,7 +372,7 @@ func TestParallelismDoesNotChangeResults(t *testing.T) {
 }
 
 func TestRunAllAndNames(t *testing.T) {
-	if len(ExperimentNames()) != 12 {
+	if len(ExperimentNames()) != 13 {
 		t.Fatalf("%d experiments", len(ExperimentNames()))
 	}
 	var buf bytes.Buffer

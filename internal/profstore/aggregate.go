@@ -1,0 +1,159 @@
+package profstore
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Aggregator merges profiles online: many goroutines ingest while
+// readers take consistent snapshots, the live counterpart of [Merge]
+// for fleets of concurrent sessions.
+//
+// Concurrency design. Mass lives in lock-striped shards: each block or
+// op key hashes to one shard, and concurrent ingests of different keys
+// proceed in parallel, only colliding on a shard's mutex when their
+// keys land together. Around the stripes sits a reader-writer lock
+// held shared by every ingest and exclusively by Snapshot, which buys
+// the snapshot guarantee: a snapshot reflects every Ingest that
+// returned before the call and no partial ones — it can never observe
+// half of an in-flight profile. Ingestion never stops for long: the
+// exclusive section only copies out the raw counters; sorting and
+// canonicalization happen after the lock is released.
+//
+// Because the shards accumulate the same integer masses Merge would,
+// a Snapshot is bit-identical to Merge over the same profiles — at
+// any ingestion parallelism, in any arrival order.
+type Aggregator struct {
+	mu     sync.RWMutex
+	shards []aggShard
+	mask   uint64
+
+	wmu       sync.Mutex
+	workloads map[string]uint64
+}
+
+// aggShard is one lock stripe.
+type aggShard struct {
+	mu     sync.Mutex
+	blocks map[Block]uint64 // key: Block with Count zeroed
+	ops    map[opKey]uint64
+}
+
+// NewAggregator returns an empty aggregator sized for the machine:
+// the stripe count is the smallest power of two covering four lanes
+// per processor (minimum 8), so same-shard collisions stay rare at
+// high ingest parallelism.
+func NewAggregator() *Aggregator {
+	n := 8
+	for n < 4*runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	a := &Aggregator{
+		shards:    make([]aggShard, n),
+		mask:      uint64(n - 1),
+		workloads: make(map[string]uint64),
+	}
+	for i := range a.shards {
+		a.shards[i].blocks = make(map[Block]uint64)
+		a.shards[i].ops = make(map[opKey]uint64)
+	}
+	return a
+}
+
+// fnv-1a, inlined so hashing a key allocates nothing.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+func (a *Aggregator) blockShard(k *Block) *aggShard {
+	h := fnvString(fnvOffset, k.Unit)
+	h = fnvString(h, k.Module)
+	h = fnvString(h, k.Function)
+	h = fnvUint64(h, k.Addr)
+	h = fnvUint64(h, uint64(k.Ring)<<32|uint64(k.Len))
+	return &a.shards[h&a.mask]
+}
+
+func (a *Aggregator) opShard(k opKey) *aggShard {
+	h := fnvString(fnvOffset, k.mnemonic)
+	h = fnvUint64(h, uint64(k.ring))
+	return &a.shards[h&a.mask]
+}
+
+// Ingest folds one profile into the aggregator. Safe for any number of
+// concurrent callers; each call is atomic with respect to Snapshot.
+// Nil profiles are ignored.
+func (a *Aggregator) Ingest(p *Profile) {
+	if p == nil {
+		return
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for _, w := range p.Workloads {
+		if w.Runs == 0 {
+			continue
+		}
+		a.wmu.Lock()
+		a.workloads[w.Name] += w.Runs
+		a.wmu.Unlock()
+	}
+	for i := range p.Blocks {
+		if p.Blocks[i].Count == 0 {
+			continue
+		}
+		k := p.Blocks[i].key()
+		s := a.blockShard(&k)
+		s.mu.Lock()
+		s.blocks[k] += p.Blocks[i].Count
+		s.mu.Unlock()
+	}
+	for _, o := range p.Ops {
+		if o.Mass == 0 {
+			continue
+		}
+		k := opKey{o.Mnemonic, o.Ring}
+		s := a.opShard(k)
+		s.mu.Lock()
+		s.ops[k] += o.Mass
+		s.mu.Unlock()
+	}
+}
+
+// Snapshot returns the merged view of everything ingested so far, as a
+// canonical profile. It is consistent: every Ingest that returned
+// before the call is fully included, and no in-flight Ingest is
+// partially visible. Ingestion resumes the moment the raw counters are
+// copied out; canonicalization runs outside the lock.
+func (a *Aggregator) Snapshot() *Profile {
+	acc := newAccumulator()
+	a.mu.Lock()
+	for name, runs := range a.workloads {
+		acc.workloads[name] = runs
+	}
+	for i := range a.shards {
+		for k, count := range a.shards[i].blocks {
+			acc.blocks[k] = count
+		}
+		for k, mass := range a.shards[i].ops {
+			acc.ops[k] = mass
+		}
+	}
+	a.mu.Unlock()
+	return acc.profile()
+}

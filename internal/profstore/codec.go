@@ -1,0 +1,375 @@
+package profstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// prealloc bounds an up-front slice capacity claimed by a section
+// header to preallocCap entries.
+func prealloc(n uint64) int {
+	if n > preallocCap {
+		return preallocCap
+	}
+	return int(n)
+}
+
+// The stored-profile format, following perffile's conventions: a fixed
+// magic, a little-endian uint32 version, then varint-packed sections.
+// Strings (units, modules, functions, mnemonics) are deduplicated into
+// one table and referenced by index, so block rows cost a handful of
+// bytes each.
+//
+// Layout (uvarint = unsigned LEB128, binary/varint):
+//
+//	header:    magic "HBBPROF1" | uint32 version
+//	strings:   uvarint n | n x (uvarint len | bytes)
+//	workloads: uvarint n | n x (uvarint nameIdx | uvarint runs)
+//	blocks:    uvarint n | n x (uvarint unitIdx | uvarint moduleIdx |
+//	           uvarint funcIdx | uvarint addr | uvarint ring |
+//	           uvarint len | uvarint count)
+//	ops:       uvarint n | n x (uvarint mnemonicIdx | uvarint ring |
+//	           uvarint mass)
+//
+// Sections are written from the canonical profile, so equal profiles
+// serialize to identical bytes, and the string table (sorted unique
+// strings) is itself canonical.
+
+// Magic identifies a stored profile.
+const Magic = "HBBPROF1"
+
+// Version is the current format version.
+const Version uint32 = 1
+
+// Sentinel errors for malformed streams, mirroring perffile's
+// classification pattern: parse failures wrap one of these, so callers
+// use errors.Is regardless of the contextual detail in the message.
+var (
+	// ErrBadMagic reports a stream that is not a stored profile.
+	ErrBadMagic = errors.New("profstore: bad magic")
+	// ErrTruncatedRecord reports a stream that ends (or claims a
+	// length) mid-record.
+	ErrTruncatedRecord = errors.New("profstore: truncated record")
+	// ErrUnsupportedVersion reports a valid header whose format
+	// version this package cannot read.
+	ErrUnsupportedVersion = errors.New("profstore: unsupported version")
+)
+
+// Decoder guards against lying section headers: a corrupt count must
+// fail fast, not allocate unbounded memory.
+const (
+	maxStrings   = 1 << 22
+	maxStringLen = 1 << 16
+	maxEntries   = 1 << 26
+	// preallocCap bounds up-front slice allocation; a stream claiming
+	// more entries earns them by actually carrying the bytes.
+	preallocCap = 1 << 12
+)
+
+// Save writes the profile in the stored format. The profile is
+// canonicalized first, so any two equal profiles — regardless of how
+// they were assembled — produce identical bytes.
+func Save(w io.Writer, p *Profile) error {
+	if p == nil {
+		return fmt.Errorf("profstore: Save of a nil profile")
+	}
+	p = Canonical(p)
+
+	// String table: sorted unique strings; the canonical profile's
+	// sorted sections make first-use order non-deterministic-looking
+	// but a sorted table is simplest to reason about.
+	index := make(map[string]uint64)
+	var table []string
+	intern := func(s string) {
+		if _, ok := index[s]; !ok {
+			index[s] = 0 // placeholder; assigned after sort
+			table = append(table, s)
+		}
+	}
+	for _, wl := range p.Workloads {
+		intern(wl.Name)
+	}
+	for i := range p.Blocks {
+		intern(p.Blocks[i].Unit)
+		intern(p.Blocks[i].Module)
+		intern(p.Blocks[i].Function)
+	}
+	for _, o := range p.Ops {
+		intern(o.Mnemonic)
+	}
+	sort.Strings(table)
+	for i, s := range table {
+		index[s] = uint64(i)
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return err
+	}
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], Version)
+	if _, err := bw.Write(v[:]); err != nil {
+		return err
+	}
+	var buf []byte
+	flush := func() error {
+		_, err := bw.Write(buf)
+		buf = buf[:0]
+		return err
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(table)))
+	for _, s := range table {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(p.Workloads)))
+	for _, wl := range p.Workloads {
+		buf = binary.AppendUvarint(buf, index[wl.Name])
+		buf = binary.AppendUvarint(buf, wl.Runs)
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(p.Blocks)))
+	for i := range p.Blocks {
+		b := &p.Blocks[i]
+		buf = binary.AppendUvarint(buf, index[b.Unit])
+		buf = binary.AppendUvarint(buf, index[b.Module])
+		buf = binary.AppendUvarint(buf, index[b.Function])
+		buf = binary.AppendUvarint(buf, b.Addr)
+		buf = binary.AppendUvarint(buf, uint64(b.Ring))
+		buf = binary.AppendUvarint(buf, uint64(b.Len))
+		buf = binary.AppendUvarint(buf, b.Count)
+		if len(buf) >= 1<<15 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(p.Ops)))
+	for _, o := range p.Ops {
+		buf = binary.AppendUvarint(buf, index[o.Mnemonic])
+		buf = binary.AppendUvarint(buf, uint64(o.Ring))
+		buf = binary.AppendUvarint(buf, o.Mass)
+		if len(buf) >= 1<<15 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// decoder wraps the varint read path with truncation classification.
+type decoder struct {
+	r *bufio.Reader
+}
+
+// uvarint reads one varint; a stream ending inside it is a truncated
+// record.
+func (d *decoder) uvarint(what string) (uint64, error) {
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return 0, classifyReadError(what, err)
+	}
+	return v, nil
+}
+
+// classifyReadError maps a mid-stream read failure to the sentinel it
+// deserves, exactly as perffile does: an early end is a truncated
+// record; any other I/O failure keeps its own identity so callers do
+// not mistake a retryable read for file corruption. The cause stays on
+// the unwrap chain either way.
+func classifyReadError(what string, err error) error {
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return fmt.Errorf("%w: %s: %w", ErrTruncatedRecord, what, err)
+	}
+	return fmt.Errorf("profstore: reading %s: %w", what, err)
+}
+
+// Load reads one stored profile. Malformed streams return errors
+// matching [ErrBadMagic], [ErrTruncatedRecord] or
+// [ErrUnsupportedVersion] under errors.Is. The result is canonical:
+// a well-formed but unsorted or duplicated stream (which this package
+// never writes) is normalized on the way in.
+func Load(r io.Reader) (*Profile, error) {
+	d := &decoder{r: bufio.NewReaderSize(r, 1<<16)}
+	head := make([]byte, len(Magic)+4)
+	if n, err := io.ReadFull(d.r, head); err != nil {
+		// A short stream that does not even start with the magic was
+		// never a stored profile — that is a wrong-file-type error,
+		// not a truncated one. Only a genuine magic prefix earns the
+		// truncation classification.
+		prefix := n
+		if prefix > len(Magic) {
+			prefix = len(Magic)
+		}
+		if string(head[:prefix]) != Magic[:prefix] {
+			return nil, ErrBadMagic
+		}
+		return nil, classifyReadError("header", err)
+	}
+	if string(head[:len(Magic)]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(head[len(Magic):]); v != Version {
+		return nil, fmt.Errorf("%w: %d", ErrUnsupportedVersion, v)
+	}
+
+	nStrings, err := d.uvarint("string table size")
+	if err != nil {
+		return nil, err
+	}
+	if nStrings > maxStrings {
+		return nil, fmt.Errorf("profstore: implausible string table size %d", nStrings)
+	}
+	table := make([]string, 0, prealloc(nStrings))
+	buf := make([]byte, 0, 64)
+	for i := uint64(0); i < nStrings; i++ {
+		n, err := d.uvarint("string length")
+		if err != nil {
+			return nil, err
+		}
+		if n > maxStringLen {
+			return nil, fmt.Errorf("profstore: implausible string length %d", n)
+		}
+		if uint64(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(d.r, buf); err != nil {
+			return nil, classifyReadError("string", err)
+		}
+		table = append(table, string(buf))
+	}
+	str := func(idx uint64, what string) (string, error) {
+		if idx >= uint64(len(table)) {
+			return "", fmt.Errorf("profstore: %s string index %d out of range (table has %d)",
+				what, idx, len(table))
+		}
+		return table[idx], nil
+	}
+	ring := func(v uint64) (uint8, error) {
+		if v > 255 {
+			return 0, fmt.Errorf("profstore: implausible ring %d", v)
+		}
+		return uint8(v), nil
+	}
+
+	p := &Profile{}
+	nWorkloads, err := d.uvarint("workload count")
+	if err != nil {
+		return nil, err
+	}
+	if nWorkloads > maxEntries {
+		return nil, fmt.Errorf("profstore: implausible workload count %d", nWorkloads)
+	}
+	p.Workloads = make([]WorkloadWeight, 0, prealloc(nWorkloads))
+	for i := uint64(0); i < nWorkloads; i++ {
+		nameIdx, err := d.uvarint("workload name")
+		if err != nil {
+			return nil, err
+		}
+		name, err := str(nameIdx, "workload name")
+		if err != nil {
+			return nil, err
+		}
+		runs, err := d.uvarint("workload runs")
+		if err != nil {
+			return nil, err
+		}
+		p.Workloads = append(p.Workloads, WorkloadWeight{Name: name, Runs: runs})
+	}
+
+	nBlocks, err := d.uvarint("block count")
+	if err != nil {
+		return nil, err
+	}
+	if nBlocks > maxEntries {
+		return nil, fmt.Errorf("profstore: implausible block count %d", nBlocks)
+	}
+	p.Blocks = make([]Block, 0, prealloc(nBlocks))
+	for i := uint64(0); i < nBlocks; i++ {
+		var b Block
+		var fields [7]uint64
+		for fi, what := range [7]string{
+			"block unit", "block module", "block function",
+			"block addr", "block ring", "block length", "block count",
+		} {
+			fields[fi], err = d.uvarint(what)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if b.Unit, err = str(fields[0], "block unit"); err != nil {
+			return nil, err
+		}
+		if b.Module, err = str(fields[1], "block module"); err != nil {
+			return nil, err
+		}
+		if b.Function, err = str(fields[2], "block function"); err != nil {
+			return nil, err
+		}
+		b.Addr = fields[3]
+		if b.Ring, err = ring(fields[4]); err != nil {
+			return nil, err
+		}
+		if fields[5] > 1<<20 {
+			return nil, fmt.Errorf("profstore: implausible block length %d", fields[5])
+		}
+		b.Len = uint32(fields[5])
+		b.Count = fields[6]
+		p.Blocks = append(p.Blocks, b)
+	}
+
+	nOps, err := d.uvarint("op count")
+	if err != nil {
+		return nil, err
+	}
+	if nOps > maxEntries {
+		return nil, fmt.Errorf("profstore: implausible op count %d", nOps)
+	}
+	p.Ops = make([]OpMass, 0, prealloc(nOps))
+	for i := uint64(0); i < nOps; i++ {
+		var o OpMass
+		mnIdx, err := d.uvarint("op mnemonic")
+		if err != nil {
+			return nil, err
+		}
+		if o.Mnemonic, err = str(mnIdx, "op mnemonic"); err != nil {
+			return nil, err
+		}
+		rv, err := d.uvarint("op ring")
+		if err != nil {
+			return nil, err
+		}
+		if o.Ring, err = ring(rv); err != nil {
+			return nil, err
+		}
+		if o.Mass, err = d.uvarint("op mass"); err != nil {
+			return nil, err
+		}
+		p.Ops = append(p.Ops, o)
+	}
+	// The ops section is the last one: a well-formed stream ends here.
+	// Trailing bytes mean the section counts lied (e.g. a corrupted
+	// count varint shrank a section), so the mass parsed so far cannot
+	// be trusted either.
+	if _, err := d.r.ReadByte(); err == nil {
+		return nil, fmt.Errorf("profstore: trailing data after profile")
+	} else if err != io.EOF {
+		return nil, fmt.Errorf("profstore: reading trailer: %w", err)
+	}
+	return Canonical(p), nil
+}

@@ -1,0 +1,191 @@
+package profstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultDiffThreshold is the regression threshold used when
+// DiffOptions.Threshold is zero: an op whose share of total mass moved
+// by at least one percentage point is flagged.
+const DefaultDiffThreshold = 0.01
+
+// DiffOptions parameterise a profile comparison.
+type DiffOptions struct {
+	// Threshold is the minimum absolute share change — measured as a
+	// fraction of total retirement mass, e.g. 0.01 = one percentage
+	// point — for an op to be flagged as a regression. Zero selects
+	// DefaultDiffThreshold; comparisons use >=, so a threshold of
+	// exactly the observed change still flags it.
+	Threshold float64
+}
+
+// OpDelta is one mnemonic's movement between two profiles.
+type OpDelta struct {
+	Mnemonic string
+	Ring     uint8
+	// BeforeMass and AfterMass are the absolute retirement masses.
+	BeforeMass, AfterMass uint64
+	// BeforeShare and AfterShare are the op's fraction of each
+	// profile's total mass — the volume-independent quantity fleets
+	// compare, since yesterday's mix and today's rarely cover the same
+	// number of runs.
+	BeforeShare, AfterShare float64
+	// ShareDelta is AfterShare - BeforeShare: positive means the op
+	// grew relative to the fleet, negative that it shrank.
+	ShareDelta float64
+}
+
+// Regressed reports whether the delta crosses the report's threshold.
+func (d *OpDelta) regressed(threshold float64) bool {
+	abs := d.ShareDelta
+	if abs < 0 {
+		abs = -abs
+	}
+	return abs >= threshold
+}
+
+// DiffReport is the outcome of comparing two merged profiles.
+type DiffReport struct {
+	// TotalBefore and TotalAfter are the two profiles' total masses.
+	TotalBefore, TotalAfter uint64
+	// RunsBefore and RunsAfter are the merged run counts.
+	RunsBefore, RunsAfter uint64
+	// Threshold is the resolved regression threshold.
+	Threshold float64
+	// Deltas holds one entry per (mnemonic, ring) present in either
+	// profile, sorted by decreasing absolute share movement, ties
+	// broken by key — so Deltas[0] is the headline change.
+	Deltas []OpDelta
+	// Regressions is the subset of Deltas at or above Threshold, in
+	// the same order.
+	Regressions []OpDelta
+}
+
+// Diff compares two merged profiles op by op. Shares are computed
+// against each profile's own total mass, so fleets of different sizes
+// compare directly; ops present on only one side diff against a zero
+// share. Nil profiles are treated as empty.
+func Diff(before, after *Profile, opts DiffOptions) *DiffReport {
+	if before == nil {
+		before = &Profile{}
+	}
+	if after == nil {
+		after = &Profile{}
+	}
+	threshold := opts.Threshold
+	if threshold == 0 {
+		threshold = DefaultDiffThreshold
+	}
+	rep := &DiffReport{
+		TotalBefore: before.TotalMass(),
+		TotalAfter:  after.TotalMass(),
+		RunsBefore:  before.TotalRuns(),
+		RunsAfter:   after.TotalRuns(),
+		Threshold:   threshold,
+	}
+
+	masses := make(map[opKey][2]uint64, len(before.Ops)+len(after.Ops))
+	for _, o := range before.Ops {
+		k := opKey{o.Mnemonic, o.Ring}
+		m := masses[k]
+		m[0] += o.Mass
+		masses[k] = m
+	}
+	for _, o := range after.Ops {
+		k := opKey{o.Mnemonic, o.Ring}
+		m := masses[k]
+		m[1] += o.Mass
+		masses[k] = m
+	}
+
+	share := func(mass, total uint64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return float64(mass) / float64(total)
+	}
+	rep.Deltas = make([]OpDelta, 0, len(masses))
+	for k, m := range masses {
+		d := OpDelta{
+			Mnemonic:    k.mnemonic,
+			Ring:        k.ring,
+			BeforeMass:  m[0],
+			AfterMass:   m[1],
+			BeforeShare: share(m[0], rep.TotalBefore),
+			AfterShare:  share(m[1], rep.TotalAfter),
+		}
+		d.ShareDelta = d.AfterShare - d.BeforeShare
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool {
+		ai, aj := rep.Deltas[i].ShareDelta, rep.Deltas[j].ShareDelta
+		if ai < 0 {
+			ai = -ai
+		}
+		if aj < 0 {
+			aj = -aj
+		}
+		if ai != aj {
+			return ai > aj
+		}
+		if rep.Deltas[i].Mnemonic != rep.Deltas[j].Mnemonic {
+			return rep.Deltas[i].Mnemonic < rep.Deltas[j].Mnemonic
+		}
+		return rep.Deltas[i].Ring < rep.Deltas[j].Ring
+	})
+	for _, d := range rep.Deltas {
+		if d.regressed(threshold) {
+			rep.Regressions = append(rep.Regressions, d)
+		}
+	}
+	return rep
+}
+
+// Render formats the report as an aligned text table showing the top n
+// movers (n <= 0: all), regressions flagged in the last column.
+func (rep *DiffReport) Render(n int) string {
+	rows := rep.Deltas
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "PROFILE DIFF — before %s insts (%d runs), after %s insts (%d runs); %d/%d ops moved >= %.1fpp\n",
+		humanMass(rep.TotalBefore), rep.RunsBefore,
+		humanMass(rep.TotalAfter), rep.RunsAfter,
+		len(rep.Regressions), len(rep.Deltas), rep.Threshold*100)
+	mw := len("MNEMONIC")
+	for _, d := range rows {
+		if len(d.Mnemonic) > mw {
+			mw = len(d.Mnemonic)
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s  %-6s  %12s  %12s  %8s\n", mw, "MNEMONIC", "RING", "BEFORE", "AFTER", "DELTA")
+	for _, d := range rows {
+		flag := ""
+		if d.regressed(rep.Threshold) {
+			flag = "  REGRESSION"
+		}
+		fmt.Fprintf(&sb, "%-*s  %-6s  %5s %5.1f%%  %5s %5.1f%%  %+7.2fpp%s\n",
+			mw, d.Mnemonic, ringString(d.Ring),
+			humanMass(d.BeforeMass), d.BeforeShare*100,
+			humanMass(d.AfterMass), d.AfterShare*100,
+			d.ShareDelta*100, flag)
+	}
+	return sb.String()
+}
+
+// humanMass formats an instruction count compactly.
+func humanMass(v uint64) string {
+	switch f := float64(v); {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fB", f/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", f/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.1fk", f/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

@@ -182,8 +182,9 @@ func (s *Session) harvest(r *harness.Runner) {
 	}
 }
 
-// ExperimentNames lists every regenerable experiment of the paper's
-// evaluation, in paper order (table1..table8, figure1..figure4).
+// ExperimentNames lists every regenerable experiment: the paper's
+// evaluation in paper order (table1..table8, figure1..figure4), then
+// the reproduction's fleet-scale profile-store experiment ("fleet").
 func ExperimentNames() []string { return harness.ExperimentNames() }
 
 // RunExperiment regenerates one table or figure of the paper,
