@@ -3,18 +3,21 @@
 //
 // Usage:
 //
-//	experiments [-experiment NAME] [-fast] [-seed N] [-parallel N]
+//	experiments [-experiment NAME] [-only NAMES] [-fast] [-seed N] [-parallel N]
 //	experiments -list-workloads
 //
 // NAME is one of table1..table8, figure1..figure4, or "all" (default).
-// -fast trims workload repeats for a quick smoke run; the numbers keep
-// their shape but carry more sampling noise. -parallel bounds the
-// worker pool evaluating independent runs (0 = all cores, 1 =
-// sequential); the rendered numbers are identical at any setting —
-// workload construction itself now happens inside the worker pool,
-// through the concurrency-safe spec registry. -list-workloads prints
-// that registry (the workload set the experiments draw from) and
-// exits.
+// -only takes a comma-separated subset (e.g. -only table1,figure2) and
+// regenerates it through one shared collection plan: the union of runs
+// the subset needs is collected exactly once, then every experiment
+// renders from the shared results. -fast trims workload repeats for a
+// quick smoke run; the numbers keep their shape but carry more
+// sampling noise. -parallel bounds the worker pool evaluating
+// independent runs (0 = all cores, 1 = sequential); the rendered
+// numbers are identical at any setting — workload construction itself
+// happens inside the worker pool, through the concurrency-safe spec
+// registry. -list-workloads prints that registry (the workload set the
+// experiments draw from) and exits.
 package main
 
 import (
@@ -31,6 +34,8 @@ import (
 func main() {
 	experiment := flag.String("experiment", "all",
 		"experiment to run: "+strings.Join(hbbp.ExperimentNames(), ", ")+", or all")
+	only := flag.String("only", "",
+		"comma-separated experiment subset sharing one collection plan (overrides -experiment)")
 	fast := flag.Bool("fast", false, "reduced repeats for a quick run")
 	seed := flag.Int64("seed", 1, "base random seed")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = all cores, 1 = sequential)")
@@ -58,16 +63,31 @@ func main() {
 		os.Exit(1)
 	}
 
+	var names []string
+	switch {
+	case *only != "":
+		for _, name := range strings.Split(*only, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+	case *experiment == "all":
+		names = hbbp.ExperimentNames()
+	default:
+		names = []string{*experiment}
+	}
+
 	ctx := context.Background()
 	start := time.Now()
-	if *experiment == "all" {
-		err = s.RunAllExperiments(ctx)
-	} else {
-		err = s.RunExperiment(ctx, *experiment)
-	}
+	report, err := s.RunExperiments(ctx, names...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
+	for _, t := range report.Experiments {
+		fmt.Fprintf(os.Stderr, "%-10s %8v\n", t.Name, t.Wall.Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "collected %d runs, reused %d (collection %v)\n",
+		report.RunsCollected, report.RunsReused, report.CollectWall.Round(time.Millisecond))
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -129,6 +129,54 @@ func TestExperimentsObserveCancellation(t *testing.T) {
 	}
 }
 
+// TestBatchedExperimentsObserveCancellation covers the planner path:
+// a batched RunExperiments call cancelled mid-run must stop the shared
+// collection phase promptly, and renders already written to the output
+// stay untouched — output is a prefix of the uncancelled batch.
+func TestBatchedExperimentsObserveCancellation(t *testing.T) {
+	var want bytes.Buffer
+	ref, err := New(WithSeed(1), WithFast(0.1), WithExperimentOutput(&want))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	batch := []string{"table2", "table4", "table1", "figure2"}
+	if _, err := ref.RunExperiments(context.Background(), batch...); err != nil {
+		t.Fatalf("reference RunExperiments: %v", err)
+	}
+
+	var got bytes.Buffer
+	s, err := New(WithSeed(1), WithFast(0.1), WithExperimentOutput(&got))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err = promptly(t, "RunExperiments", 15*time.Second, func() error {
+		_, runErr := s.RunExperiments(ctx, batch...)
+		return runErr
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunExperiments returned %v, want errors.Is(context.Canceled)", err)
+	}
+	if !bytes.HasPrefix(want.Bytes(), got.Bytes()) {
+		t.Errorf("cancelled batch output is not a prefix of the uncancelled batch:\ngot:\n%s", got.String())
+	}
+
+	// Pre-cancelled: planning fails closed before any collection, and
+	// unknown names are still rejected first.
+	done, cancelDone := context.WithCancel(context.Background())
+	cancelDone()
+	if _, err := s.RunExperiments(done, "table2", "figure2"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunExperiments returned %v, want errors.Is(context.Canceled)", err)
+	}
+	if _, err := s.RunExperiments(done, "table2", "nope"); !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("pre-cancelled unknown name returned %v, want errors.Is(ErrUnknownExperiment)", err)
+	}
+}
+
 func TestUnknownExperimentIsTyped(t *testing.T) {
 	s, err := New()
 	if err != nil {

@@ -224,29 +224,40 @@ func DetectBias(p *program.Program, stacks [][]Branch, opts BiasOptions) BiasRep
 	if depth == 0 {
 		depth = 16
 	}
-	stats := make(map[uint64]BiasStat)
-	seen := make(map[uint64]bool)
+	stats := make(map[uint64]*BiasStat)
 	for _, stack := range stacks {
-		if len(stack) == 0 {
-			continue
-		}
-		clear(seen)
 		for i, rec := range stack {
 			s := stats[rec.From]
+			if s == nil {
+				s = &BiasStat{}
+				stats[rec.From] = s
+			}
 			s.Copies++
-			if !seen[rec.From] {
-				seen[rec.From] = true
+			// First occurrence within this stack? Stacks are at most the
+			// architectural depth, so a linear scan of the preceding
+			// entries beats a per-stack seen map.
+			first := true
+			for j := 0; j < i; j++ {
+				if stack[j].From == rec.From {
+					first = false
+					break
+				}
+			}
+			if first {
 				s.Present++
 				if i == 0 {
 					s.Entry0++
 				}
 			}
-			stats[rec.From] = s
 		}
+	}
+	branches := make(map[uint64]BiasStat, len(stats))
+	for addr, s := range stats {
+		branches[addr] = *s
 	}
 	report := BiasReport{
 		BlockBias: make([]bool, p.NumBlocks()),
-		Branches:  stats,
+		Branches:  branches,
 	}
 	biased := make(map[uint64]bool)
 	for addr, s := range stats {

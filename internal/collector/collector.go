@@ -113,6 +113,11 @@ type Options struct {
 	// records, aborting with an error that wraps ctx.Err(). A run that
 	// completes under a context is bit-identical to one without.
 	Context context.Context
+	// Layout, when non-nil, is the precomputed per-block dispatch
+	// table of the program being collected (see cpu.NewLayout). Shared
+	// layouts let repeated collections of one workload skip the
+	// per-run derivation; output is bit-identical either way.
+	Layout *cpu.Layout
 }
 
 // effectivePeriods resolves the configured periods to simulated units.
@@ -261,6 +266,7 @@ func Collect(p *program.Program, entry *program.Function, opt Options, extra ...
 	stats, err := cpu.Run(p, entry, cpu.Config{
 		Seed: opt.Seed, Repeat: opt.Repeat, MaxRetired: opt.MaxRetired,
 		PerInstruction: opt.PerInstruction, Ctx: opt.Context,
+		Layout: opt.Layout,
 	}, listeners...)
 	if err != nil {
 		return nil, fmt.Errorf("collector: running %s: %w", p.Name, err)

@@ -50,14 +50,33 @@ func (k *EBSSink) Lost(l perffile.Lost) {
 type LBRSink struct {
 	Stacks  [][]bbec.Branch
 	Dropped uint64
+
+	// arena is the slab the retained stacks sub-slice: branch records
+	// are pointer-free, so packing tens of thousands of small stacks
+	// into a few large allocations takes them off the garbage
+	// collector's object ledger entirely.
+	arena []bbec.Branch
 }
+
+// lbrArenaSize is the slab granularity, in branch records.
+const lbrArenaSize = 16384
 
 // Sample copies the LBR stack of BR_INST_RETIRED:NEAR_TAKEN samples.
 func (k *LBRSink) Sample(s *perffile.Sample) {
 	if pmu.Event(s.Event) != pmu.BrInstRetiredNearTaken || len(s.Stack) == 0 {
 		return
 	}
-	stack := make([]bbec.Branch, len(s.Stack))
+	n := len(s.Stack)
+	if cap(k.arena)-len(k.arena) < n {
+		size := lbrArenaSize
+		if n > size {
+			size = n
+		}
+		k.arena = make([]bbec.Branch, 0, size)
+	}
+	start := len(k.arena)
+	k.arena = k.arena[:start+n]
+	stack := k.arena[start : start+n : start+n]
 	for i, br := range s.Stack {
 		stack[i] = bbec.Branch{From: br.From, To: br.To}
 	}

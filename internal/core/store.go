@@ -2,7 +2,9 @@ package core
 
 import (
 	"math"
+	"sort"
 
+	"hbbp/internal/isa"
 	"hbbp/internal/profstore"
 	"hbbp/internal/program"
 )
@@ -31,10 +33,18 @@ func Capture(prof *Profile, unit string) *profstore.Profile {
 // sequence), so the stored blocks and ops sections are exactly
 // consistent with each other and all later merging is integer-exact.
 func CaptureCounts(p *program.Program, counts []float64, unit string) *profstore.Profile {
-	raw := &profstore.Profile{
+	out := &profstore.Profile{
 		Workloads: []profstore.WorkloadWeight{{Name: unit, Runs: 1}},
 	}
-	perOp := make(map[string]uint64)
+	// Op mass accumulates under numeric (opcode, ring) keys across the
+	// whole program — hashing small integers per distinct op instead of
+	// strings per retirement entry; mnemonic strings materialize once
+	// per distinct key at emission.
+	type opRing struct {
+		op   isa.Op
+		ring uint8
+	}
+	perOp := make(map[opRing]uint64)
 	for _, blk := range p.Blocks() {
 		c := counts[blk.ID]
 		if !(c > 0) { // skip zero, negative and NaN estimates
@@ -49,7 +59,7 @@ func CaptureCounts(p *program.Program, counts []float64, unit string) *profstore
 		if blk.Fn.Mod.Ring == program.RingKernel {
 			ring = profstore.RingKernel
 		}
-		raw.Blocks = append(raw.Blocks, profstore.Block{
+		out.Blocks = append(out.Blocks, profstore.Block{
 			Unit:     unit,
 			Module:   blk.Fn.Mod.Name,
 			Function: blk.Fn.Name,
@@ -58,15 +68,22 @@ func CaptureCounts(p *program.Program, counts []float64, unit string) *profstore
 			Len:      uint32(len(ops)),
 			Count:    count,
 		})
-		clear(perOp)
 		for _, op := range ops {
-			perOp[op.String()] += count
-		}
-		for name, mass := range perOp {
-			raw.Ops = append(raw.Ops, profstore.OpMass{Mnemonic: name, Ring: ring, Mass: mass})
+			perOp[opRing{op, ring}] += count
 		}
 	}
-	// Canonical sums the per-block op contributions into per-(op, ring)
-	// mass and sorts everything into merge order.
-	return profstore.Canonical(raw)
+	for k, mass := range perOp {
+		out.Ops = append(out.Ops, profstore.OpMass{Mnemonic: k.op.String(), Ring: k.ring, Mass: mass})
+	}
+	// Emit canonical form directly: block keys are unique here (one
+	// entry per block of a single unit) and the op map has already
+	// summed duplicates, so merge order is a sort away and the
+	// accumulator round-trip profstore.Canonical would do is skipped.
+	sort.Slice(out.Blocks, func(i, j int) bool {
+		return profstore.BlockKeyLess(&out.Blocks[i], &out.Blocks[j])
+	})
+	sort.Slice(out.Ops, func(i, j int) bool {
+		return profstore.OpKeyLess(&out.Ops[i], &out.Ops[j])
+	})
+	return out
 }

@@ -25,19 +25,19 @@ func (r *recordingBlockListener) Retire(ev *RetireEvent) {
 func (r *recordingBlockListener) RetireBlock(ev *BlockEvent) {
 	r.blocks++
 	last := ev.Len() - 1
-	for i, op := range ev.Ops {
+	for i, op := range ev.Ops() {
 		rec := RetireEvent{
-			Addr:  ev.Addrs[i],
+			Addr:  ev.Addrs()[i],
 			Op:    op,
-			Block: ev.Block,
-			Ring:  ev.Ring,
+			Block: ev.Block(),
+			Ring:  ev.Ring(),
 			Cycle: ev.Cycle(i),
 		}
 		if i == last && ev.Taken {
 			rec.Taken, rec.Target = true, ev.Target
 		}
 		r.events = append(r.events, rec)
-		if ev.Infos[i] != op.Info() {
+		if ev.Infos()[i] != op.Info() {
 			panic("cached info diverges from Op.Info()")
 		}
 	}

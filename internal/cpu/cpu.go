@@ -50,18 +50,18 @@ type Listener interface {
 
 // BlockEvent describes the retirement of one whole basic block: every
 // instruction of the block retires in program order, and the final
-// instruction carries the terminator's taken-branch outcome. The slices
-// are the machine's per-block caches, shared across events and
-// immutable for the run; listeners must not modify or retain them.
+// instruction carries the terminator's taken-branch outcome. The
+// per-instruction views (Addrs, Ops, Infos, CycleSums) are the
+// machine's per-block caches behind one pointer, shared across events
+// and immutable for the run; listeners must not modify or retain them.
 type BlockEvent struct {
-	Block *program.Block // retired block
-	Ring  program.Ring   // privilege level
-	Addrs []uint64       // per-instruction addresses
-	Ops   []isa.Op       // retired opcodes (live image: trace points retire NOPs)
-	Infos []isa.Info     // cached static attributes, same indexing as Ops
-	// CycleSums[i] is the cumulative latency of Ops[0..i]; instruction
-	// i retires at cycle StartCycle + CycleSums[i].
-	CycleSums []uint64
+	// info is the machine's whole per-block layout table, set once at
+	// machine construction; idx selects the retired block. Identifying
+	// the block by scalar index means the per-transition stores are all
+	// pointer-free, so the retirement fast path runs with no write
+	// barriers at all.
+	info []blockInfo
+	idx  int32
 	// StartCycle is the machine cycle count when the block began
 	// retiring.
 	StartCycle uint64
@@ -69,31 +69,61 @@ type BlockEvent struct {
 	Target     uint64 // branch target when Taken, else 0
 }
 
+// inf returns the retired block's layout entry.
+func (ev *BlockEvent) inf() *blockInfo { return &ev.info[ev.idx] }
+
+// Block returns the retired block.
+func (ev *BlockEvent) Block() *program.Block { return ev.inf().blk }
+
+// BlockID returns the retired block's ID without touching the block
+// itself — the O(1) identity listeners index per-block state with.
+func (ev *BlockEvent) BlockID() int { return int(ev.idx) }
+
+// Ring returns the privilege level the block retired at.
+func (ev *BlockEvent) Ring() program.Ring { return ev.inf().ring }
+
 // Len returns the number of instructions the event retires.
-func (ev *BlockEvent) Len() int { return len(ev.Ops) }
+func (ev *BlockEvent) Len() int { return len(ev.inf().ops) }
+
+// Addrs returns the per-instruction addresses.
+func (ev *BlockEvent) Addrs() []uint64 { return ev.inf().addrs }
+
+// Ops returns the retired opcodes (live image: trace points retire
+// NOPs).
+func (ev *BlockEvent) Ops() []isa.Op { return ev.inf().ops }
+
+// Infos returns the cached static attributes, same indexing as Ops.
+func (ev *BlockEvent) Infos() []isa.Info { return ev.inf().infos }
+
+// CycleSums returns the cumulative latencies: CycleSums()[i] is the
+// latency of Ops()[0..i], so instruction i retires at cycle
+// StartCycle + CycleSums()[i].
+func (ev *BlockEvent) CycleSums() []uint64 { return ev.inf().cycleSums }
 
 // Cycle returns the retirement cycle of instruction i.
-func (ev *BlockEvent) Cycle(i int) uint64 { return ev.StartCycle + ev.CycleSums[i] }
+func (ev *BlockEvent) Cycle(i int) uint64 { return ev.StartCycle + ev.inf().cycleSums[i] }
 
 // EachRetire replays the block as per-instruction retirement events,
 // calling f once per instruction in program order with the cached
 // static info — the single definition of how a block event flattens
 // back into the per-instruction stream (only the final instruction
 // carries the taken-branch outcome). scratch is the reused event
-// storage; f must not retain it.
-func (ev *BlockEvent) EachRetire(scratch *RetireEvent, f func(*RetireEvent, isa.Info)) {
-	scratch.Block, scratch.Ring = ev.Block, ev.Ring
-	last := len(ev.Ops) - 1
-	for i, op := range ev.Ops {
-		scratch.Addr = ev.Addrs[i]
+// storage; the info pointer aliases the immutable layout cache; f must
+// retain neither.
+func (ev *BlockEvent) EachRetire(scratch *RetireEvent, f func(*RetireEvent, *isa.Info)) {
+	bi := ev.inf()
+	scratch.Block, scratch.Ring = bi.blk, bi.ring
+	last := len(bi.ops) - 1
+	for i, op := range bi.ops {
+		scratch.Addr = bi.addrs[i]
 		scratch.Op = op
-		scratch.Cycle = ev.StartCycle + ev.CycleSums[i]
+		scratch.Cycle = ev.StartCycle + bi.cycleSums[i]
 		if i == last && ev.Taken {
 			scratch.Taken, scratch.Target = true, ev.Target
 		} else {
 			scratch.Taken, scratch.Target = false, 0
 		}
-		f(scratch, ev.Infos[i])
+		f(scratch, &bi.infos[i])
 	}
 }
 
@@ -117,7 +147,7 @@ type replayListener struct {
 
 // RetireBlock implements BlockListener.
 func (r *replayListener) RetireBlock(bev *BlockEvent) {
-	bev.EachRetire(&r.ev, func(ev *RetireEvent, _ isa.Info) { r.l.Retire(ev) })
+	bev.EachRetire(&r.ev, func(ev *RetireEvent, _ *isa.Info) { r.l.Retire(ev) })
 }
 
 // resolveListener picks the dispatch path for one listener: native
@@ -161,6 +191,11 @@ type Config struct {
 	// run that completes under a context is bit-identical to one
 	// without.
 	Ctx context.Context
+	// Layout, when non-nil, supplies the precomputed dispatch table for
+	// the program being run (see NewLayout), letting repeated runs skip
+	// the per-machine derivation. A layout derived from a different
+	// program is ignored and the machine derives its own.
+	Layout *Layout
 }
 
 // ctxCheckInterval is how many retired blocks pass between context
@@ -169,17 +204,63 @@ type Config struct {
 const ctxCheckInterval = 1024
 
 // blockInfo caches the per-block layout the hot loop needs, computed
-// once per block at Machine construction: instruction addresses, the
-// retired opcodes (effective ops — trace points retire NOPs), their
-// static isa.Info, cumulative latencies, and the block's aggregate
-// contribution to the run statistics.
+// once per block: instruction addresses, the retired opcodes
+// (effective ops — trace points retire NOPs), their static isa.Info,
+// cumulative latencies, and the block's aggregate contribution to the
+// run statistics.
 type blockInfo struct {
+	blk       *program.Block
+	ring      program.Ring
 	addrs     []uint64
 	ops       []isa.Op
 	infos     []isa.Info
 	cycleSums []uint64 // cycleSums[i] = latency of ops[0..i]
 	cycleSum  uint64   // total block latency
 }
+
+// Layout is the precomputed per-block dispatch table of one program
+// image — everything the block fast path reads that depends only on
+// the static code. Deriving it walks the whole image; a Layout is
+// immutable afterwards and safe to share across any number of
+// concurrent Machines of the same program, so callers that run one
+// workload many times (the experiment harness, the workload registry's
+// snapshotted images) pay the derivation and its allocations once
+// instead of per run. Execution is bit-identical with or without a
+// shared layout.
+type Layout struct {
+	prog *program.Program
+	info []blockInfo
+}
+
+// NewLayout derives the dispatch table for p.
+func NewLayout(p *program.Program) *Layout {
+	l := &Layout{prog: p, info: make([]blockInfo, p.NumBlocks())}
+	for _, b := range p.Blocks() {
+		ops := b.EffectiveOps()
+		bi := blockInfo{
+			blk:       b,
+			ring:      b.Fn.Mod.Ring,
+			ops:       ops,
+			addrs:     make([]uint64, len(ops)),
+			infos:     make([]isa.Info, len(ops)),
+			cycleSums: make([]uint64, len(ops)),
+		}
+		addr := b.Addr
+		for i, op := range ops {
+			info := op.Info()
+			bi.infos[i] = info
+			bi.addrs[i] = addr
+			addr += uint64(info.Bytes)
+			bi.cycleSum += uint64(info.Latency)
+			bi.cycleSums[i] = bi.cycleSum
+		}
+		l.info[b.ID] = bi
+	}
+	return l
+}
+
+// Program returns the image the layout was derived from.
+func (l *Layout) Program() *program.Program { return l.prog }
 
 // Machine executes one program. It is not safe for concurrent use.
 type Machine struct {
@@ -203,34 +284,20 @@ func New(p *program.Program, cfg Config, listeners ...Listener) *Machine {
 	if cfg.Repeat <= 0 {
 		cfg.Repeat = 1
 	}
+	layout := cfg.Layout
+	if layout == nil || layout.prog != p {
+		layout = NewLayout(p)
+	}
 	m := &Machine{
 		prog:      p,
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		info:      make([]blockInfo, p.NumBlocks()),
+		info:      layout.info,
 		loopCount: make([]int, p.NumBlocks()),
 	}
+	m.bev.info = layout.info
 	for _, l := range listeners {
 		m.listeners = append(m.listeners, resolveListener(l, cfg.PerInstruction))
-	}
-	for _, b := range p.Blocks() {
-		ops := b.EffectiveOps()
-		bi := blockInfo{
-			ops:       ops,
-			addrs:     make([]uint64, len(ops)),
-			infos:     make([]isa.Info, len(ops)),
-			cycleSums: make([]uint64, len(ops)),
-		}
-		addr := b.Addr
-		for i, op := range ops {
-			info := op.Info()
-			bi.infos[i] = info
-			bi.addrs[i] = addr
-			addr += uint64(info.Bytes)
-			bi.cycleSum += uint64(info.Latency)
-			bi.cycleSums[i] = bi.cycleSum
-		}
-		m.info[b.ID] = bi
 	}
 	return m
 }
@@ -279,7 +346,7 @@ func (m *Machine) runOnce(entry *program.Function) error {
 // outermost function returned).
 func (m *Machine) execBlock(blk *program.Block) (*program.Block, error) {
 	bi := &m.info[blk.ID]
-	ring := blk.Fn.Mod.Ring
+	ring := bi.ring
 
 	// Resolve the terminator first so the final instruction can carry
 	// its taken-branch flag.
@@ -339,8 +406,7 @@ func (m *Machine) execBlock(blk *program.Block) (*program.Block, error) {
 	}
 
 	bev := &m.bev
-	bev.Block, bev.Ring = blk, ring
-	bev.Addrs, bev.Ops, bev.Infos, bev.CycleSums = bi.addrs, bi.ops, bi.infos, bi.cycleSums
+	bev.idx = int32(blk.ID)
 	bev.StartCycle = start
 	bev.Taken, bev.Target = taken, target
 	for _, l := range m.listeners {
@@ -369,7 +435,7 @@ func NewCountingListener(p *program.Program) *CountingListener {
 
 // RetireBlock implements BlockListener — one increment per block entry.
 func (c *CountingListener) RetireBlock(ev *BlockEvent) {
-	c.Exec[ev.Block.ID]++
+	c.Exec[ev.BlockID()]++
 }
 
 // Retire implements Listener, the per-instruction reference path.

@@ -74,9 +74,11 @@ type Config struct {
 	Suite []*WorkloadEval
 }
 
-// Runner executes experiments, caching the trained model and per-suite
-// evaluations across tables that share them. A Runner is safe for the
-// concurrent use its own worker pool makes of it.
+// Runner executes experiments through a keyed run cache: the trained
+// model, the suite evaluations and every named workload evaluation are
+// collected at most once per Runner and shared by all experiments that
+// request them. A Runner is safe for the concurrent use its own worker
+// pool makes of it.
 type Runner struct {
 	cfg Config
 	out io.Writer
@@ -90,6 +92,73 @@ type Runner struct {
 	suite      []*WorkloadEval
 	suiteErr   error
 	suiteReady atomic.Bool
+
+	// evals is the keyed run cache: one slot per workload name, each
+	// collected at most once. The per-run seed is name-independent, so
+	// a cached evaluation is bit-identical to a fresh one.
+	evalMu sync.Mutex
+	evals  map[string]*evalSlot
+
+	// statsMu guards the collection accounting below. collectCounts
+	// tallies, per key, how many collection runs actually executed
+	// (evaluations under their workload name, training runs under
+	// "corpus/<name>"); reused counts requests served from a cache
+	// instead of collecting again.
+	statsMu       sync.Mutex
+	collectCounts map[string]int
+	reused        int
+}
+
+// evalSlot is one keyed run cache entry.
+type evalSlot struct {
+	once sync.Once
+	ev   *WorkloadEval
+	err  error
+}
+
+// noteCollected records one executed collection run under key.
+func (r *Runner) noteCollected(key string) {
+	r.statsMu.Lock()
+	if r.collectCounts == nil {
+		r.collectCounts = map[string]int{}
+	}
+	r.collectCounts[key]++
+	r.statsMu.Unlock()
+}
+
+// noteReused records n requests served from a cache.
+func (r *Runner) noteReused(n int) {
+	r.statsMu.Lock()
+	r.reused += n
+	r.statsMu.Unlock()
+}
+
+// Collections reports the runner's collection activity so far:
+// collected is the number of (workload, config) collection runs that
+// actually executed — training corpus runs and workload evaluations —
+// and reused is the number of requests served from the keyed run
+// cache (or the suite cache) instead of collecting again.
+func (r *Runner) Collections() (collected, reused int) {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	for _, n := range r.collectCounts {
+		collected += n
+	}
+	return collected, r.reused
+}
+
+// CollectionCounts returns a copy of the per-key collection tally:
+// workload evaluations under their name, training corpus runs under
+// "corpus/<name>". The planner's exactly-once guarantee means every
+// value is 1 after any sequence of experiments on one Runner.
+func (r *Runner) CollectionCounts() map[string]int {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	out := make(map[string]int, len(r.collectCounts))
+	for k, v := range r.collectCounts {
+		out[k] = v
+	}
+	return out
 }
 
 // New returns a Runner.
@@ -234,10 +303,12 @@ func (r *Runner) Model() (*core.Model, error) {
 				Repeat:         w.Repeat,
 				PerInstruction: r.cfg.PerInstruction,
 				Context:        r.cfg.Ctx,
+				Layout:         w.Layout,
 			})
 			if err != nil {
 				return err
 			}
+			r.noteCollected("corpus/" + names[i])
 			runs[i] = run
 			return nil
 		})
@@ -302,19 +373,26 @@ func (r *Runner) evalWorkload(w *workloads.Workload) (*WorkloadEval, error) {
 	if err != nil {
 		return nil, err
 	}
-	ref := sde.New(w.Prog)
+	var ref *sde.Instrumenter
+	if w.SDE != nil {
+		ref = sde.NewFromStatic(w.SDE)
+	} else {
+		ref = sde.New(w.Prog)
+	}
 	prof, err := core.Run(w.Prog, w.Entry, model, core.Options{
 		Collector: collector.Options{
 			Class: w.Class, Scale: w.Scale, Seed: r.cfg.Seed + 7,
 			Repeat:         w.Repeat,
 			PerInstruction: r.cfg.PerInstruction,
 			Context:        r.cfg.Ctx,
+			Layout:         w.Layout,
 		},
 		KernelLivePatched: true,
 	}, ref)
 	if err != nil {
 		return nil, err
 	}
+	r.noteCollected(w.Name)
 
 	stats := prof.Collection.Stats
 	clean := float64(stats.Cycles) * float64(w.Scale) / ClockHz
@@ -348,12 +426,50 @@ func (r *Runner) evalWorkload(w *workloads.Workload) (*WorkloadEval, error) {
 	return ev, nil
 }
 
+// eval returns the named workload's evaluation through the keyed run
+// cache, collecting it at most once per Runner. Concurrent requesters
+// of one name share a single collection; because every evaluation run
+// derives the same seed from the config alone, a cached result is
+// bit-identical to a fresh one — caching changes which run produced
+// the bytes, never the bytes.
+func (r *Runner) eval(name string) (*WorkloadEval, error) {
+	r.evalMu.Lock()
+	if r.evals == nil {
+		r.evals = map[string]*evalSlot{}
+	}
+	slot := r.evals[name]
+	if slot == nil {
+		slot = &evalSlot{}
+		r.evals[name] = slot
+	}
+	r.evalMu.Unlock()
+	fresh := false
+	slot.once.Do(func() {
+		fresh = true
+		w, err := r.workload(name)
+		if err != nil {
+			slot.err = err
+			return
+		}
+		ev, err := r.evalWorkload(w)
+		if err != nil {
+			slot.err = fmt.Errorf("harness: evaluating %s: %w", name, err)
+			return
+		}
+		slot.ev = ev
+	})
+	if !fresh && slot.err == nil {
+		r.noteReused(1)
+	}
+	return slot.ev, slot.err
+}
+
 // evalNamed evaluates registry workloads by name on the worker pool,
-// returning results in input order. Construction happens inside each
-// worker — the registry's synchronized calibration removed the old
-// restriction that kept construction sequential in the caller — and
-// every run still carries the same derived seed, so results are
-// bit-identical at any parallelism.
+// returning results in input order. Each evaluation goes through the
+// keyed run cache, so names an earlier experiment already collected
+// are served without another run; construction of fresh entries
+// happens inside each worker, and every run carries the same derived
+// seed, so results are bit-identical at any parallelism.
 func (r *Runner) evalNamed(names []string) ([]*WorkloadEval, error) {
 	// Resolve the shared model before fanning out so every worker hits
 	// the cache instead of contending on the lazy training pass.
@@ -362,13 +478,9 @@ func (r *Runner) evalNamed(names []string) ([]*WorkloadEval, error) {
 	}
 	evs := make([]*WorkloadEval, len(names))
 	err := r.forEach(len(names), func(i int) error {
-		w, err := r.workload(names[i])
+		ev, err := r.eval(names[i])
 		if err != nil {
 			return err
-		}
-		ev, err := r.evalWorkload(w)
-		if err != nil {
-			return fmt.Errorf("harness: evaluating %s: %w", names[i], err)
 		}
 		evs[i] = ev
 		return nil
@@ -379,24 +491,22 @@ func (r *Runner) evalNamed(names []string) ([]*WorkloadEval, error) {
 	return evs, nil
 }
 
-// evalNamedOne evaluates a single registry workload.
+// evalNamedOne evaluates a single registry workload through the keyed
+// run cache.
 func (r *Runner) evalNamedOne(name string) (*WorkloadEval, error) {
-	w, err := r.workload(name)
-	if err != nil {
+	if _, err := r.Model(); err != nil {
 		return nil, err
 	}
-	ev, err := r.evalWorkload(w)
-	if err != nil {
-		return nil, fmt.Errorf("harness: evaluating %s: %w", name, err)
-	}
-	return ev, nil
+	return r.eval(name)
 }
 
 // SuiteEvals evaluates the full SPEC-like suite once, caching results.
 // The per-workload runs execute concurrently; the cached slice is in
 // suite order regardless of scheduling.
 func (r *Runner) SuiteEvals() ([]*WorkloadEval, error) {
+	first := false
 	r.suiteOnce.Do(func() {
+		first = true
 		if r.cfg.Suite != nil {
 			r.suite = r.cfg.Suite
 			r.suiteReady.Store(true)
@@ -407,6 +517,9 @@ func (r *Runner) SuiteEvals() ([]*WorkloadEval, error) {
 			r.suiteReady.Store(true)
 		}
 	})
+	if !first && r.suiteErr == nil {
+		r.noteReused(len(r.suite))
+	}
 	return r.suite, r.suiteErr
 }
 
@@ -423,106 +536,12 @@ func (r *Runner) EvaluatedSuite() (evals []*WorkloadEval, ok bool) {
 
 // ExperimentNames lists every regenerable experiment: the paper's
 // tables and figures in paper order, then the reproduction's own
-// fleet-scale experiment.
+// fleet-scale experiment. The list is derived from the experiment
+// registry, the same source of truth Run and the planner use.
 func ExperimentNames() []string {
-	return []string{
-		"table1", "table2", "table3", "table4",
-		"table5", "table6", "table7", "table8",
-		"figure1", "figure2", "figure3", "figure4",
-		"fleet",
+	names := make([]string, len(experiments))
+	for i, e := range experiments {
+		names[i] = e.name
 	}
-}
-
-// Run executes one experiment by name and renders it to the
-// configured output.
-func (r *Runner) Run(name string) error {
-	if err := r.ctxErr(); err != nil {
-		return err
-	}
-	switch name {
-	case "table1":
-		res, err := r.Table1()
-		if err != nil {
-			return err
-		}
-		r.printf("%s", res.Render())
-	case "table2":
-		r.printf("%s", Table2().Render())
-	case "table3":
-		res, err := r.Table3()
-		if err != nil {
-			return err
-		}
-		r.printf("%s", res.Render())
-	case "table4":
-		r.printf("%s", Table4().Render())
-	case "table5":
-		res, err := r.Table5()
-		if err != nil {
-			return err
-		}
-		r.printf("%s", res.Render())
-	case "table6":
-		res, err := r.Table6()
-		if err != nil {
-			return err
-		}
-		r.printf("%s", res.Render())
-	case "table7":
-		res, err := r.Table7()
-		if err != nil {
-			return err
-		}
-		r.printf("%s", res.Render())
-	case "table8":
-		res, err := r.Table8()
-		if err != nil {
-			return err
-		}
-		r.printf("%s", res.Render())
-	case "figure1":
-		res, err := r.Figure1()
-		if err != nil {
-			return err
-		}
-		r.printf("%s", res.Render())
-	case "figure2":
-		res, err := r.Figure2()
-		if err != nil {
-			return err
-		}
-		r.printf("%s", res.Render())
-	case "figure3":
-		res, err := r.Figure3()
-		if err != nil {
-			return err
-		}
-		r.printf("%s", res.Render())
-	case "figure4":
-		res, err := r.Figure4()
-		if err != nil {
-			return err
-		}
-		r.printf("%s", res.Render())
-	case "fleet":
-		res, err := r.Fleet()
-		if err != nil {
-			return err
-		}
-		r.printf("%s", res.Render())
-	default:
-		return fmt.Errorf("harness: unknown experiment %q (known: %v)", name, ExperimentNames())
-	}
-	return nil
-}
-
-// RunAll executes every experiment in paper order.
-func (r *Runner) RunAll() error {
-	for _, name := range ExperimentNames() {
-		if err := r.Run(name); err != nil {
-			return fmt.Errorf("harness: %s: %w", name, err)
-		}
-		r.printf("\n")
-	}
-	return nil
+	return names
 }

@@ -294,12 +294,17 @@ type Table8Result struct {
 	TotalAfter  float64
 }
 
+// table8Workloads is the CLForward build pair, declared once so the
+// table builder and the experiment registry's plan cannot drift
+// apart. Order matters: the renderer reads before-fix at index 0.
+var table8Workloads = []string{"clforward-before", "clforward-after"}
+
 // Table8 profiles both CLForward builds and renders the ext x packing
 // pivot. The fixed build's invocation count is calibrated against the
 // pre-fix build through the registry's memoized calibration, so the
 // two builds evaluate concurrently without ordering concerns.
 func (r *Runner) Table8() (*Table8Result, error) {
-	evs, err := r.evalNamed([]string{"clforward-before", "clforward-after"})
+	evs, err := r.evalNamed(table8Workloads)
 	if err != nil {
 		return nil, err
 	}

@@ -23,10 +23,13 @@ func newLBRRing(historyDepth int) *lbrRing {
 	return &lbrRing{buf: make([]BranchRecord, historyDepth)}
 }
 
-// push records a retired taken branch.
+// push records a retired taken branch. The wrap is a compare instead
+// of a modulo — push sits on the per-taken-branch hot path.
 func (r *lbrRing) push(rec BranchRecord) {
 	r.buf[r.head] = rec
-	r.head = (r.head + 1) % len(r.buf)
+	if r.head++; r.head == len(r.buf) {
+		r.head = 0
+	}
 	r.count++
 }
 
@@ -55,15 +58,33 @@ func (r *lbrRing) available() int {
 // is the architectural snapshot; offset k returns the window ending k
 // branches ago. Returns nil when not enough history is available.
 func (r *lbrRing) snapshot(depth, offset int) []BranchRecord {
+	return r.snapshotInto(make([]BranchRecord, depth), offset)
+}
+
+// snapshotInto is snapshot writing into a caller-owned buffer whose
+// length is the window depth — the allocation-free delivery path. The
+// returned slice is dst (or nil when not enough history is available);
+// entry[len-1] is the newest record within the window.
+func (r *lbrRing) snapshotInto(dst []BranchRecord, offset int) []BranchRecord {
+	depth := len(dst)
 	if r.available() < depth+offset {
 		return nil
 	}
-	out := make([]BranchRecord, depth)
-	for i := 0; i < depth; i++ {
-		// entry[depth-1] is the newest within the window.
-		out[depth-1-i] = r.at(i + offset)
+	// Walk the ring backwards once instead of re-deriving the wrapped
+	// index per entry: idx starts at the newest record of the window
+	// and only ever needs one wrap adjustment because depth is bounded
+	// by the ring size.
+	idx := (r.head - 1 - offset) % len(r.buf)
+	if idx < 0 {
+		idx += len(r.buf)
 	}
-	return out
+	for i := depth - 1; i >= 0; i-- {
+		dst[i] = r.buf[idx]
+		if idx--; idx < 0 {
+			idx += len(r.buf)
+		}
+	}
+	return dst
 }
 
 // findProne returns the age (0 = newest) of the most recent bias-prone

@@ -14,11 +14,16 @@ import (
 // the paper's collector, which runs both counters in LBR mode and lets
 // the analysis phase discard the half it does not need per event.
 type Sample struct {
-	Event Event          // triggering event
-	IP    uint64         // eventing IP (skid/shadowing applied)
-	Stack []BranchRecord // LBR snapshot, entry[0] oldest; nil if unavailable
-	Ring  program.Ring   // ring at delivery
-	Cycle uint64         // cycle at delivery
+	Event Event  // triggering event
+	IP    uint64 // eventing IP (skid/shadowing applied)
+	// Stack is the LBR snapshot, entry[0] oldest; nil if unavailable.
+	// It lives in a buffer the PMU reuses across deliveries and is
+	// only valid for the duration of the handler call — handlers that
+	// retain stack data must copy it (the same contract collection
+	// sinks already have).
+	Stack []BranchRecord
+	Ring  program.Ring // ring at delivery
+	Cycle uint64       // cycle at delivery
 }
 
 // Sampling programs one counter for event-based sampling.
@@ -117,13 +122,44 @@ type pendingPMI struct {
 	skidLeft int
 }
 
-// counterState is one programmed sampling counter.
+// eventClass partitions sampling events by what makes their counter
+// tick: the retirement counters tick per instruction, the branch
+// counter on the dynamic taken outcome, and every other event never
+// triggers a sampling counter. Classifying once at programming time
+// lets the per-block fast path index a precomputed occurrence vector
+// instead of re-deriving the event rules per counter per block.
+type eventClass uint8
+
+const (
+	classNone   eventClass = iota // never triggers a sampling counter
+	classInstr                    // ticks once per retired instruction
+	classBranch                   // ticks once per retired taken branch
+	numClasses
+)
+
+// classify maps a sampling event to its counter class.
+func classify(e Event) eventClass {
+	switch e {
+	case InstRetired, InstRetiredPrecDist:
+		return classInstr
+	case BrInstRetiredNearTaken:
+		return classBranch
+	}
+	return classNone
+}
+
+// counterState is one programmed sampling counter. Field order keeps
+// the per-block fast path's working set (value, period, total, the
+// pending flag and the class) at the front of the struct, with the
+// cold configuration behind it.
 type counterState struct {
-	cfg     Sampling
 	value   uint64
-	pending pendingPMI
-	dropped uint64 // overflows lost because a PMI was already in flight
+	period  uint64 // == cfg.Period, hoisted next to value
 	total   uint64 // total event occurrences (counting mode view)
+	pending pendingPMI
+	class   eventClass
+	dropped uint64 // overflows lost because a PMI was already in flight
+	cfg     Sampling
 }
 
 // countInstr accrues the counting-mode occurrences of one retired
@@ -165,6 +201,14 @@ type blockAgg struct {
 	counts [numEvents]uint64
 }
 
+// blockHot is the per-block state of the retirement fast path. insts
+// doubles as the validity flag: non-empty blocks retire at least one
+// instruction, so 0 means the aggregate has not been derived yet.
+type blockHot struct {
+	insts uint64 // static InstRetired occurrences per execution
+	hits  uint64 // deferred fast-path executions not yet folded
+}
+
 // occurrences returns how many occurrences of sampling event e one
 // execution of the block generates — mirroring the occurred logic of
 // the per-instruction step: the retirement counters tick per
@@ -191,16 +235,29 @@ type PMU struct {
 	cfg      Config
 	rng      *rand.Rand
 	lbr      *lbrRing
-	counters []*counterState
+	counters []counterState // contiguous: the hot loops touch every counter
 
 	// Counting-mode totals for the instruction-specific events, used
-	// for PMU-vs-instrumentation cross-checks like the paper's.
+	// for PMU-vs-instrumentation cross-checks like the paper's. The
+	// fast path defers its static per-block contributions to blockHits
+	// and folds them in on read (Count), so counts alone is complete
+	// only after a fold.
 	counts [numEvents]uint64
 
 	// aggs caches per-block event aggregates, grown lazily by block ID.
 	aggs []blockAgg
+	// hot packs the two per-block words the fast path touches — the
+	// block's static instruction count and its deferred hit tally —
+	// into one cache line's worth of state, so the common case loads
+	// and stores a single line instead of walking the full aggregate.
+	// Each hit contributes the block's static aggregate to counts,
+	// applied lazily as hits × aggregate instead of per retirement.
+	hot []blockHot
 	// ev is the reused retirement event of the block slow path.
 	ev cpu.RetireEvent
+	// stackBuf is the reused LBR snapshot buffer of deliver; sample
+	// handlers own the stack only for the duration of the call.
+	stackBuf []BranchRecord
 }
 
 // New builds a PMU with the given config and sampling programmings. At
@@ -231,7 +288,7 @@ func New(cfg Config, samplings ...Sampling) (*PMU, error) {
 				return nil, fmt.Errorf("pmu: precise events limited to one counter")
 			}
 		}
-		p.counters = append(p.counters, &counterState{cfg: s})
+		p.counters = append(p.counters, counterState{cfg: s, period: s.Period, class: classify(s.Event)})
 	}
 	return p, nil
 }
@@ -239,17 +296,19 @@ func New(cfg Config, samplings ...Sampling) (*PMU, error) {
 // agg returns the cached event aggregate for the event's block,
 // deriving it from the block's retired ops on first sight.
 func (p *PMU) agg(bev *cpu.BlockEvent) *blockAgg {
-	id := bev.Block.ID
+	id := bev.BlockID()
 	if id >= len(p.aggs) {
 		p.aggs = append(p.aggs, make([]blockAgg, id+1-len(p.aggs))...)
+		p.hot = append(p.hot, make([]blockHot, id+1-len(p.hot))...)
 	}
 	a := &p.aggs[id]
 	if a.valid {
 		return a
 	}
 	a.valid = true
-	for i := range bev.Infos {
-		countInstr(&bev.Infos[i], &a.counts)
+	infos := bev.Infos()
+	for i := range infos {
+		countInstr(&infos[i], &a.counts)
 	}
 	return a
 }
@@ -269,28 +328,63 @@ func (p *PMU) agg(bev *cpu.BlockEvent) *blockAgg {
 // engages only in the window where an overflow fires or a pending PMI
 // is draining. Parity tests assert the two paths are bit-identical.
 func (p *PMU) RetireBlock(bev *cpu.BlockEvent) {
-	n := len(bev.Ops)
+	n := bev.Len()
 	if n == 0 {
 		return
 	}
-	agg := p.agg(bev)
-	for _, c := range p.counters {
-		if c.pending.active || c.value+agg.occurrences(c.cfg.Event, bev.Taken) >= c.cfg.Period {
+	id := bev.BlockID()
+	var insts uint64
+	if id < len(p.hot) {
+		insts = p.hot[id].insts
+	}
+	if insts == 0 {
+		agg := p.agg(bev)
+		insts = agg.counts[InstRetired]
+		p.hot[id].insts = insts
+	}
+	// Per-class occurrence vector for this block execution, indexed by
+	// each counter's precomputed class — equivalent to calling
+	// occurrences() per counter, derived once.
+	var occs [numClasses]uint64
+	occs[classInstr] = insts
+	if bev.Taken {
+		occs[classBranch] = 1
+	}
+	for i := range p.counters {
+		c := &p.counters[i]
+		if c.pending.active || c.value+occs[c.class] >= c.period {
 			p.retireBlockSlow(bev)
 			return
 		}
 	}
-	for e, occ := range agg.counts {
-		p.counts[e] += occ
-	}
+	// The block's static event contributions are deferred: one hit
+	// tally here, hits × aggregate folded into counts on read. Only
+	// the dynamic taken-branch effects happen inline.
+	p.hot[id].hits++
 	if bev.Taken {
 		p.counts[BrInstRetiredNearTaken]++
-		p.lbr.push(BranchRecord{From: bev.Addrs[n-1], To: bev.Target})
+		p.lbr.push(BranchRecord{From: bev.Addrs()[n-1], To: bev.Target})
 	}
-	for _, c := range p.counters {
-		occ := agg.occurrences(c.cfg.Event, bev.Taken)
+	for i := range p.counters {
+		c := &p.counters[i]
+		occ := occs[c.class]
 		c.total += occ
 		c.value += occ
+	}
+}
+
+// foldCounts folds the deferred fast-path block hits into the
+// counting-mode totals. Idempotent: folded hits are consumed.
+func (p *PMU) foldCounts() {
+	for id := range p.hot {
+		hits := p.hot[id].hits
+		if hits == 0 {
+			continue
+		}
+		p.hot[id].hits = 0
+		for e, occ := range p.aggs[id].counts {
+			p.counts[e] += occ * hits
+		}
 	}
 }
 
@@ -302,38 +396,33 @@ func (p *PMU) retireBlockSlow(bev *cpu.BlockEvent) {
 
 // Retire implements cpu.Listener — the per-instruction reference path.
 func (p *PMU) Retire(ev *cpu.RetireEvent) {
-	p.retire(ev, ev.Op.Info())
+	info := ev.Op.Info()
+	p.retire(ev, &info)
 }
 
 // retire consumes one retirement with its (possibly cached) static
 // info.
-func (p *PMU) retire(ev *cpu.RetireEvent, info isa.Info) {
+func (p *PMU) retire(ev *cpu.RetireEvent, info *isa.Info) {
 	// Counting-mode events: the shared classifier plus the dynamic
 	// branch trigger.
-	countInstr(&info, &p.counts)
+	countInstr(info, &p.counts)
 	if ev.Taken {
 		p.counts[BrInstRetiredNearTaken]++
 		p.lbr.push(BranchRecord{From: ev.Addr, To: ev.Target})
 	}
 
-	for _, c := range p.counters {
-		p.step(c, ev, info)
+	for i := range p.counters {
+		p.step(&p.counters[i], ev, info)
 	}
 }
 
 // step advances one sampling counter for the retirement ev.
-func (p *PMU) step(c *counterState, ev *cpu.RetireEvent, info isa.Info) {
-	occurred := false
-	switch c.cfg.Event {
-	case InstRetired, InstRetiredPrecDist:
-		occurred = true
-	case BrInstRetiredNearTaken:
-		occurred = ev.Taken
-	}
+func (p *PMU) step(c *counterState, ev *cpu.RetireEvent, info *isa.Info) {
+	occurred := c.class == classInstr || (c.class == classBranch && ev.Taken)
 	if occurred {
 		c.total++
 		c.value++
-		if c.value >= c.cfg.Period {
+		if c.value >= c.period {
 			c.value = 0
 			p.overflow(c, ev.Addr)
 		}
@@ -344,7 +433,7 @@ func (p *PMU) step(c *counterState, ev *cpu.RetireEvent, info isa.Info) {
 	if !c.pending.active {
 		return
 	}
-	branchCounter := c.cfg.Event == BrInstRetiredNearTaken
+	branchCounter := c.class == classBranch
 	if branchCounter && !ev.Taken {
 		return
 	}
@@ -415,7 +504,13 @@ func (p *PMU) deliver(c *counterState, ev *cpu.RetireEvent) {
 			}
 		}
 	}
-	stack := p.lbr.snapshot(depth, 0)
+	// The snapshot fills a reused buffer: handlers own the stack only
+	// for the duration of the call (see Sample), so delivery allocates
+	// nothing.
+	if cap(p.stackBuf) < depth {
+		p.stackBuf = make([]BranchRecord, depth)
+	}
+	stack := p.lbr.snapshotInto(p.stackBuf[:depth], 0)
 	if stack != nil && p.cfg.EntryDropProb > 0 && len(stack) > 3 &&
 		p.rng.Float64() < p.cfg.EntryDropProb {
 		// Drop one interior entry; its neighbours' streams merge.
@@ -434,14 +529,17 @@ func (p *PMU) deliver(c *counterState, ev *cpu.RetireEvent) {
 // Count returns the counting-mode total for an event — what a PMU
 // counter programmed in counting (non-sampling) mode would read. Used to
 // cross-check instrumentation results like the paper does.
-func (p *PMU) Count(e Event) uint64 { return p.counts[e] }
+func (p *PMU) Count(e Event) uint64 {
+	p.foldCounts()
+	return p.counts[e]
+}
 
 // Dropped returns how many overflows of event e were lost to PMI
 // collisions.
 func (p *PMU) Dropped(e Event) uint64 {
 	var n uint64
-	for _, c := range p.counters {
-		if c.cfg.Event == e {
+	for i := range p.counters {
+		if c := &p.counters[i]; c.cfg.Event == e {
 			n += c.dropped
 		}
 	}
@@ -452,9 +550,9 @@ func (p *PMU) Dropped(e Event) uint64 {
 // dropped).
 func (p *PMU) Overflows(e Event) uint64 {
 	var n uint64
-	for _, c := range p.counters {
-		if c.cfg.Event == e {
-			n += c.total / c.cfg.Period
+	for i := range p.counters {
+		if c := &p.counters[i]; c.cfg.Event == e {
+			n += c.total / c.period
 		}
 	}
 	return n

@@ -230,7 +230,8 @@ func TestLBRStackStreamsAreConsistent(t *testing.T) {
 		Event: BrInstRetiredNearTaken, Period: 53,
 		Handler: func(s Sample) {
 			if s.Stack != nil {
-				stacks = append(stacks, s.Stack)
+				// The stack buffer is reused across deliveries; retain a copy.
+				stacks = append(stacks, append([]BranchRecord(nil), s.Stack...))
 			}
 		},
 	})

@@ -219,6 +219,15 @@ func (p *Profile) Weighted(times uint64) *Profile {
 	return out
 }
 
+// BlockKeyLess reports whether a orders before b in canonical form —
+// the block identity order Merge emits. Producers that build sections
+// already unique by key can sort with it and skip the accumulator
+// round-trip (see Merge's canonical fast path).
+func BlockKeyLess(a, b *Block) bool { return blockKeyLess(a, b) }
+
+// OpKeyLess is BlockKeyLess for op-mass entries.
+func OpKeyLess(a, b *OpMass) bool { return opKeyLess(a, b) }
+
 // blockKeyLess orders blocks canonically by identity.
 func blockKeyLess(a, b *Block) bool {
 	if a.Unit != b.Unit {
@@ -332,13 +341,196 @@ func (acc *accumulator) profile() *Profile {
 // and Merge() returns the empty profile (the merge identity). Nil
 // arguments are ignored.
 func Merge(profiles ...*Profile) *Profile {
-	acc := newAccumulator()
+	live := make([]*Profile, 0, len(profiles))
+	canonical := true
 	for _, p := range profiles {
-		if p != nil {
-			acc.add(p)
+		if p == nil {
+			continue
 		}
+		live = append(live, p)
+		canonical = canonical && isCanonical(p)
+	}
+	if canonical && len(live) <= canonicalMergeMax {
+		// Profiles this package produces are already canonical, so the
+		// common case — merging stored profiles — sums by key order
+		// without hashing a single block identity.
+		return mergeCanonical(live)
+	}
+	acc := newAccumulator()
+	for _, p := range live {
+		acc.add(p)
 	}
 	return acc.profile()
+}
+
+// isCanonical reports whether p is already in canonical form: every
+// section strictly ascending in key order (which implies unique keys)
+// with no zero-mass entries.
+func isCanonical(p *Profile) bool {
+	for i := range p.Workloads {
+		if p.Workloads[i].Runs == 0 {
+			return false
+		}
+		if i > 0 && p.Workloads[i-1].Name >= p.Workloads[i].Name {
+			return false
+		}
+	}
+	for i := range p.Blocks {
+		if p.Blocks[i].Count == 0 {
+			return false
+		}
+		if i > 0 && !blockKeyLess(&p.Blocks[i-1], &p.Blocks[i]) {
+			return false
+		}
+	}
+	for i := range p.Ops {
+		if p.Ops[i].Mass == 0 {
+			return false
+		}
+		if i > 0 && !opKeyLess(&p.Ops[i-1], &p.Ops[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// canonicalMergeMax bounds the fan-in of the sort-free canonical merge
+// path. Small merges (the harness's per-suite fleet rollups) are
+// dominated by per-call constants, where linear key-ordered merging
+// wins; bulk merges of hundreds of profiles amortize the accumulator's
+// map away and its single hash pass beats the tournament's slice churn.
+const canonicalMergeMax = 32
+
+// mergeCanonical merges profiles that are each already canonical by a
+// pairwise tournament of linear two-way merges. Each round halves the
+// profile count, so total work is O(N log k) direct key comparisons —
+// never the sort a concatenate-and-sort scheme would pay, and unlike a
+// sequential fold it stays cheap whether the inputs share keys (fleet
+// snapshots of one program, where every round's output stays
+// union-sized) or are disjoint (per-workload profiles). Integer
+// addition over the same canonical keys the accumulator would use, so
+// the result is bit-identical to the map path.
+func mergeCanonical(profiles []*Profile) *Profile {
+	switch len(profiles) {
+	case 0:
+		return &Profile{}
+	case 1:
+		// Callers own the result, so a lone input is copied, not aliased.
+		p := profiles[0]
+		out := &Profile{}
+		if len(p.Workloads) > 0 {
+			out.Workloads = append([]WorkloadWeight(nil), p.Workloads...)
+		}
+		if len(p.Blocks) > 0 {
+			out.Blocks = append([]Block(nil), p.Blocks...)
+		}
+		if len(p.Ops) > 0 {
+			out.Ops = append([]OpMass(nil), p.Ops...)
+		}
+		return out
+	}
+	round := profiles
+	for len(round) > 1 {
+		next := make([]*Profile, 0, (len(round)+1)/2)
+		for i := 0; i+1 < len(round); i += 2 {
+			next = append(next, merge2(round[i], round[i+1]))
+		}
+		if len(round)%2 == 1 {
+			next = append(next, round[len(round)-1])
+		}
+		round = next
+	}
+	return round[0]
+}
+
+// merge2 merges two canonical profiles section by section.
+func merge2(a, b *Profile) *Profile {
+	return &Profile{
+		Workloads: merge2Workloads(a.Workloads, b.Workloads),
+		Blocks:    merge2Blocks(a.Blocks, b.Blocks),
+		Ops:       merge2Ops(a.Ops, b.Ops),
+	}
+}
+
+// merge2Workloads linearly merges two sorted workload sections.
+func merge2Workloads(a, b []WorkloadWeight) []WorkloadWeight {
+	if len(a)+len(b) == 0 {
+		return nil
+	}
+	out := make([]WorkloadWeight, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Name < b[j].Name:
+			out = append(out, a[i])
+			i++
+		case b[j].Name < a[i].Name:
+			out = append(out, b[j])
+			j++
+		default:
+			m := a[i]
+			m.Runs += b[j].Runs
+			out = append(out, m)
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// merge2Blocks linearly merges two sorted block sections.
+func merge2Blocks(a, b []Block) []Block {
+	if len(a)+len(b) == 0 {
+		return nil
+	}
+	out := make([]Block, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case blockKeyLess(&a[i], &b[j]):
+			out = append(out, a[i])
+			i++
+		case blockKeyLess(&b[j], &a[i]):
+			out = append(out, b[j])
+			j++
+		default:
+			m := a[i]
+			m.Count += b[j].Count
+			out = append(out, m)
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// merge2Ops linearly merges two sorted op sections.
+func merge2Ops(a, b []OpMass) []OpMass {
+	if len(a)+len(b) == 0 {
+		return nil
+	}
+	out := make([]OpMass, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case opKeyLess(&a[i], &b[j]):
+			out = append(out, a[i])
+			i++
+		case opKeyLess(&b[j], &a[i]):
+			out = append(out, b[j])
+			j++
+		default:
+			m := a[i]
+			m.Mass += b[j].Mass
+			out = append(out, m)
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // Canonical normalizes a hand-assembled profile: duplicate keys are

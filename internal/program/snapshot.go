@@ -1,0 +1,62 @@
+package program
+
+import "sync"
+
+// Snapshot freezes one compiled program image for reuse across runs.
+//
+// A finished program is immutable — the builder lays out addresses and
+// encodes code exactly once, and nothing in a run mutates the image:
+// the machine keeps all execution state (loop counters, call stacks,
+// RNG) outside the program, and live-text patching happens in copies
+// (see Module.LiveText). A Snapshot makes that contract explicit and
+// exploitable: callers check the image out per run in O(1) instead of
+// recompiling it, and the one mutation-shaped operation — materializing
+// a module's live (trace-point-patched) text — is copy-on-write and
+// memoized here, so pages are copied at most once per snapshot and only
+// when a patch actually lands.
+//
+// A Snapshot is safe for concurrent use; any number of runs may execute
+// the shared image at once.
+type Snapshot struct {
+	prog *Program
+
+	mu   sync.Mutex
+	live map[*Module][]byte
+}
+
+// NewSnapshot freezes p. The caller must not mutate p afterwards —
+// every checkout shares it.
+func NewSnapshot(p *Program) *Snapshot {
+	return &Snapshot{prog: p}
+}
+
+// Program returns the frozen image.
+func (s *Snapshot) Program() *Program { return s.prog }
+
+// Checkout hands the image out for another run. It is the
+// copy-on-write reset: because runs never write to the image, there is
+// nothing to copy and nothing to undo — the reset is O(1) regardless
+// of program size. The returned program is shared; treat it as
+// read-only like any finished program.
+func (s *Snapshot) Checkout() *Program { return s.prog }
+
+// LiveText returns module m's code bytes as they appear in the live
+// image, with every trace-point JMP overwritten by NOPs. This is the
+// copy-on-write half of the snapshot: a module without trace points
+// returns its static text unchanged (no copy), and a patched module's
+// pages are copied and patched once, then memoized — repeated calls
+// share the materialized copy instead of re-patching per run the way
+// Module.LiveText does.
+func (s *Snapshot) LiveText(m *Module) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if text, ok := s.live[m]; ok {
+		return text
+	}
+	text := m.LiveText()
+	if s.live == nil {
+		s.live = make(map[*Module][]byte)
+	}
+	s.live[m] = text
+	return text
+}

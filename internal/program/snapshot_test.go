@@ -1,0 +1,91 @@
+package program
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"hbbp/internal/isa"
+)
+
+// snapshotProgram builds a two-module image: a plain user module and a
+// kernel module containing one trace point (the only construct whose
+// live text differs from the static image).
+func snapshotProgram(t *testing.T) (*Program, *Module, *Module) {
+	t.Helper()
+	b := NewBuilder("snapshot-test")
+	umod := b.Module("main", RingUser)
+	uf := b.Function(umod, "main")
+	ub := b.Block(uf, isa.MOV, isa.ADD)
+	b.Return(ub)
+	kmod := b.Module("kernel", RingKernel)
+	kf := b.Function(kmod, "sys_traced")
+	pre := b.Block(kf, isa.MOV)
+	post := b.Block(kf, isa.SUB)
+	b.TracePoint(pre, post)
+	b.Return(post)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return p, umod, kmod
+}
+
+// TestSnapshotCheckoutShares pins the O(1) reset: every checkout is the
+// same frozen image, not a copy.
+func TestSnapshotCheckoutShares(t *testing.T) {
+	p, _, _ := snapshotProgram(t)
+	s := NewSnapshot(p)
+	if s.Program() != p {
+		t.Fatal("Program() does not return the frozen image")
+	}
+	if s.Checkout() != p || s.Checkout() != s.Checkout() {
+		t.Fatal("Checkout must hand out the shared image")
+	}
+}
+
+// TestSnapshotLiveTextCopyOnWrite asserts pages are copied only when a
+// patch lands: the unpatched module's live text aliases its static
+// code, the trace-point module's text is a patched copy, and repeated
+// calls share the one materialized copy.
+func TestSnapshotLiveTextCopyOnWrite(t *testing.T) {
+	p, umod, kmod := snapshotProgram(t)
+	s := NewSnapshot(p)
+
+	utext := s.LiveText(umod)
+	if &utext[0] != &umod.Code[0] {
+		t.Error("unpatched module's live text should alias the static code (no copy)")
+	}
+
+	ktext := s.LiveText(kmod)
+	if &ktext[0] == &kmod.Code[0] {
+		t.Error("patched module's live text must be a copy, not the static image")
+	}
+	if bytes.Equal(ktext, kmod.Code) {
+		t.Error("trace-point patch did not land in the live text")
+	}
+	if !bytes.Equal(ktext, kmod.LiveText()) {
+		t.Error("snapshot live text differs from Module.LiveText")
+	}
+	if again := s.LiveText(kmod); &again[0] != &ktext[0] {
+		t.Error("live text not memoized: second call materialized a new copy")
+	}
+}
+
+// TestSnapshotLiveTextConcurrent exercises the memoization under
+// concurrent checkouts (run with -race).
+func TestSnapshotLiveTextConcurrent(t *testing.T) {
+	p, umod, kmod := snapshotProgram(t)
+	s := NewSnapshot(p)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = s.Checkout()
+			_ = s.LiveText(umod)
+			_ = s.LiveText(kmod)
+		}()
+	}
+	wg.Wait()
+}

@@ -72,32 +72,21 @@ type blockProfile struct {
 	ops   []opCount
 }
 
-// Instrumenter observes a run and produces exact ground truth. It
-// implements cpu.BlockListener (block-granularity fast path) and
-// cpu.Listener (per-instruction reference path).
-type Instrumenter struct {
-	prog *program.Program
-
-	// UserOnly hides ring-0 retirements, which is the faithful SDE/Pin
-	// behaviour. Tests may disable it to get an all-ring oracle.
-	UserOnly bool
-
-	blockExec []uint64               // per block ID
-	blocks    []blockProfile         // per block ID, static contributions
-	mnemonics [isa.NumOps + 2]uint64 // per opcode
-	insts     uint64
-	extraCost uint64 // instrumentation cycles added on top of the clean run
+// Static is the per-program half of an instrumenter: the per-block
+// cost and mnemonic profiles derived from the static image. Deriving
+// it walks every block once; the table is immutable afterwards and
+// safe to share across any number of concurrent Instrumenters of the
+// same program, so callers that instrument one workload many times
+// (the experiment harness, the workload registry's snapshotted images)
+// pay the derivation once instead of per run.
+type Static struct {
+	prog   *program.Program
+	blocks []blockProfile // per block ID, static contributions
 }
 
-// New returns an instrumenter for program p with faithful user-only
-// visibility.
-func New(p *program.Program) *Instrumenter {
-	in := &Instrumenter{
-		prog:      p,
-		UserOnly:  true,
-		blockExec: make([]uint64, p.NumBlocks()),
-		blocks:    make([]blockProfile, p.NumBlocks()),
-	}
+// NewStatic derives the per-block profile table for p.
+func NewStatic(p *program.Program) *Static {
+	s := &Static{prog: p, blocks: make([]blockProfile, p.NumBlocks())}
 	for _, blk := range p.Blocks() {
 		ops := blk.EffectiveOps()
 		bp := blockProfile{
@@ -116,26 +105,93 @@ func New(p *program.Program) *Instrumenter {
 			}
 			bp.ops = append(bp.ops, opCount{op: op, n: 1})
 		}
-		in.blocks[blk.ID] = bp
+		s.blocks[blk.ID] = bp
 	}
-	return in
+	return s
 }
 
-// RetireBlock implements cpu.BlockListener: one block entry applies the
-// block's precomputed contribution in O(distinct mnemonics).
+// Program returns the image the profiles were derived from.
+func (s *Static) Program() *program.Program { return s.prog }
+
+// Instrumenter observes a run and produces exact ground truth. It
+// implements cpu.BlockListener (block-granularity fast path) and
+// cpu.Listener (per-instruction reference path).
+type Instrumenter struct {
+	prog *program.Program
+
+	// UserOnly hides ring-0 retirements, which is the faithful SDE/Pin
+	// behaviour. Tests may disable it to get an all-ring oracle.
+	UserOnly bool
+
+	blockExec []uint64               // per block ID
+	blocks    []blockProfile         // per block ID, static contributions
+	mnemonics [isa.NumOps + 2]uint64 // per opcode
+	insts     uint64
+	extraCost uint64 // instrumentation cycles added on top of the clean run
+
+	// fastExec tallies block-path retirements not yet folded into the
+	// totals above: the fast path is one increment per block entry,
+	// and the per-block static contributions are applied lazily as
+	// count × profile when a result accessor needs them.
+	fastExec []uint64
+	dirty    bool
+}
+
+// New returns an instrumenter for program p with faithful user-only
+// visibility, deriving a fresh static profile table. Callers that
+// instrument the same program repeatedly should derive the table once
+// with NewStatic and construct instrumenters with NewFromStatic.
+func New(p *program.Program) *Instrumenter {
+	return NewFromStatic(NewStatic(p))
+}
+
+// NewFromStatic returns an instrumenter sharing the precomputed
+// profile table s — per-run state is fresh, the static table is the
+// shared one. The instrumenter observes runs of s.Program().
+func NewFromStatic(s *Static) *Instrumenter {
+	return &Instrumenter{
+		prog:      s.prog,
+		UserOnly:  true,
+		blockExec: make([]uint64, len(s.blocks)),
+		blocks:    s.blocks,
+		fastExec:  make([]uint64, len(s.blocks)),
+	}
+}
+
+// RetireBlock implements cpu.BlockListener: one block entry is one
+// tally — the block's static contributions (instructions, cost, the
+// mnemonic histogram) are folded in lazily as count × profile, so the
+// per-retirement work is O(1) regardless of block content.
 func (in *Instrumenter) RetireBlock(ev *cpu.BlockEvent) {
-	if in.UserOnly && ev.Ring == program.RingKernel {
+	if in.UserOnly && ev.Ring() == program.RingKernel {
 		return
 	}
-	if len(ev.Ops) == 0 {
+	if ev.Len() == 0 {
 		return
 	}
-	bp := &in.blocks[ev.Block.ID]
-	in.blockExec[ev.Block.ID]++
-	in.insts += bp.insts
-	in.extraCost += bp.cost
-	for _, oc := range bp.ops {
-		in.mnemonics[oc.op] += oc.n
+	in.fastExec[ev.BlockID()]++
+	in.dirty = true
+}
+
+// fold applies the deferred block-path tallies to the totals.
+// Idempotent: folded tallies are consumed.
+func (in *Instrumenter) fold() {
+	if !in.dirty {
+		return
+	}
+	in.dirty = false
+	for id, n := range in.fastExec {
+		if n == 0 {
+			continue
+		}
+		in.fastExec[id] = 0
+		bp := &in.blocks[id]
+		in.blockExec[id] += n
+		in.insts += n * bp.insts
+		in.extraCost += n * bp.cost
+		for _, oc := range bp.ops {
+			in.mnemonics[oc.op] += n * oc.n
+		}
 	}
 }
 
@@ -156,15 +212,22 @@ func (in *Instrumenter) Retire(ev *cpu.RetireEvent) {
 
 // BlockExec returns the exact execution count of the block with the
 // given ID.
-func (in *Instrumenter) BlockExec(id int) uint64 { return in.blockExec[id] }
+func (in *Instrumenter) BlockExec(id int) uint64 {
+	in.fold()
+	return in.blockExec[id]
+}
 
 // BBECs returns the exact per-block execution counts indexed by block
 // ID. The returned slice is the instrumenter's live storage; callers
 // must not modify it.
-func (in *Instrumenter) BBECs() []uint64 { return in.blockExec }
+func (in *Instrumenter) BBECs() []uint64 {
+	in.fold()
+	return in.blockExec
+}
 
 // Mnemonics returns the exact per-mnemonic execution histogram.
 func (in *Instrumenter) Mnemonics() map[isa.Op]uint64 {
+	in.fold()
 	out := make(map[isa.Op]uint64)
 	for op, n := range in.mnemonics {
 		if n > 0 {
@@ -175,11 +238,17 @@ func (in *Instrumenter) Mnemonics() map[isa.Op]uint64 {
 }
 
 // Instructions returns the total retired instructions observed.
-func (in *Instrumenter) Instructions() uint64 { return in.insts }
+func (in *Instrumenter) Instructions() uint64 {
+	in.fold()
+	return in.insts
+}
 
 // ExtraCycles returns the instrumentation cost accumulated on top of the
 // clean run's cycles. InstrumentedCycles = cleanCycles + ExtraCycles.
-func (in *Instrumenter) ExtraCycles() uint64 { return in.extraCost }
+func (in *Instrumenter) ExtraCycles() uint64 {
+	in.fold()
+	return in.extraCost
+}
 
 // SlowdownFactor returns the modelled runtime multiplier relative to a
 // clean run that took cleanCycles.
@@ -187,6 +256,7 @@ func (in *Instrumenter) SlowdownFactor(cleanCycles uint64) float64 {
 	if cleanCycles == 0 {
 		return 1
 	}
+	in.fold()
 	return float64(cleanCycles+in.extraCost) / float64(cleanCycles)
 }
 

@@ -63,6 +63,30 @@ func BenchmarkWorkloadConstructionParallel(b *testing.B) {
 	benchConstruction(b, runtime.GOMAXPROCS(0))
 }
 
+// BenchmarkBuildSnapshotReset measures the steady-state cost of
+// checking one workload out of an already-compiled, already-calibrated
+// registry entry — the copy-on-write reset path the planner leans on.
+// No synthesis, no calibration, no layout derivation: a Build is a
+// snapshot checkout plus one Workload allocation.
+func BenchmarkBuildSnapshotReset(b *testing.B) {
+	reg := NewRegistry()
+	for _, spec := range builtinSpecs() {
+		if err := reg.Register(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := reg.Build("test40"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Build("test40"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkWorkloadConstructionWarm builds every workload from an
 // already-calibrated registry — the steady state harness workers see
 // after the first build of each entry. The delta against the cold

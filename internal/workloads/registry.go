@@ -6,7 +6,9 @@ import (
 	"sort"
 	"sync"
 
+	"hbbp/internal/cpu"
 	"hbbp/internal/program"
+	"hbbp/internal/sde"
 )
 
 // Build and lookup sentinels. Errors returned by a Registry wrap
@@ -20,11 +22,17 @@ var (
 )
 
 // Registry maps workload names to shape specs and compiles them to
-// runnable Workloads on demand. It owns calibration: the dry-run
-// repeat count of each entry is resolved at most once, memoized behind
-// a per-entry sync.Once, so any number of goroutines may Build
-// concurrently — harness workers construct workloads inside the pool
-// instead of serializing construction in the caller.
+// runnable Workloads on demand. It owns compilation and calibration:
+// each entry's program image is compiled at most once and snapshotted
+// (builds hand out the shared immutable image — the copy-on-write
+// reset is O(1) because runs never mutate a finished program), its
+// execution layout and instrumentation profile tables are derived
+// once alongside, and the dry-run repeat count is resolved at most
+// once. All of it is memoized behind per-entry synchronization, so
+// any number of goroutines may Build concurrently — harness workers
+// construct workloads inside the pool instead of serializing
+// construction in the caller, and repeated builds of one entry skip
+// synthesis and calibration entirely.
 //
 // A Registry is safe for concurrent use.
 type Registry struct {
@@ -32,12 +40,36 @@ type Registry struct {
 	entries map[string]*regEntry
 }
 
-// regEntry pairs a spec with its memoized calibration.
+// regEntry pairs a spec with its memoized compiled image and
+// calibration.
 type regEntry struct {
 	spec   ShapeSpec
 	once   sync.Once
 	repeat int
 	err    error
+
+	// imgOnce memoizes the compiled image and its derived execution
+	// tables: the snapshot hands the same immutable program to every
+	// build, and the layout/instrumentation tables ride along so
+	// repeated runs skip their derivation passes too.
+	imgOnce sync.Once
+	img     *program.Snapshot
+	entryFn *program.Function
+	layout  *cpu.Layout
+	sdeProf *sde.Static
+}
+
+// image compiles the entry's program exactly once and returns the
+// shared snapshot with its derived tables.
+func (e *regEntry) image() (*program.Snapshot, *program.Function, *cpu.Layout, *sde.Static) {
+	e.imgOnce.Do(func() {
+		prog, entry := e.spec.compile()
+		e.img = program.NewSnapshot(prog)
+		e.entryFn = entry
+		e.layout = cpu.NewLayout(prog)
+		e.sdeProf = sde.NewStatic(prog)
+	})
+	return e.img, e.entryFn, e.layout, e.sdeProf
 }
 
 // NewRegistry returns an empty registry. Use [Default] for the
@@ -111,26 +143,31 @@ func (r *Registry) Lookup(name string) (ShapeSpec, bool) {
 	return e.spec.clone(), true
 }
 
-// Build compiles the named spec into a runnable workload. Program
-// construction happens on the calling goroutine (fresh image every
-// call — concurrent runs never share mutable program state);
-// calibration is memoized per entry, so only the first builder pays
-// the dry run. Unknown names match [ErrUnknown]; failed calibrations
-// match [ErrBuild].
+// Build compiles the named spec into a runnable workload. The first
+// build compiles and snapshots the image and pays the calibration dry
+// run; every later build checks the shared snapshot out in O(1). The
+// returned workload's program is the shared immutable image — runs
+// never mutate a finished program (execution state lives in the
+// machine, live-text patching copies), so concurrent runs of the same
+// entry are safe. Unknown names match [ErrUnknown]; failed
+// calibrations match [ErrBuild].
 func (r *Registry) Build(name string) (*Workload, error) {
 	e, ok := r.entry(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknown, name)
 	}
-	prog, entry := e.spec.compile()
-	repeat, err := r.calibrated(e, prog, entry)
+	snap, entry, layout, sdeProf := e.image()
+	repeat, err := r.calibrated(e)
 	if err != nil {
 		return nil, err
 	}
 	return &Workload{
 		Name:        e.spec.Name,
-		Prog:        prog,
+		Prog:        snap.Checkout(),
 		Entry:       entry,
+		Image:       snap,
+		Layout:      layout,
+		SDE:         sdeProf,
 		Repeat:      repeat,
 		Class:       e.spec.Class,
 		Scale:       e.spec.Scale,
@@ -147,7 +184,7 @@ func (r *Registry) BuildSpec(spec ShapeSpec) (*Workload, error) {
 		return nil, err
 	}
 	prog, entry := spec.compile()
-	repeat, err := r.resolveVolume(&spec, prog, entry)
+	repeat, err := r.resolveVolume(&spec, prog, entry, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -166,16 +203,18 @@ func (r *Registry) BuildSpec(spec ShapeSpec) (*Workload, error) {
 // resolveVolume turns a spec's volume policy into a repeat count — the
 // single definition of the Repeat/RepeatOf/TargetInst switch, shared
 // by registered entries (through calibrated's memoization) and one-off
-// BuildSpec compilations. prog and entry, when non-nil, are a freshly
-// compiled image the caller already has; calibration compiles its own
-// dry-run image otherwise.
+// BuildSpec compilations. prog and entry, when non-nil, are a
+// compiled image the caller already has (the entry's snapshot, or a
+// fresh BuildSpec compilation); calibration compiles its own dry-run
+// image otherwise. layout, when non-nil, is prog's shared dispatch
+// table, so the dry run reuses it too.
 //
 // The dry run is deliberately context-free: its result memoizes
 // process-wide for registered entries, and honouring a caller's
 // context would let the first (cancelled) builder poison the cache
 // for everyone after it. Promptness is bounded instead by the
 // calibration retirement guard.
-func (r *Registry) resolveVolume(spec *ShapeSpec, prog *program.Program, entry *program.Function) (int, error) {
+func (r *Registry) resolveVolume(spec *ShapeSpec, prog *program.Program, entry *program.Function, layout *cpu.Layout) (int, error) {
 	switch {
 	case spec.Repeat > 0:
 		return spec.Repeat, nil
@@ -188,12 +227,13 @@ func (r *Registry) resolveVolume(spec *ShapeSpec, prog *program.Program, entry *
 			return 0, fmt.Errorf("%w: %s calibrates against %q",
 				ErrUnknown, spec.Name, spec.RepeatOf)
 		}
-		return r.calibrated(ref, nil, nil)
+		return r.calibrated(ref)
 	default:
 		if prog == nil {
 			prog, entry = spec.compile()
 		}
-		per, err := (&Workload{Name: spec.Name, Prog: prog, Entry: entry}).InstructionsPerRun()
+		dry := &Workload{Name: spec.Name, Prog: prog, Entry: entry, Layout: layout}
+		per, err := dry.InstructionsPerRun()
 		if err != nil {
 			return 0, fmt.Errorf("%s calibration: %w", spec.Name, err)
 		}
@@ -209,10 +249,12 @@ func (r *Registry) resolveVolume(spec *ShapeSpec, prog *program.Program, entry *
 }
 
 // calibrated resolves a registered entry's repeat count exactly once,
-// memoized behind the entry's sync.Once.
-func (r *Registry) calibrated(e *regEntry, prog *program.Program, entry *program.Function) (int, error) {
+// memoized behind the entry's sync.Once. The dry run executes the
+// entry's snapshotted image with its shared layout.
+func (r *Registry) calibrated(e *regEntry) (int, error) {
 	e.once.Do(func() {
-		e.repeat, e.err = r.resolveVolume(&e.spec, prog, entry)
+		snap, entry, layout, _ := e.image()
+		e.repeat, e.err = r.resolveVolume(&e.spec, snap.Program(), entry, layout)
 	})
 	return e.repeat, e.err
 }

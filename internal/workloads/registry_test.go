@@ -278,3 +278,50 @@ func TestInstructionsPerRunError(t *testing.T) {
 		t.Fatalf("runaway dry run = %v, want ErrBuild", err)
 	}
 }
+
+func TestBuildSharesSnapshotImage(t *testing.T) {
+	reg := NewRegistry()
+	for _, spec := range builtinSpecs() {
+		if err := reg.Register(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := reg.Build("test40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := reg.Build("test40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeated builds are O(1) checkouts of one snapshot: the program
+	// image and every derived table are the same objects, not
+	// recompilations.
+	if a.Prog != b.Prog {
+		t.Error("repeated builds compiled separate program images")
+	}
+	if a.Image == nil || a.Image != b.Image {
+		t.Error("repeated builds do not share the snapshot")
+	}
+	if a.Layout == nil || a.Layout != b.Layout {
+		t.Error("repeated builds do not share the execution layout")
+	}
+	if a.SDE == nil || a.SDE != b.SDE {
+		t.Error("repeated builds do not share the instrumentation profile")
+	}
+	if a.Image.Program() != a.Prog {
+		t.Error("workload program is not the snapshot's image")
+	}
+	if a.Layout.Program() != a.Prog {
+		t.Error("layout derived from a different program")
+	}
+	if a.SDE.Program() != a.Prog {
+		t.Error("instrumentation profile derived from a different program")
+	}
+	// Scaling copies the struct, so the shared tables ride along and
+	// stay consistent with the (unchanged) program.
+	s := a.Scaled(0.5)
+	if s.Prog != a.Prog || s.Layout != a.Layout {
+		t.Error("Scaled dropped the shared image or layout")
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"hbbp/internal/collector"
 	"hbbp/internal/cpu"
 	"hbbp/internal/program"
+	"hbbp/internal/sde"
 )
 
 // Workload is a runnable benchmark: a program, its entry point and its
@@ -48,10 +49,23 @@ import (
 type Workload struct {
 	// Name identifies the workload (e.g. "povray", "test40").
 	Name string
-	// Prog is the static program.
+	// Prog is the static program. Registry-built workloads share one
+	// immutable snapshotted image per entry (see Image); runs never
+	// mutate a finished program, so sharing is safe at any concurrency.
 	Prog *program.Program
 	// Entry is the function invoked Repeat times per run.
 	Entry *program.Function
+	// Image, when non-nil, is the snapshot Prog was checked out of —
+	// the copy-on-write handle for live-text materialization. Nil for
+	// one-off BuildSpec workloads, which own a fresh image.
+	Image *program.Snapshot
+	// Layout, when non-nil, is the program's precomputed execution
+	// dispatch table, shared by every build of the same registry entry
+	// (see cpu.NewLayout). Nil makes each run derive its own.
+	Layout *cpu.Layout
+	// SDE, when non-nil, is the program's precomputed instrumentation
+	// profile table, shared like Layout (see sde.NewStatic).
+	SDE *sde.Static
 	// Repeat is the calibrated invocation count for a full run.
 	Repeat int
 	// Class selects the Table 4 sampling periods.
@@ -83,6 +97,7 @@ const calibrationMaxRetired = 200_000_000
 func (w *Workload) InstructionsPerRun() (uint64, error) {
 	stats, err := cpu.Run(w.Prog, w.Entry, cpu.Config{
 		Seed: 1, Repeat: 1, MaxRetired: calibrationMaxRetired,
+		Layout: w.Layout,
 	})
 	if err != nil {
 		return 0, fmt.Errorf("%w: %s dry run: %w", ErrBuild, w.Name, err)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"hbbp/internal/collector"
 	"hbbp/internal/core"
@@ -82,6 +83,7 @@ func (s *Session) coreOptions(ctx context.Context, w *Workload) core.Options {
 			Sinks:          s.cfg.sinks,
 			RawOut:         s.cfg.rawOut,
 			PerInstruction: s.cfg.perInstruction,
+			Layout:         w.Layout,
 			Context:        ctx,
 		},
 		KernelLivePatched: true,
@@ -187,35 +189,85 @@ func (s *Session) harvest(r *harness.Runner) {
 // the reproduction's fleet-scale profile-store experiment ("fleet").
 func ExperimentNames() []string { return harness.ExperimentNames() }
 
+// ExperimentTiming records one experiment's render wall time within a
+// batched [Session.RunExperiments] call.
+type ExperimentTiming struct {
+	Name string
+	Wall time.Duration
+}
+
+// ExperimentReport summarises a batched [Session.RunExperiments] call:
+// how long the shared collection phase and each render took, and how
+// many collection runs the shared plan executed versus served from the
+// run cache. The rendered tables themselves go to the
+// [WithExperimentOutput] writer, identically to running each
+// experiment on its own.
+type ExperimentReport struct {
+	// Experiments holds per-experiment render timings, in request
+	// order.
+	Experiments []ExperimentTiming
+	// CollectWall is the wall time of the shared collection phase —
+	// every (workload, configuration) run the batch needs, each
+	// collected exactly once.
+	CollectWall time.Duration
+	// RunsCollected counts collection runs the plan executed;
+	// RunsReused counts requests the run cache satisfied without
+	// collecting again.
+	RunsCollected, RunsReused int
+}
+
 // RunExperiment regenerates one table or figure of the paper,
 // rendering it to the [WithExperimentOutput] writer. Unknown names
 // return an error matching [ErrUnknownExperiment]. Cancelling ctx
 // stops the worker pool and in-flight collections promptly.
 func (s *Session) RunExperiment(ctx context.Context, name string) error {
-	known := false
-	for _, n := range ExperimentNames() {
-		if n == name {
-			known = true
-			break
-		}
-	}
-	if !known {
-		return fmt.Errorf("%w: %q (known: %s)",
-			ErrUnknownExperiment, name, strings.Join(ExperimentNames(), ", "))
-	}
-	r := s.runner(ctx)
-	err := r.Run(name)
-	s.harvest(r)
+	_, err := s.RunExperiments(ctx, name)
 	return err
 }
 
-// RunAllExperiments regenerates every experiment in paper order on one
-// harness, so the trained model and suite evaluations are shared
-// across the tables that need them; the trained model also carries
-// over to the session's later experiment calls.
-func (s *Session) RunAllExperiments(ctx context.Context) error {
+// RunExperiments regenerates the named experiments through one shared
+// collection plan: the union of required (workload, configuration)
+// runs across the batch is computed up front and each is collected
+// exactly once on the session's worker pool, then every experiment
+// renders from the shared result set in request order. Output is
+// byte-identical to running the experiments individually (a
+// multi-experiment batch separates renders with a blank line, the
+// [Session.RunAllExperiments] layout) at any parallelism. Unknown
+// names return an error matching [ErrUnknownExperiment] before any
+// collection starts. Cancelling ctx stops the worker pool and
+// in-flight collections promptly; the report still accounts for the
+// runs collected before the cancellation.
+func (s *Session) RunExperiments(ctx context.Context, names ...string) (*ExperimentReport, error) {
+	known := map[string]bool{}
+	for _, n := range ExperimentNames() {
+		known[n] = true
+	}
+	for _, name := range names {
+		if !known[name] {
+			return nil, fmt.Errorf("%w: %q (known: %s)",
+				ErrUnknownExperiment, name, strings.Join(ExperimentNames(), ", "))
+		}
+	}
 	r := s.runner(ctx)
-	err := r.RunAll()
+	rep, err := r.RunPlan(names...)
 	s.harvest(r)
+	out := &ExperimentReport{}
+	if rep != nil {
+		out.CollectWall = rep.CollectWall
+		out.RunsCollected, out.RunsReused = rep.Collected, rep.Reused
+		for _, t := range rep.Renders {
+			out.Experiments = append(out.Experiments, ExperimentTiming{Name: t.Name, Wall: t.Wall})
+		}
+	}
+	return out, err
+}
+
+// RunAllExperiments regenerates every experiment in paper order
+// through one shared collection plan ([Session.RunExperiments] over
+// [ExperimentNames]), so every required run is collected exactly once
+// across all tables and figures; the trained model also carries over
+// to the session's later experiment calls.
+func (s *Session) RunAllExperiments(ctx context.Context) error {
+	_, err := s.RunExperiments(ctx, ExperimentNames()...)
 	return err
 }
