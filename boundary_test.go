@@ -6,10 +6,11 @@ package hbbp
 //     hbbp package — never internal/ packages directly. The façade is
 //     the library's contract; anything the entry points need and
 //     cannot get is a façade gap, not a license to reach inside.
-//  2. The serialization-format packages — internal/perffile and
-//     internal/profstore — import only the standard library (the
-//     DESIGN.md self-containment invariant), so both file formats can
-//     be lifted into external tooling unchanged.
+//  2. The serialization-format packages — internal/perffile,
+//     internal/profstore and internal/fleetwire — import only the
+//     standard library (the DESIGN.md self-containment invariant), so
+//     the file formats and the wire protocol can be lifted into
+//     external tooling unchanged.
 
 import (
 	"go/parser"
@@ -73,10 +74,12 @@ func TestCommandsAndExamplesUseOnlyTheFacade(t *testing.T) {
 // TestFormatPackagesImportOnlyStdlib asserts the serialization-format
 // packages (tests included) depend on nothing but the standard
 // library: no module packages, no third-party modules. perffile is
-// the raw-collection format; profstore is the fleet profile store —
-// the same lift-out rule applies to both.
+// the raw-collection format, profstore the fleet profile store, and
+// fleetwire the ingest wire protocol (frames carry stored profiles as
+// opaque bytes precisely so the protocol stays liftable) — the same
+// lift-out rule applies to all three.
 func TestFormatPackagesImportOnlyStdlib(t *testing.T) {
-	for _, pkg := range []string{"perffile", "profstore"} {
+	for _, pkg := range []string{"perffile", "profstore", "fleetwire"} {
 		for _, file := range goFilesUnder(t, filepath.Join("internal", pkg)) {
 			for _, imp := range imports(t, file) {
 				if strings.HasPrefix(imp, "hbbp") {

@@ -265,3 +265,80 @@ func TestDiffUsageErrors(t *testing.T) {
 		t.Errorf("-diff with empty entry exited %d, want 2; stderr:\n%s", code, stderr.String())
 	}
 }
+
+// TestSaveFailurePathsAreAtomic pins the -save I/O error contract: an
+// unwritable target exits non-zero with a message naming the flag and
+// the path, and no partial or truncated profile (and no temp debris)
+// is left behind.
+func TestSaveFailurePathsAreAtomic(t *testing.T) {
+	dir := t.TempDir()
+
+	// Target is an existing directory: the final rename must fail
+	// after the profile was fully staged, proving the failure path is
+	// exercised post-write — exactly where a naive implementation
+	// would have already truncated the target.
+	targetDir := filepath.Join(dir, "taken")
+	if err := os.Mkdir(targetDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-workload", "test40", "-save", targetDir}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("-save onto a directory exited %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-save "+targetDir) {
+		t.Errorf("error does not name the flag and path:\n%s", stderr.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".hbbprof-") {
+			t.Errorf("failed -save left temp file %s", e.Name())
+		}
+	}
+
+	// Missing parent directory: fails before any run output exists.
+	stderr.Reset()
+	missing := filepath.Join(dir, "no-such-dir", "out.prof")
+	code = run(context.Background(), []string{"-workload", "test40", "-save", missing}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("-save into a missing directory exited %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), missing) {
+		t.Errorf("error does not name the path:\n%s", stderr.String())
+	}
+	if _, err := os.Stat(missing); !os.IsNotExist(err) {
+		t.Errorf("failed -save left a file at %s", missing)
+	}
+}
+
+// TestSaveOverwriteIsAllOrNothing pins that re-saving over an existing
+// profile either fully replaces it or leaves the old bytes intact:
+// after a failed save attempt the original still loads.
+func TestSaveOverwriteIsAllOrNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.prof")
+	writeStoredProfile(t, "test40", path)
+	original, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean re-save replaces the content wholesale.
+	writeStoredProfile(t, "clforward-before", path)
+	replaced, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(original, replaced) {
+		t.Fatal("re-save did not replace the profile")
+	}
+
+	// The replaced profile still loads and merges — no torn state.
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-merge", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("merge of re-saved profile exited %d; stderr:\n%s", code, stderr.String())
+	}
+}

@@ -1,0 +1,203 @@
+// Command hbbpd is the fleet ingest daemon: it serves the hbbp wire
+// protocol, merging stored profiles sent by agents (hbbp.Dial /
+// examples/fleet) into per-tenant, per-epoch aggregates with exact
+// drop accounting. It is a thin shell over the public hbbp library.
+//
+// Usage:
+//
+//	hbbpd [-listen ADDR] [-queue N] [-workers N] [-max-frame BYTES]
+//	      [-enqueue-wait D] [-read-timeout D] [-write-timeout D]
+//	      [-stats-every D] [-save-dir DIR] [-drain-timeout D]
+//
+// The daemon prints "listening on ADDR" once the socket is open (with
+// -listen :0 this is how the chosen port is discovered), serves until
+// SIGINT/SIGTERM, then shuts down gracefully: in-flight profiles
+// already admitted to the ingest queue are merged and acked before
+// connections close, bounded by -drain-timeout. On exit it prints one
+// accounting line per tenant — merged, duplicates, shed, rejected,
+// corrupt — and, when -save-dir is set, writes each tenant/epoch
+// aggregate as a stored profile (atomically: temp file plus rename,
+// so a full disk or a crash never leaves a truncated profile behind).
+//
+// Overload behavior is explicit: when the bounded ingest queue stays
+// full past -enqueue-wait, the server refuses the profile with a
+// retryable overload nack and counts the shed against the tenant;
+// nothing is dropped silently and memory stays bounded.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"hbbp"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, returning the process
+// exit code so tests can drive the daemon without exec. Cancelling
+// ctx triggers the same graceful shutdown a signal does.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hbbpd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", "127.0.0.1:7690", "address to serve the fleet wire protocol on (use :0 for an ephemeral port)")
+	queue := fs.Int("queue", 0, "ingest queue depth (0 = default)")
+	workers := fs.Int("workers", 0, "ingest worker goroutines (0 = GOMAXPROCS)")
+	maxFrame := fs.Int("max-frame", 0, "largest accepted wire frame in bytes (0 = default 16MiB)")
+	enqueueWait := fs.Duration("enqueue-wait", 0, "backpressure window before shedding on a full queue (0 = default 50ms)")
+	readTimeout := fs.Duration("read-timeout", 0, "per-frame read deadline (0 = default 30s)")
+	writeTimeout := fs.Duration("write-timeout", 0, "per-frame write deadline (0 = default 10s)")
+	statsEvery := fs.Duration("stats-every", 0, "print an accounting snapshot this often (0 = only at exit)")
+	saveDir := fs.String("save-dir", "", "write each tenant/epoch aggregate to this directory on shutdown")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight ingests to drain")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	if *saveDir != "" {
+		// Fail before serving, not after a day of ingestion.
+		if info, err := os.Stat(*saveDir); err != nil {
+			fmt.Fprintf(stderr, "hbbpd: -save-dir %s: %v\n", *saveDir, err)
+			return 1
+		} else if !info.IsDir() {
+			fmt.Fprintf(stderr, "hbbpd: -save-dir %s is not a directory\n", *saveDir)
+			return 1
+		}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(stderr, "hbbpd: listen %s: %v\n", *listen, err)
+		return 1
+	}
+	s := hbbp.Serve(ln, hbbp.FleetServerConfig{
+		Queue:        *queue,
+		Workers:      *workers,
+		MaxFrame:     *maxFrame,
+		EnqueueWait:  *enqueueWait,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(stderr, format+"\n", a...)
+		},
+	})
+	fmt.Fprintf(stderr, "hbbpd: listening on %s\n", s.Addr())
+
+	if *statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					printStats(stderr, s.Stats())
+				}
+			}
+		}()
+	}
+
+	<-ctx.Done()
+	fmt.Fprintln(stderr, "hbbpd: shutting down, draining in-flight ingests")
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := s.Shutdown(sctx); err != nil {
+		fmt.Fprintf(stderr, "hbbpd: drain incomplete after %s: %v\n", *drainTimeout, err)
+		code = 1
+	}
+
+	stats := s.Stats()
+	printStats(stdout, stats)
+	if *saveDir != "" {
+		if err := saveSnapshots(s, stats, *saveDir, stderr); err != nil {
+			fmt.Fprintf(stderr, "hbbpd: %v\n", err)
+			code = 1
+		}
+	}
+	return code
+}
+
+// printStats writes one accounting line per tenant plus a connection
+// summary — the human-readable form of the drop ledger.
+func printStats(w io.Writer, st hbbp.FleetServerStats) {
+	fmt.Fprintf(w, "conns: accepted=%d active=%d handshake-failures=%d\n",
+		st.Accepted, st.ActiveConns, st.HandshakeFailures)
+	for _, ts := range st.Tenants {
+		fmt.Fprintf(w, "tenant %s: merged=%d duplicates=%d shed=%d rejected=%d corrupt=%d epochs=%d\n",
+			ts.Tenant, ts.Merged, ts.Duplicates, ts.Shed, ts.Rejected, ts.Corrupt, len(ts.Epochs))
+	}
+}
+
+// saveSnapshots writes every tenant/epoch aggregate to dir, each via
+// an atomic temp-file-plus-rename so no partial profile can survive a
+// failure. The first error aborts the walk.
+func saveSnapshots(s *hbbp.FleetServer, st hbbp.FleetServerStats, dir string, stderr io.Writer) error {
+	for _, ts := range st.Tenants {
+		epochs := append([]uint64(nil), ts.Epochs...)
+		sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+		for _, epoch := range epochs {
+			p := s.Snapshot(ts.Tenant, epoch)
+			if p == nil {
+				continue
+			}
+			path := filepath.Join(dir, fmt.Sprintf("%s-epoch%d.hbbprof", safeName(ts.Tenant), epoch))
+			if err := writeProfileAtomic(path, p); err != nil {
+				return fmt.Errorf("saving %s: %w", path, err)
+			}
+			fmt.Fprintf(stderr, "hbbpd: saved %s/%d to %s\n", ts.Tenant, epoch, path)
+		}
+	}
+	return nil
+}
+
+// safeName maps a tenant name to a filesystem-safe file stem.
+func safeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// writeProfileAtomic stores a profile at path via a same-directory
+// temp file and rename: readers see either the old file or the
+// complete new one, never a truncated write.
+func writeProfileAtomic(path string, p *hbbp.StoredProfile) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".hbbprof-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := hbbp.SaveProfile(tmp, p); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -61,8 +61,17 @@
 // concurrent lock-striped [Aggregator] with consistent snapshots), and
 // compares across fleet mixes with [DiffProfiles], which flags per-op
 // share regressions. [StoredPivot], [StoredBlockPivot] and [StoredMix]
-// bring the standard views and metrics to merged fleet profiles;
-// examples/fleet shows the whole loop.
+// bring the standard views and metrics to merged fleet profiles.
+//
+// The ingest tier moves stored profiles across real networks: [Serve]
+// runs the wire-protocol server (cmd/hbbpd is its deployable form) and
+// [Dial] returns a retrying [FleetClient] whose sends are exactly-once
+// despite resets, re-dials and duplicate deliveries. Overload degrades
+// into counted refusals ([ErrOverloaded], per-tenant shed counters in
+// [FleetServerStats]) — the server's aggregate always equals an
+// offline [MergeProfiles] of exactly the acked profiles.
+// [NewFlakyConn] and [NewFlakyListener] inject transport faults for
+// testing; examples/fleet shows the whole loop under fire.
 //
 // Determinism is the library's backbone: the same seed yields the same
 // samples, the same trained model and the same rendered tables, at any

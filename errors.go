@@ -4,6 +4,8 @@ import (
 	"errors"
 
 	"hbbp/internal/cpu"
+	"hbbp/internal/fleetserver"
+	"hbbp/internal/fleetwire"
 	"hbbp/internal/perffile"
 	"hbbp/internal/profstore"
 	"hbbp/internal/workloads"
@@ -43,4 +45,35 @@ var (
 	// ErrProfileVersion reports a stored profile written in a format
 	// version this library cannot read.
 	ErrProfileVersion = profstore.ErrUnsupportedVersion
+	// ErrFrameMagic reports a fleet-wire peer that is not speaking
+	// this protocol at all.
+	ErrFrameMagic = fleetwire.ErrFrameMagic
+	// ErrFrameTruncated reports a fleet-wire stream cut mid-preamble
+	// or mid-frame.
+	ErrFrameTruncated = fleetwire.ErrFrameTruncated
+	// ErrFrameCorrupt reports a fleet-wire frame whose CRC did not
+	// match — line noise caught before it could reach merged state.
+	ErrFrameCorrupt = fleetwire.ErrFrameCorrupt
+	// ErrFrameTooLarge reports a fleet-wire frame whose declared size
+	// exceeds the connection's limit.
+	ErrFrameTooLarge = fleetwire.ErrFrameTooLarge
+	// ErrWireVersion reports a fleet-wire peer speaking a protocol
+	// version this library cannot.
+	ErrWireVersion = fleetwire.ErrUnsupportedVersion
+	// ErrWireProtocol reports a structurally broken fleet-wire
+	// message inside an intact frame.
+	ErrWireProtocol = fleetwire.ErrProtocol
+	// ErrOverloaded reports a profile the ingest server shed under
+	// load after the client's retry budget ran out. The shed is
+	// counted in the server's per-tenant drop ledger.
+	ErrOverloaded = fleetserver.ErrOverloaded
+	// ErrProfileRejected reports a profile the ingest server refused
+	// as unloadable; not retryable.
+	ErrProfileRejected = fleetserver.ErrRejected
+	// ErrFleetClientClosed reports a Send on a closed fleet client.
+	ErrFleetClientClosed = fleetserver.ErrClientClosed
+	// ErrInjectedFault is the cause carried by every fault the chaos
+	// harness ([NewFlakyConn], [NewFlakyListener]) injects, so tests
+	// can tell deliberate faults from real transport failures.
+	ErrInjectedFault = fleetwire.ErrInjected
 )

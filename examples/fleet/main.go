@@ -1,115 +1,223 @@
-// Fleet aggregation: many concurrent profiling sessions, one merged
-// fleet view — the continuous-profiling consumption pattern the
-// profile store exists for, written against the public hbbp package.
+// Fleet ingest under fire: thousands of agents deliver stored
+// profiles over the wire protocol, through deliberately faulty
+// connections, into one hbbpd-style ingest server — and the merged
+// result is proven bit-identical to an offline merge of exactly the
+// profiles the agents were told were accepted.
 //
 // The paper's pitch is profiling cheap enough to leave on everywhere;
-// a fleet then produces thousands of per-run profiles that nobody
-// reads individually. This example plays a miniature fleet: all 29
-// SPEC CPU2006 stand-ins are profiled concurrently, every run's
-// result is captured into the mergeable profile-store form and
-// ingested into one lock-striped Aggregator while the runs are still
-// in flight, and the merged snapshot is queried like any single
-// profile — top mnemonics, ring split, hottest code blocks across the
-// whole fleet.
+// the fleet that results delivers its profiles over real networks,
+// which chunk writes, flip bits, reset connections and stall. This
+// example plays that fleet in miniature: a handful of real profiling
+// runs seed the payload pool, then -agents simulated agents (in waves
+// of -concurrency) each dial the in-process ingest server through a
+// fault-injecting transport and push profiles with the retrying
+// client. Every fault the transport injects must surface as either a
+// retry that eventually lands exactly once, or an accounted refusal —
+// never as silent loss or a double merge.
+//
+// The closing cross-check is the fleet tier's keystone invariant: the
+// server's live aggregate, after all that chaos, equals
+// hbbp.MergeProfiles over exactly the confirmed sends.
 //
 // Run with:
 //
-//	go run ./examples/fleet
+//	go run ./examples/fleet [-agents N] [-concurrency N] [-per N] [-seed N]
 package main
 
 import (
 	"bytes"
 	"context"
+	"flag"
 	"fmt"
 	"log"
+	"net"
 	"sync"
+	"time"
 
 	"hbbp"
 )
 
 func main() {
+	agents := flag.Int("agents", 2000, "total simulated agents")
+	concurrency := flag.Int("concurrency", 200, "agents in flight at once")
+	per := flag.Int("per", 2, "profiles each agent delivers")
+	seed := flag.Int64("seed", 1, "random seed (payloads and faults)")
+	flag.Parse()
 	ctx := context.Background()
 
-	// One session, shared by every worker: Profile is safe for
-	// concurrent use, and the workload scale keeps this demo quick
-	// (shares are unaffected; sampling noise grows slightly).
-	s, err := hbbp.New(hbbp.WithSeed(1), hbbp.WithWorkloadScale(0.25))
+	// Seed the payload pool with real profiling runs: four workloads,
+	// scaled down so the example stays quick.
+	s, err := hbbp.New(hbbp.WithSeed(*seed), hbbp.WithWorkloadScale(0.1))
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	names := hbbp.SPECNames()
-	agg := hbbp.NewAggregator()
-	var wg sync.WaitGroup
-	errs := make([]error, len(names))
-	stored := make([]*hbbp.StoredProfile, len(names))
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			w, err := hbbp.LookupWorkload(name)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			prof, err := s.Profile(ctx, w)
-			if err != nil {
-				errs[i] = fmt.Errorf("%s: %w", name, err)
-				return
-			}
-			// Capture once, then ingest the stored form straight from
-			// the worker: the aggregator's lock striping absorbs
-			// concurrent ingests, and a Snapshot taken at any moment
-			// would see only whole runs. The capture is kept so the
-			// offline merge below can cross-check the live aggregate.
-			sp, err := hbbp.CaptureProfile(prof, name)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			stored[i] = sp
-			agg.Merge(sp)
-		}(i, name)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	var pool []*hbbp.StoredProfile
+	for _, name := range []string{"gcc", "povray", "lbm", "test40"} {
+		w, err := hbbp.LookupWorkload(name)
 		if err != nil {
 			log.Fatal(err)
 		}
+		prof, err := s.Profile(ctx, w)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		sp, err := hbbp.CaptureProfile(prof, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool = append(pool, sp)
 	}
+	fmt.Printf("payload pool: %d profiles from real runs\n", len(pool))
 
-	fleet := agg.Snapshot()
-	fmt.Printf("fleet: %d runs across %d workloads, %d distinct blocks, %d retired instructions\n\n",
-		fleet.TotalRuns(), len(fleet.Workloads), len(fleet.Blocks), fleet.TotalMass())
-
-	// The merged mix answers fleet-level questions no single profile
-	// can: what does the whole fleet retire?
-	tab := hbbp.StoredPivot(fleet)
-	fmt.Println("fleet-wide instruction mix (top 10):")
-	fmt.Print(hbbp.Render([]string{"MNEMONIC"}, hbbp.TopMnemonics(tab, 10)))
-	fmt.Println()
-	fmt.Println("ring split:")
-	fmt.Print(hbbp.Render([]string{"RING"}, hbbp.RingBreakdown(tab)))
-	fmt.Println()
-
-	fmt.Println("hottest blocks across the fleet:")
-	for _, blk := range fleet.TopBlocks(5) {
-		fmt.Printf("  %-40s %12d executions x %2d insts\n", blk.String(), blk.Count, blk.Len)
-	}
-	fmt.Println()
-
-	// Merging is associative and deterministic, so the same fleet
-	// assembled the other way — the per-workload stored profiles
-	// merged offline, in registration order rather than completion
-	// order — is bit-identical to the live concurrent aggregate.
-	sum := hbbp.MergeProfiles(stored...)
-	var live, offline bytes.Buffer
-	if err := hbbp.SaveProfile(&live, fleet); err != nil {
+	// The ingest server, as hbbpd would run it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
 		log.Fatal(err)
 	}
-	if err := hbbp.SaveProfile(&offline, sum); err != nil {
+	server := hbbp.Serve(ln, hbbp.FleetServerConfig{Queue: 256})
+	addr := server.Addr().String()
+	fmt.Printf("ingest server on %s\n", addr)
+
+	// Every agent dials through a fault-injecting transport: writes
+	// are chunked small, occasionally bit-flipped (the frame CRC must
+	// catch every flip) and occasionally reset mid-exchange (the
+	// retrying client must recover without double-merging).
+	newDialer := func(agentSeed int64) func(ctx context.Context, addr string) (net.Conn, error) {
+		d := &net.Dialer{Timeout: 10 * time.Second}
+		var mu sync.Mutex
+		var n int64
+		return func(ctx context.Context, addr string) (net.Conn, error) {
+			c, err := d.DialContext(ctx, "tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			mu.Lock()
+			n++
+			connSeed := agentSeed*1000003 + n
+			mu.Unlock()
+			return hbbp.NewFlakyConn(c, hbbp.Faults{
+				Seed:          connSeed,
+				MaxWriteChunk: 16,
+				CorruptProb:   0.002,
+				ResetProb:     0.005,
+			}), nil
+		}
+	}
+
+	// Waves of agents: -agents total identities, at most -concurrency
+	// connected at once — thousands of agents without thousands of
+	// simultaneous sockets.
+	var (
+		mu        sync.Mutex
+		confirmed []*hbbp.StoredProfile
+		totals    hbbp.FleetClientStats
+		failures  int
+	)
+	sem := make(chan struct{}, *concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for a := 0; a < *agents; a++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(a int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			actx, cancel := context.WithTimeout(ctx, 60*time.Second)
+			defer cancel()
+			c, err := hbbp.Dial(actx, addr, hbbp.FleetClientConfig{
+				Tenant:      "fleet",
+				Agent:       fmt.Sprintf("host-%04d", a),
+				Dialer:      newDialer(*seed*7919 + int64(a)),
+				BackoffBase: 2 * time.Millisecond,
+				BackoffMax:  100 * time.Millisecond,
+				Seed:        int64(a + 1),
+			})
+			if err != nil {
+				mu.Lock()
+				failures++
+				mu.Unlock()
+				return
+			}
+			defer c.Close()
+			var mine []*hbbp.StoredProfile
+			for i := 0; i < *per; i++ {
+				p := pool[(a+i)%len(pool)]
+				if err := c.Send(actx, 1, p); err != nil {
+					mu.Lock()
+					failures++
+					mu.Unlock()
+					break
+				}
+				mine = append(mine, p)
+			}
+			st := c.Stats()
+			mu.Lock()
+			confirmed = append(confirmed, mine...)
+			totals.Dials += st.Dials
+			totals.Sent += st.Sent
+			totals.Acked += st.Acked
+			totals.DuplicateAcks += st.DuplicateAcks
+			totals.ResumeSkipped += st.ResumeSkipped
+			totals.OverloadNacks += st.OverloadNacks
+			totals.ConnErrors += st.ConnErrors
+			totals.Retries += st.Retries
+			mu.Unlock()
+		}(a)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if failures > 0 {
+		log.Fatalf("%d agents failed to deliver despite retries", failures)
+	}
+	fmt.Printf("%d agents delivered %d profiles in %s\n",
+		*agents, len(confirmed), elapsed.Round(time.Millisecond))
+	fmt.Printf("client totals: dials=%d sent=%d acked=%d duplicate-acks=%d resume-skips=%d conn-errors=%d retries=%d\n",
+		totals.Dials, totals.Sent, totals.Acked, totals.DuplicateAcks,
+		totals.ResumeSkipped, totals.ConnErrors, totals.Retries)
+
+	// Drain and read the server's ledger: merges must equal confirmed
+	// sends, and every injected fault must be visible as a counted
+	// duplicate, corrupt frame or failed handshake — accounted, never
+	// hidden.
+	sctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := server.Shutdown(sctx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	stats := server.Stats()
+	for _, ts := range stats.Tenants {
+		fmt.Printf("server ledger %s: merged=%d duplicates=%d shed=%d rejected=%d corrupt=%d\n",
+			ts.Tenant, ts.Merged, ts.Duplicates, ts.Shed, ts.Rejected, ts.Corrupt)
+	}
+	fmt.Printf("server conns: accepted=%d handshake-failures=%d\n",
+		stats.Accepted, stats.HandshakeFailures)
+
+	live := server.Snapshot("fleet", 1)
+	if live == nil {
+		log.Fatal("no merged state for tenant fleet")
+	}
+	fmt.Printf("\nfleet aggregate: %d runs, %d distinct blocks, %d retired instructions\n",
+		live.TotalRuns(), len(live.Blocks), live.TotalMass())
+	tab := hbbp.StoredPivot(live)
+	fmt.Println("fleet-wide instruction mix (top 5):")
+	fmt.Print(hbbp.Render([]string{"MNEMONIC"}, hbbp.TopMnemonics(tab, 5)))
+	fmt.Println()
+
+	// The keystone invariant, verified the strong way: serialized
+	// bytes of the live aggregate vs the offline merge of exactly the
+	// confirmed profiles.
+	offline := hbbp.MergeProfiles(confirmed...)
+	var a, b bytes.Buffer
+	if err := hbbp.SaveProfile(&a, live); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("offline re-merge matches live aggregate: %v\n",
-		bytes.Equal(live.Bytes(), offline.Bytes()))
+	if err := hbbp.SaveProfile(&b, offline); err != nil {
+		log.Fatal(err)
+	}
+	match := bytes.Equal(a.Bytes(), b.Bytes())
+	fmt.Printf("offline re-merge matches live aggregate: %v\n", match)
+	if !match {
+		log.Fatal("drop-accounting invariant violated")
+	}
 }

@@ -31,6 +31,10 @@ type StoredBlock = profstore.Block
 // OpMass is the merged retirement mass of one mnemonic in one ring.
 type OpMass = profstore.OpMass
 
+// WorkloadWeight records how many profiled runs of one workload a
+// StoredProfile aggregates — the merge's weight accounting.
+type WorkloadWeight = profstore.WorkloadWeight
+
 // ProfileDiff reports what changed between two fleet mixes.
 type ProfileDiff = profstore.DiffReport
 

@@ -1,0 +1,72 @@
+package fleetserver
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+// benchWireIngest measures sustained wire ingest over TCP loopback:
+// `agents` concurrent clients, each its own connection, delivering
+// pre-serialized profiles as fast as the server acks them. Compare
+// against BenchmarkAggregatorIngest* (internal/profstore) to read the
+// wire tier's overhead on top of the in-memory merge.
+func benchWireIngest(b *testing.B, agents int) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := Serve(ln, Config{Queue: 256})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	rng := rand.New(rand.NewSource(1))
+	payload := saveBytes(b, testProfile(rng, "gcc"))
+	ctx := context.Background()
+
+	clients := make([]*Client, agents)
+	for a := range clients {
+		c, err := Dial(ctx, ln.Addr().String(), ClientConfig{
+			Tenant: "bench", Agent: fmt.Sprintf("agent-%d", a)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients[a] = c
+		defer c.Close()
+	}
+
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	errs := make(chan error, agents)
+	per := b.N / agents
+	extra := b.N % agents
+	for a := 0; a < agents; a++ {
+		n := per
+		if a < extra {
+			n++
+		}
+		go func(c *Client, n int) {
+			var err error
+			for i := 0; i < n && err == nil; i++ {
+				err = c.SendBytes(ctx, 1, payload)
+			}
+			errs <- err
+		}(clients[a], n)
+	}
+	for a := 0; a < agents; a++ {
+		if err := <-errs; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+func BenchmarkWireIngest1Agent(b *testing.B)   { benchWireIngest(b, 1) }
+func BenchmarkWireIngest8Agents(b *testing.B)  { benchWireIngest(b, 8) }
+func BenchmarkWireIngest64Agents(b *testing.B) { benchWireIngest(b, 64) }

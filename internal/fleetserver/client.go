@@ -1,0 +1,383 @@
+package fleetserver
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"hbbp/internal/fleetwire"
+	"hbbp/internal/profstore"
+)
+
+// ClientConfig parameterizes a fleet agent's ingest client. Tenant
+// and Agent are required; everything else defaults.
+type ClientConfig struct {
+	// Tenant names the aggregation namespace profiles merge into.
+	Tenant string
+	// Agent is this agent's stable identity — the key of the server's
+	// exactly-once ledger. Reusing an Agent name across restarts
+	// without continuing its sequence numbering is the one way to
+	// confuse the ledger; the client guards against it by adopting
+	// the server's resume point on every handshake.
+	Agent string
+	// Dialer opens transport connections; defaults to a net.Dialer
+	// with a 10s timeout. Chaos tests inject faults here.
+	Dialer func(ctx context.Context, addr string) (net.Conn, error)
+	// MaxFrame bounds incoming frames; defaults to
+	// fleetwire.DefaultMaxFrame.
+	MaxFrame int
+	// ReadTimeout bounds each ack/nack wait; defaults to 10s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each frame write; defaults to 10s.
+	WriteTimeout time.Duration
+	// BackoffBase is the first retry delay; defaults to 10ms. Each
+	// retry doubles it up to BackoffMax (default 1s), jittered to
+	// half-to-full so a fleet of agents does not retry in lockstep.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxAttempts bounds how many times one profile is tried before
+	// Send gives up; 0 means retry until the context cancels.
+	MaxAttempts int
+	// Seed makes the retry jitter reproducible in tests; 0 derives a
+	// per-agent seed from Tenant/Agent.
+	Seed int64
+}
+
+// withDefaults resolves the zero value and validates identity.
+func (c ClientConfig) withDefaults() (ClientConfig, error) {
+	if c.Tenant == "" || c.Agent == "" {
+		return c, fmt.Errorf("fleetserver: client requires Tenant and Agent: %w", fleetwire.ErrProtocol)
+	}
+	if c.Dialer == nil {
+		d := &net.Dialer{Timeout: 10 * time.Second}
+		c.Dialer = func(ctx context.Context, addr string) (net.Conn, error) {
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = fleetwire.DefaultMaxFrame
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.Seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(c.Tenant))
+		h.Write([]byte{0})
+		h.Write([]byte(c.Agent))
+		c.Seed = int64(h.Sum64())
+	}
+	return c, nil
+}
+
+// ClientStats counts what one client did and observed — the
+// client-side half of the drop-accounting invariant.
+type ClientStats struct {
+	// Dials counts completed handshakes (first dial and re-dials).
+	Dials uint64
+	// Sent counts profile frames written to the wire, including
+	// re-sends of the same profile.
+	Sent uint64
+	// Acked counts profiles the server confirmed merged. This is the
+	// number an offline Merge of this agent's acked profiles must
+	// reproduce.
+	Acked uint64
+	// DuplicateAcks counts acks flagged duplicate — re-sends whose
+	// first delivery had already merged (the lost-ack retry shape).
+	DuplicateAcks uint64
+	// ResumeSkipped counts profiles confirmed merged by the handshake
+	// resume point instead of an ack frame (the reset-before-ack
+	// retry shape).
+	ResumeSkipped uint64
+	// OverloadNacks counts NackOverloaded refusals observed.
+	OverloadNacks uint64
+	// RejectedNacks counts NackBadProfile refusals observed.
+	RejectedNacks uint64
+	// ConnErrors counts dial, write and read failures that dropped a
+	// connection.
+	ConnErrors uint64
+	// Retries counts backoff sleeps taken.
+	Retries uint64
+}
+
+// Client delivers profiles to a fleet ingest server with retries,
+// reconnection and exactly-once delivery accounting. Safe for
+// concurrent use; Sends serialize internally (one agent identity is
+// one ordered stream of profiles).
+type Client struct {
+	// mu serializes all client state; Send holds it end-to-end so the
+	// per-agent sequence stream stays ordered.
+	mu sync.Mutex
+
+	cfg  ClientConfig
+	addr string
+	rng  *rand.Rand
+
+	wc *fleetwire.Conn
+	// seq is the last sequence number this client assigned.
+	seq uint64
+	// serverSeq is the highest sequence the server has confirmed
+	// merged (via ack or handshake resume point).
+	serverSeq uint64
+
+	closed bool
+	stats  ClientStats
+}
+
+// Dial validates cfg and connects to addr, retrying transient
+// failures under the client's backoff policy until ctx cancels or
+// MaxAttempts is exhausted. The returned client re-dials transparently
+// whenever its connection drops.
+func Dial(ctx context.Context, addr string, cfg ClientConfig) (*Client, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		cfg:  cfg,
+		addr: addr,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 1; ; attempt++ {
+		if err := c.ensureConn(ctx); err == nil {
+			return c, nil
+		} else if giveUp := c.retryBudget(ctx, attempt, err); giveUp != nil {
+			return nil, giveUp
+		}
+	}
+}
+
+// Send delivers one profile for one epoch, retrying across resets,
+// overload nacks and redials until the server confirms it merged
+// exactly once, the server rejects it permanently (ErrRejected), the
+// retry budget runs out, or ctx cancels.
+func (c *Client) Send(ctx context.Context, epoch uint64, p *profstore.Profile) error {
+	var buf bytes.Buffer
+	if err := profstore.Save(&buf, p); err != nil {
+		return err
+	}
+	return c.SendBytes(ctx, epoch, buf.Bytes())
+}
+
+// SendBytes is Send for an already-serialized stored profile (the
+// bytes profstore.Save produces). The payload is delivered verbatim.
+func (c *Client) SendBytes(ctx context.Context, epoch uint64, payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	c.seq++
+	seq := c.seq
+	frame := fleetwire.AppendProfile(nil, fleetwire.ProfileHeader{Seq: seq, Epoch: epoch}, payload)
+
+	for attempt := 1; ; attempt++ {
+		err := c.trySend(ctx, seq, frame)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrRejected) || errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		if giveUp := c.retryBudget(ctx, attempt, err); giveUp != nil {
+			return giveUp
+		}
+	}
+}
+
+// trySend makes one delivery attempt: connect if needed, check the
+// resume point, write the frame, wait for the verdict. Any failure
+// that might have left the profile merged but unconfirmed drops the
+// connection, so the next attempt re-handshakes and learns the truth
+// from the server's resume point or a duplicate ack.
+func (c *Client) trySend(ctx context.Context, seq uint64, frame []byte) error {
+	if err := c.ensureConn(ctx); err != nil {
+		return err
+	}
+	// The handshake resume point may already cover this profile: a
+	// reset between the server's merge and our ack read means the
+	// re-dial, not a re-send, confirms delivery.
+	if c.serverSeq >= seq {
+		c.stats.ResumeSkipped++
+		return nil
+	}
+	if err := c.wc.WriteFrame(fleetwire.FrameProfile, frame); err != nil {
+		c.dropConn()
+		c.stats.ConnErrors++
+		return err
+	}
+	c.stats.Sent++
+	typ, payload, err := c.wc.ReadFrame()
+	if err != nil {
+		c.dropConn()
+		c.stats.ConnErrors++
+		return err
+	}
+	switch typ {
+	case fleetwire.FrameAck:
+		ack, err := fleetwire.ParseAck(payload)
+		if err != nil || ack.Seq != seq {
+			c.dropConn()
+			c.stats.ConnErrors++
+			return fmt.Errorf("fleetserver: bad ack for seq %d: %w", seq, fleetwire.ErrProtocol)
+		}
+		if ack.Seq > c.serverSeq {
+			c.serverSeq = ack.Seq
+		}
+		c.stats.Acked++
+		if ack.Duplicate {
+			c.stats.DuplicateAcks++
+		}
+		return nil
+	case fleetwire.FrameNack:
+		nack, err := fleetwire.ParseNack(payload)
+		if err != nil || nack.Seq != seq {
+			c.dropConn()
+			c.stats.ConnErrors++
+			return fmt.Errorf("fleetserver: bad nack for seq %d: %w", seq, fleetwire.ErrProtocol)
+		}
+		switch nack.Code {
+		case fleetwire.NackOverloaded:
+			// Retryable on the same connection after backoff.
+			c.stats.OverloadNacks++
+			return fmt.Errorf("fleetserver: seq %d: %w", seq, ErrOverloaded)
+		case fleetwire.NackBadProfile:
+			c.stats.RejectedNacks++
+			return fmt.Errorf("fleetserver: seq %d: %s: %w", seq, nack.Msg, ErrRejected)
+		default:
+			// Shutting down (or future codes): retry via a fresh
+			// connection after backoff.
+			c.dropConn()
+			return fmt.Errorf("fleetserver: seq %d refused: %s (code %d)", seq, nack.Msg, nack.Code)
+		}
+	default:
+		c.dropConn()
+		c.stats.ConnErrors++
+		return fmt.Errorf("fleetserver: unexpected %v frame awaiting verdict: %w", typ, fleetwire.ErrProtocol)
+	}
+}
+
+// ensureConn dials and handshakes if no connection is live, adopting
+// the server's resume point.
+func (c *Client) ensureConn(ctx context.Context) error {
+	if c.wc != nil {
+		return nil
+	}
+	conn, err := c.cfg.Dialer(ctx, c.addr)
+	if err != nil {
+		c.stats.ConnErrors++
+		return err
+	}
+	wc := fleetwire.NewConn(conn, fleetwire.ConnConfig{
+		MaxFrame:     c.cfg.MaxFrame,
+		ReadTimeout:  c.cfg.ReadTimeout,
+		WriteTimeout: c.cfg.WriteTimeout,
+	})
+	fail := func(err error) error {
+		wc.Close()
+		c.stats.ConnErrors++
+		return err
+	}
+	if err := wc.WritePreamble(); err != nil {
+		return fail(err)
+	}
+	if err := wc.WriteFrame(fleetwire.FrameHello,
+		fleetwire.AppendHello(nil, fleetwire.Hello{Tenant: c.cfg.Tenant, Agent: c.cfg.Agent})); err != nil {
+		return fail(err)
+	}
+	if err := wc.ReadPreamble(); err != nil {
+		return fail(err)
+	}
+	typ, payload, err := wc.ReadFrame()
+	if err != nil {
+		return fail(err)
+	}
+	if typ != fleetwire.FrameWelcome {
+		return fail(fmt.Errorf("fleetserver: expected welcome, got %v: %w", typ, fleetwire.ErrProtocol))
+	}
+	welcome, err := fleetwire.ParseWelcome(payload)
+	if err != nil {
+		return fail(err)
+	}
+	// Adopt the server's ledger: it knows what merged even if our
+	// acks were lost, and it protects a restarted client that reused
+	// its agent name from double-assigning sequence numbers.
+	if welcome.LastSeq > c.serverSeq {
+		c.serverSeq = welcome.LastSeq
+	}
+	if welcome.LastSeq > c.seq {
+		c.seq = welcome.LastSeq
+	}
+	c.wc = wc
+	c.stats.Dials++
+	return nil
+}
+
+// dropConn closes the live connection (if any); the next attempt
+// re-dials.
+func (c *Client) dropConn() {
+	if c.wc != nil {
+		c.wc.Close()
+		c.wc = nil
+	}
+}
+
+// retryBudget charges one failed attempt against the budget: nil
+// means backoff taken, retry; non-nil is the terminal error to
+// return. Called with c.mu held.
+func (c *Client) retryBudget(ctx context.Context, attempt int, cause error) error {
+	if c.cfg.MaxAttempts > 0 && attempt >= c.cfg.MaxAttempts {
+		return fmt.Errorf("fleetserver: giving up after %d attempts: %w", attempt, cause)
+	}
+	d := c.cfg.BackoffBase << (attempt - 1)
+	if d <= 0 || d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	// Jitter to [d/2, d]: desynchronizes a fleet without collapsing
+	// the backoff floor.
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.stats.Retries++
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("fleetserver: %w (last error: %v)", ctx.Err(), cause)
+	}
+}
+
+// Stats snapshots the client's delivery accounting.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close drops the connection and fails future Sends with
+// ErrClientClosed. In-flight retries finish their current attempt.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.dropConn()
+	return nil
+}

@@ -1,0 +1,668 @@
+// Package fleetserver is the fault-tolerant fleet ingest tier: a
+// server that accepts stored profiles over the fleetwire protocol and
+// merges them into per-tenant/epoch aggregators, and a retrying client
+// agents use to deliver profiles across flaky networks.
+//
+// The design contract mirrors the collector's LOST records
+// (internal/collector/sink.go): the tier degrades by shedding load
+// with exact drop accounting, never by corrupting or silently losing
+// merged state. Concretely:
+//
+//   - A profile is merged if and only if its sender was told so (an
+//     Ack). Refusals are explicit Nacks, each counted in the owning
+//     tenant's drop counters — the ingest-tier analogue of
+//     LostEBS/LostLBR.
+//   - Overload is bounded and explicit. Ingest flows through a bounded
+//     queue; a full queue exerts backpressure up to a deadline, then
+//     the profile is shed with NackOverloaded and counted. Memory
+//     stays bounded no matter how many agents push.
+//   - Duplicates merge exactly once. Each agent numbers its profiles;
+//     the server remembers the last merged sequence per agent and
+//     answers re-sends (acks lost to resets) with a duplicate Ack
+//     instead of a second merge, so a retrying client achieves
+//     exactly-once aggregation.
+//   - Shutdown drains. Profiles already handed to the ingest queue are
+//     merged and acked before their connections close; everything
+//     after the drain point is refused with NackShuttingDown.
+//
+// The chaos suite (chaos_test.go) drives all of this through injected
+// partial writes, resets, stalls and corruption, and asserts the
+// keystone invariant: the post-chaos snapshot is bit-identical to an
+// offline profstore.Merge of exactly the acked profiles.
+package fleetserver
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hbbp/internal/fleetwire"
+	"hbbp/internal/profstore"
+)
+
+// Typed sentinels for ingest outcomes, following the façade's
+// errors.Is classification pattern.
+var (
+	// ErrOverloaded reports a profile the server shed under load (a
+	// NackOverloaded that exhausted the client's retry budget). The
+	// shed is counted in the tenant's drop counters server-side.
+	ErrOverloaded = errors.New("fleetserver: server overloaded, profile shed")
+	// ErrRejected reports a profile the server refused as unloadable
+	// (NackBadProfile). Not retryable: the same bytes cannot succeed.
+	ErrRejected = errors.New("fleetserver: profile rejected by server")
+	// ErrClientClosed reports a Send on a closed client.
+	ErrClientClosed = errors.New("fleetserver: client is closed")
+)
+
+// Config parameterizes a Server. The zero value is usable: every
+// field has a production-shaped default.
+type Config struct {
+	// Queue bounds the ingest queue (profiles admitted but not yet
+	// merged); defaults to 64. This, times the frame size limit, is
+	// the ingest tier's memory bound.
+	Queue int
+	// Workers is the number of ingest goroutines decoding and merging
+	// profiles; defaults to GOMAXPROCS.
+	Workers int
+	// MaxFrame bounds a wire frame's payload;
+	// defaults to fleetwire.DefaultMaxFrame.
+	MaxFrame int
+	// EnqueueWait is how long a connection exerts backpressure on a
+	// full queue before shedding the profile with NackOverloaded;
+	// defaults to 50ms. Zero keeps the default; negative sheds
+	// immediately.
+	EnqueueWait time.Duration
+	// ReadTimeout bounds each frame read — the slow-loris defense and
+	// the idle-connection reaper; defaults to 30s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each frame write; defaults to 10s.
+	WriteTimeout time.Duration
+	// Logf, when set, receives one line per notable server event
+	// (accept errors, handshake failures). Nil silences them.
+	Logf func(format string, args ...any)
+
+	// testIngestDelay slows every merge — the chaos suite's lever for
+	// forcing deterministic overload without a real slow disk.
+	testIngestDelay time.Duration
+}
+
+// withDefaults resolves the zero value to production defaults.
+func (c Config) withDefaults() Config {
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = fleetwire.DefaultMaxFrame
+	}
+	if c.EnqueueWait == 0 {
+		c.EnqueueWait = 50 * time.Millisecond
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// tenant is one tenant's aggregation state and drop accounting.
+type tenant struct {
+	name string
+
+	mu     sync.Mutex
+	epochs map[uint64]*profstore.Aggregator
+	agents map[string]*agentState
+
+	merged     atomic.Uint64 // profiles merged (first time)
+	duplicates atomic.Uint64 // re-sends answered without a second merge
+	shed       atomic.Uint64 // profiles nacked NackOverloaded
+	rejected   atomic.Uint64 // profiles nacked NackBadProfile
+	corrupt    atomic.Uint64 // frames lost to CRC/truncation/protocol errors
+}
+
+// agentState is the per-agent exactly-once ledger: the highest
+// sequence number durably merged. Guarded by its own mutex so the
+// dedup check and the merge commit are one atomic step per agent
+// while distinct agents merge in parallel.
+type agentState struct {
+	mu      sync.Mutex
+	lastSeq uint64
+}
+
+// epochAgg returns (creating if needed) the tenant's aggregator for
+// one epoch.
+func (t *tenant) epochAgg(epoch uint64) *profstore.Aggregator {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	agg := t.epochs[epoch]
+	if agg == nil {
+		agg = profstore.NewAggregator()
+		t.epochs[epoch] = agg
+	}
+	return agg
+}
+
+// agent returns (creating if needed) the agent's dedup ledger.
+func (t *tenant) agent(name string) *agentState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ag := t.agents[name]
+	if ag == nil {
+		ag = &agentState{}
+		t.agents[name] = ag
+	}
+	return ag
+}
+
+// job is one admitted profile on its way to a merge.
+type job struct {
+	t     *tenant
+	agent *agentState
+	seq   uint64
+	epoch uint64
+	body  []byte
+	reply chan jobReply
+}
+
+// jobReply is a worker's verdict on one job.
+type jobReply struct {
+	status ingestStatus
+	msg    string
+}
+
+type ingestStatus uint8
+
+const (
+	ingestMerged ingestStatus = iota
+	ingestDuplicate
+	ingestRejected
+)
+
+// Server ingests profiles over fleetwire connections. Construct with
+// [Serve]; the zero value is not usable.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	conns   map[*fleetwire.Conn]struct{}
+
+	queue    chan *job
+	acceptWG sync.WaitGroup
+	connWG   sync.WaitGroup
+	workerWG sync.WaitGroup
+
+	closing  chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	accepted        atomic.Uint64
+	handshakeFailed atomic.Uint64
+}
+
+// Serve starts ingesting on ln and returns immediately; the server
+// owns the listener and closes it on shutdown.
+func Serve(ln net.Listener, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		ln:      ln,
+		tenants: make(map[string]*tenant),
+		conns:   make(map[*fleetwire.Conn]struct{}),
+		queue:   make(chan *job, cfg.Queue),
+		closing: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	s.acceptWG.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listening address (useful with ":0" listeners).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// logf forwards to the configured logger, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// isClosing reports whether shutdown has begun.
+func (s *Server) isClosing() bool {
+	select {
+	case <-s.closing:
+		return true
+	default:
+		return false
+	}
+}
+
+// tenantFor returns (creating if needed) one tenant's state.
+func (s *Server) tenantFor(name string) *tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[name]
+	if t == nil {
+		t = &tenant{
+			name:   name,
+			epochs: make(map[uint64]*profstore.Aggregator),
+			agents: make(map[string]*agentState),
+		}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// trackConn registers or unregisters a live connection.
+func (s *Server) trackConn(c *fleetwire.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		s.conns[c] = struct{}{}
+	} else {
+		delete(s.conns, c)
+	}
+}
+
+// acceptLoop admits connections until the listener closes.
+func (s *Server) acceptLoop() {
+	defer s.acceptWG.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			if !s.isClosing() {
+				s.logf("fleetserver: accept: %v", err)
+			}
+			return
+		}
+		s.accepted.Add(1)
+		s.connWG.Add(1)
+		go s.handle(c)
+	}
+}
+
+// handle speaks the protocol on one connection. Every exit path
+// closes the conn; every data-loss path increments a counter first —
+// nothing is dropped silently.
+func (s *Server) handle(conn net.Conn) {
+	defer s.connWG.Done()
+	wc := fleetwire.NewConn(conn, fleetwire.ConnConfig{
+		MaxFrame:     s.cfg.MaxFrame,
+		ReadTimeout:  s.cfg.ReadTimeout,
+		WriteTimeout: s.cfg.WriteTimeout,
+	})
+	s.trackConn(wc, true)
+	defer s.trackConn(wc, false)
+	defer wc.Close()
+
+	tn, ag, ok := s.handshake(wc)
+	if !ok {
+		s.handshakeFailed.Add(1)
+		return
+	}
+
+	for {
+		if s.isClosing() {
+			return
+		}
+		typ, payload, err := wc.ReadFrame()
+		if err != nil {
+			// Clean closes, idle/stall timeouts and abrupt disconnects
+			// are connection lifecycle; data-shaped failures are the
+			// tenant's corruption ledger.
+			if err != io.EOF && !fleetwire.IsTimeout(err) && isDataError(err) {
+				tn.corrupt.Add(1)
+			}
+			return
+		}
+		if typ != fleetwire.FrameProfile {
+			tn.corrupt.Add(1)
+			return
+		}
+		hdr, body, err := fleetwire.ParseProfile(payload)
+		if err != nil {
+			tn.corrupt.Add(1)
+			return
+		}
+
+		// Fast duplicate path: a re-send of an already-merged profile
+		// (its ack was lost) is answered without a queue trip.
+		ag.mu.Lock()
+		dup := hdr.Seq <= ag.lastSeq
+		ag.mu.Unlock()
+		if dup {
+			tn.duplicates.Add(1)
+			if err := wc.WriteFrame(fleetwire.FrameAck,
+				fleetwire.AppendAck(nil, fleetwire.Ack{Seq: hdr.Seq, Duplicate: true})); err != nil {
+				return
+			}
+			continue
+		}
+
+		j := &job{t: tn, agent: ag, seq: hdr.Seq, epoch: hdr.Epoch, body: body,
+			reply: make(chan jobReply, 1)}
+		if !s.enqueue(j) {
+			if s.isClosing() {
+				// Refused because the server is draining: explicit,
+				// retryable elsewhere, never merged.
+				wc.WriteFrame(fleetwire.FrameNack,
+					fleetwire.AppendNack(nil, fleetwire.Nack{Seq: hdr.Seq,
+						Code: fleetwire.NackShuttingDown, Msg: "server draining"}))
+				return
+			}
+			// Shed: the bounded queue stayed full past the
+			// backpressure deadline. The drop is counted before the
+			// nack is attempted, so the ledger can only over-report
+			// refusals, never under-report them.
+			tn.shed.Add(1)
+			if err := wc.WriteFrame(fleetwire.FrameNack,
+				fleetwire.AppendNack(nil, fleetwire.Nack{Seq: hdr.Seq,
+					Code: fleetwire.NackOverloaded, Msg: "ingest queue full"})); err != nil {
+				return
+			}
+			continue
+		}
+
+		// The worker always replies — shutdown drains the queue before
+		// the workers exit — so a merged profile is always answered.
+		r := <-j.reply
+		switch r.status {
+		case ingestMerged, ingestDuplicate:
+			if err := wc.WriteFrame(fleetwire.FrameAck,
+				fleetwire.AppendAck(nil, fleetwire.Ack{Seq: hdr.Seq,
+					Duplicate: r.status == ingestDuplicate})); err != nil {
+				return
+			}
+		case ingestRejected:
+			if err := wc.WriteFrame(fleetwire.FrameNack,
+				fleetwire.AppendNack(nil, fleetwire.Nack{Seq: hdr.Seq,
+					Code: fleetwire.NackBadProfile, Msg: r.msg})); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// handshake validates the preamble and hello and answers with the
+// agent's resume point.
+func (s *Server) handshake(wc *fleetwire.Conn) (*tenant, *agentState, bool) {
+	if err := wc.ReadPreamble(); err != nil {
+		return nil, nil, false
+	}
+	typ, payload, err := wc.ReadFrame()
+	if err != nil || typ != fleetwire.FrameHello {
+		return nil, nil, false
+	}
+	hello, err := fleetwire.ParseHello(payload)
+	if err != nil {
+		return nil, nil, false
+	}
+	tn := s.tenantFor(hello.Tenant)
+	ag := tn.agent(hello.Agent)
+	ag.mu.Lock()
+	last := ag.lastSeq
+	ag.mu.Unlock()
+	if err := wc.WritePreamble(); err != nil {
+		return nil, nil, false
+	}
+	if err := wc.WriteFrame(fleetwire.FrameWelcome,
+		fleetwire.AppendWelcome(nil, fleetwire.Welcome{LastSeq: last})); err != nil {
+		return nil, nil, false
+	}
+	return tn, ag, true
+}
+
+// isDataError reports whether a read failure is data-shaped (frame
+// corruption, truncation, size lies, protocol violations) as opposed
+// to a transport disconnect.
+func isDataError(err error) bool {
+	return errors.Is(err, fleetwire.ErrFrameCorrupt) ||
+		errors.Is(err, fleetwire.ErrFrameTruncated) ||
+		errors.Is(err, fleetwire.ErrFrameTooLarge) ||
+		errors.Is(err, fleetwire.ErrProtocol) ||
+		errors.Is(err, fleetwire.ErrFrameMagic) ||
+		errors.Is(err, fleetwire.ErrUnsupportedVersion)
+}
+
+// enqueue admits a job to the bounded queue: immediately if there is
+// room, otherwise holding the connection back (backpressure) up to
+// EnqueueWait. False means the profile was not admitted — shed, or
+// the server is draining.
+func (s *Server) enqueue(j *job) bool {
+	select {
+	case s.queue <- j:
+		return true
+	default:
+	}
+	if s.cfg.EnqueueWait < 0 {
+		return false
+	}
+	t := time.NewTimer(s.cfg.EnqueueWait)
+	defer t.Stop()
+	select {
+	case s.queue <- j:
+		return true
+	case <-t.C:
+		return false
+	case <-s.closing:
+		return false
+	}
+}
+
+// worker merges admitted profiles. The dedup check, the merge and the
+// ledger commit are one atomic step under the agent's lock, so a
+// profile can never merge twice no matter how it was re-sent.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.queue {
+		if s.cfg.testIngestDelay > 0 {
+			time.Sleep(s.cfg.testIngestDelay)
+		}
+		j.agent.mu.Lock()
+		var r jobReply
+		switch {
+		case j.seq <= j.agent.lastSeq:
+			r = jobReply{status: ingestDuplicate}
+		default:
+			p, err := profstore.Load(bytes.NewReader(j.body))
+			if err != nil {
+				r = jobReply{status: ingestRejected, msg: err.Error()}
+			} else {
+				j.t.epochAgg(j.epoch).Ingest(p)
+				j.agent.lastSeq = j.seq
+				r = jobReply{status: ingestMerged}
+			}
+		}
+		j.agent.mu.Unlock()
+		switch r.status {
+		case ingestMerged:
+			j.t.merged.Add(1)
+		case ingestDuplicate:
+			j.t.duplicates.Add(1)
+		case ingestRejected:
+			j.t.rejected.Add(1)
+		}
+		j.reply <- r
+	}
+}
+
+// Snapshot returns the merged profile for one tenant and epoch — a
+// canonical profile bit-identical to profstore.Merge over exactly the
+// profiles acked into that pair — or nil if nothing has been merged
+// there. Safe during ingestion; see profstore.Aggregator.Snapshot for
+// the consistency contract.
+func (s *Server) Snapshot(tenantName string, epoch uint64) *profstore.Profile {
+	s.mu.Lock()
+	tn := s.tenants[tenantName]
+	s.mu.Unlock()
+	if tn == nil {
+		return nil
+	}
+	tn.mu.Lock()
+	agg := tn.epochs[epoch]
+	tn.mu.Unlock()
+	if agg == nil {
+		return nil
+	}
+	return agg.Snapshot()
+}
+
+// TenantStats is one tenant's ingest ledger: what merged and every
+// way a profile or frame was refused or lost, each refusal counted
+// exactly where it happened.
+type TenantStats struct {
+	Tenant string
+	// Merged counts profiles aggregated (first delivery).
+	Merged uint64
+	// Duplicates counts re-sends answered without a second merge —
+	// the retry path's acks that preserve exactly-once.
+	Duplicates uint64
+	// Shed counts profiles refused with NackOverloaded — load the
+	// bounded queue explicitly dropped. The ingest-tier analogue of
+	// the collector's LostEBS/LostLBR.
+	Shed uint64
+	// Rejected counts profiles refused with NackBadProfile
+	// (unloadable payload bytes inside an intact frame).
+	Rejected uint64
+	// Corrupt counts frames lost to CRC mismatches, truncation or
+	// protocol violations after handshake.
+	Corrupt uint64
+	// Epochs lists the epochs holding merged state, ascending.
+	Epochs []uint64
+}
+
+// Stats is a point-in-time view of the server's accounting.
+type Stats struct {
+	// Accepted counts connections admitted since start.
+	Accepted uint64
+	// HandshakeFailures counts connections that never completed a
+	// valid hello (wrong protocol, version skew, mid-handshake drops).
+	HandshakeFailures uint64
+	// ActiveConns is the number of currently live connections.
+	ActiveConns int
+	// Tenants carries per-tenant ledgers, sorted by name.
+	Tenants []TenantStats
+}
+
+// Stats snapshots the accounting counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Accepted:          s.accepted.Load(),
+		HandshakeFailures: s.handshakeFailed.Load(),
+		ActiveConns:       len(s.conns),
+	}
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.Unlock()
+
+	for _, t := range tenants {
+		ts := TenantStats{
+			Tenant:     t.name,
+			Merged:     t.merged.Load(),
+			Duplicates: t.duplicates.Load(),
+			Shed:       t.shed.Load(),
+			Rejected:   t.rejected.Load(),
+			Corrupt:    t.corrupt.Load(),
+		}
+		t.mu.Lock()
+		for e := range t.epochs {
+			ts.Epochs = append(ts.Epochs, e)
+		}
+		t.mu.Unlock()
+		sort.Slice(ts.Epochs, func(i, j int) bool { return ts.Epochs[i] < ts.Epochs[j] })
+		st.Tenants = append(st.Tenants, ts)
+	}
+	sort.Slice(st.Tenants, func(i, j int) bool { return st.Tenants[i].Tenant < st.Tenants[j].Tenant })
+	return st
+}
+
+// Shutdown drains and stops the server: the listener closes, live
+// connections finish the frame they are processing (admitted profiles
+// are merged and acked), the ingest queue drains, and only then do
+// the workers exit. Returns nil on a clean drain, or ctx.Err() if the
+// context expired first (connections are then force-closed, but the
+// queue still drains — merged state is never abandoned mid-merge).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopOnce.Do(func() {
+		close(s.closing)
+		s.ln.Close()
+		go func() {
+			s.acceptWG.Wait()
+			s.connWG.Wait()
+			close(s.queue)
+			s.workerWG.Wait()
+			close(s.done)
+		}()
+		// Nudge loop: parked frame reads re-arm their deadlines, so
+		// one poke is not enough — keep expiring them until the
+		// handlers are gone.
+		go func() {
+			tick := time.NewTicker(25 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				s.nudgeConns()
+				select {
+				case <-s.done:
+					return
+				case <-tick.C:
+				}
+			}
+		}()
+	})
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		s.closeConns()
+		<-s.done
+		return ctx.Err()
+	}
+}
+
+// Close force-stops the server without waiting for connections to
+// finish politely; the ingest queue still drains so no admitted
+// profile is half-merged.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Shutdown(ctx)
+	return nil
+}
+
+// nudgeConns expires every live connection's pending read.
+func (s *Server) nudgeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		c.Unblock()
+	}
+}
+
+// closeConns force-closes every live connection.
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		c.Close()
+	}
+}

@@ -1,0 +1,232 @@
+package fleetwire
+
+// The fault-injection half of the wire layer: a net.Conn wrapper that
+// misbehaves on purpose. The chaos suite and the examples/fleet load
+// generator drive every protocol path through it — partial writes,
+// injected resets, stalls, bit corruption, deterministic mid-handshake
+// cuts — to prove the server and the retrying client uphold their
+// accounting invariants no matter what the transport does.
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the cause carried by every fault this package
+// injects, so tests and retry loops can tell a deliberate fault from a
+// real transport failure.
+var ErrInjected = errors.New("fleetwire: injected fault")
+
+// Faults configures a FlakyConn. The zero value injects nothing.
+// Probabilities are per-operation in [0, 1]; deterministic cut
+// triggers fire once and then close the connection for good.
+type Faults struct {
+	// Seed makes the conn's misbehavior reproducible. Two conns with
+	// equal Faults misbehave identically.
+	Seed int64
+
+	// MaxWriteChunk, when positive, splits every Write into chunks of
+	// at most this many bytes handed to the underlying conn one at a
+	// time — the short-write torture a congested or tiny-MTU path
+	// produces.
+	MaxWriteChunk int
+
+	// CorruptProb is the per-Write probability of flipping one random
+	// bit of the outgoing chunk — line noise the frame CRC must catch.
+	CorruptProb float64
+
+	// ResetProb is the per-operation probability of closing the
+	// underlying conn and failing with an injected reset.
+	ResetProb float64
+
+	// StallProb is the per-operation probability of sleeping Stall
+	// before proceeding — the slow-loris / half-dead-peer shape that
+	// must be answered by deadlines, not patience.
+	StallProb float64
+	// Stall is how long a stall lasts.
+	Stall time.Duration
+
+	// CutAfterWrites, when positive, injects a reset immediately after
+	// that many successful Write calls — deterministic ack-in-flight
+	// and mid-stream cuts.
+	CutAfterWrites int
+
+	// CutAfterBytes, when positive, injects a reset once that many
+	// bytes have been written — deterministic mid-handshake and
+	// mid-frame cuts.
+	CutAfterBytes int64
+}
+
+// FlakyConn wraps a net.Conn with injected faults. Safe for one
+// reader and one writer goroutine, like net.Conn itself.
+type FlakyConn struct {
+	inner net.Conn
+	f     Faults
+
+	mu           sync.Mutex
+	rng          *rand.Rand
+	writes       int
+	bytesWritten int64
+	dead         bool
+}
+
+// NewFlakyConn wraps inner with the configured faults.
+func NewFlakyConn(inner net.Conn, f Faults) *FlakyConn {
+	return &FlakyConn{
+		inner: inner,
+		f:     f,
+		rng:   rand.New(rand.NewSource(f.Seed)),
+	}
+}
+
+// injectedErr is the reset every fault surfaces as: an *net.OpError
+// (like a real reset) carrying ErrInjected as its cause.
+func injectedErr(op string) error {
+	return &net.OpError{Op: op, Net: "flaky", Err: ErrInjected}
+}
+
+// prelude runs the shared per-operation faults (stall, reset) and
+// reports whether the operation may proceed.
+func (c *FlakyConn) prelude(op string) error {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return injectedErr(op)
+	}
+	stall := c.f.StallProb > 0 && c.rng.Float64() < c.f.StallProb
+	reset := c.f.ResetProb > 0 && c.rng.Float64() < c.f.ResetProb
+	c.mu.Unlock()
+	if stall {
+		time.Sleep(c.f.Stall)
+	}
+	if reset {
+		c.kill()
+		return injectedErr(op)
+	}
+	return nil
+}
+
+// kill closes the underlying conn and marks every future operation
+// failed — one injected reset is permanent, like a real one.
+func (c *FlakyConn) kill() {
+	c.mu.Lock()
+	already := c.dead
+	c.dead = true
+	c.mu.Unlock()
+	if !already {
+		c.inner.Close()
+	}
+}
+
+// Read applies read-side faults, then reads from the underlying conn.
+func (c *FlakyConn) Read(b []byte) (int, error) {
+	if err := c.prelude("read"); err != nil {
+		return 0, err
+	}
+	return c.inner.Read(b)
+}
+
+// Write applies write-side faults: stalls and resets first, then the
+// data is (optionally) chunked, each chunk (optionally) bit-corrupted,
+// and the deterministic cut triggers checked between chunks. The
+// returned count reflects bytes handed to the underlying conn, so a
+// mid-write cut produces a genuine short write.
+func (c *FlakyConn) Write(b []byte) (int, error) {
+	if err := c.prelude("write"); err != nil {
+		return 0, err
+	}
+	written := 0
+	for written < len(b) {
+		chunk := b[written:]
+		if c.f.MaxWriteChunk > 0 && len(chunk) > c.f.MaxWriteChunk {
+			chunk = chunk[:c.f.MaxWriteChunk]
+		}
+		c.mu.Lock()
+		if c.dead {
+			c.mu.Unlock()
+			return written, injectedErr("write")
+		}
+		if c.f.CutAfterBytes > 0 && c.bytesWritten >= c.f.CutAfterBytes {
+			c.mu.Unlock()
+			c.kill()
+			return written, injectedErr("write")
+		}
+		// Corrupt a copy, never the caller's buffer.
+		out := chunk
+		if c.f.CorruptProb > 0 && c.rng.Float64() < c.f.CorruptProb {
+			tmp := make([]byte, len(chunk))
+			copy(tmp, chunk)
+			bit := c.rng.Intn(len(tmp) * 8)
+			tmp[bit/8] ^= 1 << (bit % 8)
+			out = tmp
+		}
+		c.mu.Unlock()
+
+		n, err := c.inner.Write(out)
+		c.mu.Lock()
+		c.writes++
+		c.bytesWritten += int64(n)
+		cut := c.f.CutAfterWrites > 0 && c.writes >= c.f.CutAfterWrites
+		c.mu.Unlock()
+		written += n
+		if err != nil {
+			return written, err
+		}
+		if cut {
+			c.kill()
+			return written, injectedErr("write")
+		}
+	}
+	return written, nil
+}
+
+// Close closes the underlying conn.
+func (c *FlakyConn) Close() error {
+	c.mu.Lock()
+	c.dead = true
+	c.mu.Unlock()
+	return c.inner.Close()
+}
+
+// The deadline and address methods delegate unchanged: faults corrupt
+// the data path, not the control surface the server's robustness
+// depends on.
+
+func (c *FlakyConn) LocalAddr() net.Addr                { return c.inner.LocalAddr() }
+func (c *FlakyConn) RemoteAddr() net.Addr               { return c.inner.RemoteAddr() }
+func (c *FlakyConn) SetDeadline(t time.Time) error      { return c.inner.SetDeadline(t) }
+func (c *FlakyConn) SetReadDeadline(t time.Time) error  { return c.inner.SetReadDeadline(t) }
+func (c *FlakyConn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
+
+// FlakyListener wraps a listener so every accepted conn misbehaves:
+// the server-side mirror of dialing through NewFlakyConn. Each conn
+// gets a distinct deterministic seed derived from Faults.Seed.
+type FlakyListener struct {
+	net.Listener
+	f Faults
+
+	mu sync.Mutex
+	n  int64
+}
+
+// NewFlakyListener wraps ln with per-conn faults.
+func NewFlakyListener(ln net.Listener, f Faults) *FlakyListener {
+	return &FlakyListener{Listener: ln, f: f}
+}
+
+// Accept accepts and wraps the next conn.
+func (l *FlakyListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.n++
+	f := l.f
+	f.Seed = f.Seed*1000003 + l.n
+	l.mu.Unlock()
+	return NewFlakyConn(c, f), nil
+}

@@ -1,0 +1,71 @@
+package fleetwire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame drives the frame decoder with arbitrary bytes,
+// mirroring the perffile/profstore fuzz pattern: ReadFrame must never
+// panic, every error must classify under the sentinel set, and any
+// frame it accepts must re-encode to exactly the bytes it consumed
+// (the codec is its own inverse).
+func FuzzReadFrame(f *testing.F) {
+	// Seed corpus: valid frames of each type, the interesting failure
+	// shapes, and a back-to-back pair.
+	f.Add(AppendFrame(nil, FrameHello, AppendHello(nil, Hello{Tenant: "t", Agent: "a"})))
+	f.Add(AppendFrame(nil, FrameWelcome, AppendWelcome(nil, Welcome{LastSeq: 12})))
+	f.Add(AppendFrame(nil, FrameProfile, AppendProfile(nil, ProfileHeader{Seq: 1, Epoch: 2}, []byte("HBBPROF1"))))
+	f.Add(AppendFrame(nil, FrameAck, AppendAck(nil, Ack{Seq: 1})))
+	f.Add(AppendFrame(nil, FrameNack, AppendNack(nil, Nack{Seq: 1, Code: NackOverloaded, Msg: "q"})))
+	f.Add([]byte{})
+	f.Add([]byte{byte(FrameAck)})
+	f.Add([]byte{byte(FrameProfile), 0xFF, 0xFF, 0xFF, 0xFF})
+	valid := AppendFrame(nil, FrameAck, AppendAck(nil, Ack{Seq: 3}))
+	f.Add(valid[:len(valid)-1])
+	corrupt := append([]byte(nil), valid...)
+	corrupt[2] ^= 0x40
+	f.Add(corrupt)
+	f.Add(append(AppendFrame(nil, FrameHello, nil), AppendFrame(nil, FrameAck, nil)...))
+
+	const limit = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data), limit)
+		if err != nil {
+			if err == io.EOF {
+				return
+			}
+			if !errors.Is(err, ErrFrameTruncated) && !errors.Is(err, ErrFrameCorrupt) &&
+				!errors.Is(err, ErrFrameTooLarge) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		// An accepted frame must re-encode to the consumed prefix.
+		enc := AppendFrame(nil, typ, payload)
+		if len(enc) > len(data) || !bytes.Equal(enc, data[:len(enc)]) {
+			t.Fatalf("accepted frame does not re-encode to its own bytes (type %v, %d payload bytes)",
+				typ, len(payload))
+		}
+		// Accepted payloads feed the message parsers, which must not
+		// panic either and must classify their rejections.
+		var perr error
+		switch typ {
+		case FrameHello:
+			_, perr = ParseHello(payload)
+		case FrameWelcome:
+			_, perr = ParseWelcome(payload)
+		case FrameProfile:
+			_, _, perr = ParseProfile(payload)
+		case FrameAck:
+			_, perr = ParseAck(payload)
+		case FrameNack:
+			_, perr = ParseNack(payload)
+		}
+		if perr != nil && !errors.Is(perr, ErrProtocol) {
+			t.Fatalf("unclassified payload error for %v: %v", typ, perr)
+		}
+	})
+}

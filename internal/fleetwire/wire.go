@@ -1,0 +1,569 @@
+// Package fleetwire is the fleet ingest wire protocol: how an agent
+// ships stored profiles (the HBBPROF1 format) to an aggregation server
+// over a byte stream that real networks will truncate, corrupt, stall
+// and reset.
+//
+// The protocol is deliberately small, because every feature is a
+// robustness obligation:
+//
+//   - A fixed preamble ("HBBPWIR1" + a little-endian uint32 version)
+//     opens each direction of a connection, so version skew and
+//     wrong-protocol peers fail fast with a classified error instead
+//     of a confusing mid-stream parse failure.
+//   - Every message after the preamble is one frame: a 1-byte type, a
+//     4-byte little-endian payload length, the payload, and a CRC-32C
+//     checksum over all of it. A frame either arrives bit-exact or it
+//     is rejected; there is no "mostly intact".
+//   - Payload lengths are bounded (MaxFrame), so a corrupted or
+//     hostile length prefix costs a classified error, not an
+//     allocation the size of the lie.
+//   - Reads and writes carry deadlines, so a stalled peer (slow-loris
+//     or a half-dead TCP session) surfaces as a timeout the caller can
+//     account, never a goroutine parked forever.
+//
+// Malformed streams classify under errors.Is into the same sentinel
+// pattern internal/perffile and internal/profstore use:
+// [ErrFrameMagic], [ErrFrameTruncated], [ErrFrameCorrupt],
+// [ErrFrameTooLarge], [ErrUnsupportedVersion] and [ErrProtocol].
+//
+// Like the two serialization formats, this package depends only on the
+// standard library (enforced by the repository's import-boundary
+// test): the profile payload is opaque bytes here, so the wire layer
+// can be lifted into external agent tooling unchanged.
+package fleetwire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"time"
+)
+
+// Magic opens each direction of a connection.
+const Magic = "HBBPWIR1"
+
+// Version is the current wire protocol version.
+const Version uint32 = 1
+
+// DefaultMaxFrame bounds a frame's payload when the caller does not
+// choose a limit: generous for merged fleet profiles (~11 B/block in
+// the HBBPROF1 encoding), small enough that a lying length prefix
+// cannot commit the peer to a gigabyte allocation.
+const DefaultMaxFrame = 16 << 20
+
+// frameOverhead is the non-payload cost of one frame: type byte,
+// length word, trailing CRC.
+const frameOverhead = 1 + 4 + 4
+
+// FrameType identifies a frame's message kind.
+type FrameType uint8
+
+// The protocol's frame types. Hello and Profile flow agent to server;
+// Welcome, Ack and Nack flow server to agent.
+const (
+	// FrameHello identifies the agent: tenant and agent ID.
+	FrameHello FrameType = 1
+	// FrameWelcome answers a Hello with the last profile sequence
+	// number the server has durably merged for this agent — the resume
+	// point after a reconnect.
+	FrameWelcome FrameType = 2
+	// FrameProfile carries one stored profile with its per-agent
+	// sequence number and epoch.
+	FrameProfile FrameType = 3
+	// FrameAck confirms a profile was merged (or was already merged —
+	// a duplicate re-send).
+	FrameAck FrameType = 4
+	// FrameNack refuses a profile with a reason code; the profile was
+	// NOT merged.
+	FrameNack FrameType = 5
+)
+
+// String names a frame type for diagnostics.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameWelcome:
+		return "welcome"
+	case FrameProfile:
+		return "profile"
+	case FrameAck:
+		return "ack"
+	case FrameNack:
+		return "nack"
+	}
+	return fmt.Sprintf("frame(%d)", uint8(t))
+}
+
+// Sentinel errors for broken streams. Failures wrap one of these, so
+// callers classify with errors.Is regardless of contextual detail.
+var (
+	// ErrFrameMagic reports a peer that is not speaking this protocol
+	// at all.
+	ErrFrameMagic = errors.New("fleetwire: bad wire magic")
+	// ErrFrameTruncated reports a stream that ends mid-preamble or
+	// mid-frame.
+	ErrFrameTruncated = errors.New("fleetwire: truncated frame")
+	// ErrFrameCorrupt reports a frame whose CRC does not match its
+	// bytes.
+	ErrFrameCorrupt = errors.New("fleetwire: frame CRC mismatch")
+	// ErrFrameTooLarge reports a frame whose length prefix exceeds the
+	// connection's limit.
+	ErrFrameTooLarge = errors.New("fleetwire: frame exceeds size limit")
+	// ErrUnsupportedVersion reports a valid preamble carrying a wire
+	// version this build cannot speak.
+	ErrUnsupportedVersion = errors.New("fleetwire: unsupported wire version")
+	// ErrProtocol reports a bit-exact frame whose payload violates the
+	// protocol (unparseable message, wrong frame at this point in the
+	// exchange).
+	ErrProtocol = errors.New("fleetwire: protocol violation")
+)
+
+// castagnoli is the CRC-32C table; hardware-accelerated on amd64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends one encoded frame to dst and returns the
+// extended slice: type, length, payload, CRC-32C over the first three.
+func AppendFrame(dst []byte, t FrameType, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, byte(t))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	sum := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// ReadFrame reads one frame from r under the payload size limit
+// (maxFrame <= 0 selects DefaultMaxFrame). A stream that ends cleanly
+// before the first header byte returns io.EOF; one that ends anywhere
+// inside the frame returns ErrFrameTruncated; a checksum mismatch
+// returns ErrFrameCorrupt.
+func ReadFrame(r io.Reader, maxFrame int) (FrameType, []byte, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var head [5]byte
+	if _, err := io.ReadFull(r, head[:1]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF // clean close between frames
+		}
+		return 0, nil, classifyRead("frame type", err)
+	}
+	if _, err := io.ReadFull(r, head[1:]); err != nil {
+		return 0, nil, classifyRead("frame header", err)
+	}
+	t := FrameType(head[0])
+	n := binary.LittleEndian.Uint32(head[1:])
+	if n > uint32(maxFrame) {
+		return 0, nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, n, maxFrame)
+	}
+	body := make([]byte, int(n)+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, classifyRead("frame payload", err)
+	}
+	payload := body[:n]
+	sum := crc32.Checksum(head[:], castagnoli)
+	sum = crc32.Update(sum, castagnoli, payload)
+	if got := binary.LittleEndian.Uint32(body[n:]); got != sum {
+		return 0, nil, fmt.Errorf("%w: %s frame, %#08x != %#08x", ErrFrameCorrupt, t, got, sum)
+	}
+	return t, payload, nil
+}
+
+// classifyRead maps a mid-frame read failure to its sentinel: an early
+// end is a truncated frame, any other I/O failure (including a
+// deadline expiry) keeps its own identity on the chain so callers do
+// not mistake a stall for corruption.
+func classifyRead(what string, err error) error {
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return fmt.Errorf("%w: %s: %w", ErrFrameTruncated, what, err)
+	}
+	return fmt.Errorf("fleetwire: reading %s: %w", what, err)
+}
+
+// ConnConfig parameterizes a framed connection.
+type ConnConfig struct {
+	// MaxFrame bounds a frame's payload in bytes; 0 selects
+	// DefaultMaxFrame.
+	MaxFrame int
+	// ReadTimeout bounds each frame read (slow-loris protection);
+	// 0 means no deadline.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each frame write; 0 means no deadline.
+	WriteTimeout time.Duration
+}
+
+// Conn frames messages over a net.Conn with deadlines. Not safe for
+// concurrent use by multiple goroutines on the same direction; the
+// protocol is strictly request/response per connection.
+type Conn struct {
+	c    net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	cfg  ConnConfig
+	wbuf []byte
+}
+
+// NewConn wraps c for framed exchange.
+func NewConn(c net.Conn, cfg ConnConfig) *Conn {
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	return &Conn{
+		c:   c,
+		br:  bufio.NewReaderSize(c, 1<<16),
+		bw:  bufio.NewWriterSize(c, 1<<16),
+		cfg: cfg,
+	}
+}
+
+// WritePreamble buffers the magic and wire version. It is flushed with
+// the next WriteFrame, so a handshake costs one packet, not two.
+func (c *Conn) WritePreamble() error {
+	if _, err := c.bw.WriteString(Magic); err != nil {
+		return err
+	}
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], Version)
+	_, err := c.bw.Write(v[:])
+	return err
+}
+
+// ReadPreamble reads and validates the peer's magic and version.
+func (c *Conn) ReadPreamble() error {
+	if err := c.armRead(); err != nil {
+		return err
+	}
+	head := make([]byte, len(Magic)+4)
+	if n, err := io.ReadFull(c.br, head); err != nil {
+		// A short stream that does not even start with the magic was
+		// never speaking this protocol; only a genuine magic prefix
+		// earns the truncation classification.
+		prefix := min(n, len(Magic))
+		if string(head[:prefix]) != Magic[:prefix] {
+			return ErrFrameMagic
+		}
+		return classifyRead("preamble", err)
+	}
+	if string(head[:len(Magic)]) != Magic {
+		return ErrFrameMagic
+	}
+	if v := binary.LittleEndian.Uint32(head[len(Magic):]); v != Version {
+		return fmt.Errorf("%w: %d (this build speaks %d)", ErrUnsupportedVersion, v, Version)
+	}
+	return nil
+}
+
+// WriteFrame encodes one frame, flushes it, and reports any write
+// failure. The write runs under the configured deadline.
+func (c *Conn) WriteFrame(t FrameType, payload []byte) error {
+	if len(payload) > c.cfg.MaxFrame {
+		return fmt.Errorf("%w: writing %d bytes (limit %d)", ErrFrameTooLarge, len(payload), c.cfg.MaxFrame)
+	}
+	if c.cfg.WriteTimeout > 0 {
+		if err := c.c.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout)); err != nil {
+			return err
+		}
+	}
+	c.wbuf = AppendFrame(c.wbuf[:0], t, payload)
+	if _, err := c.bw.Write(c.wbuf); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// ReadFrame reads one frame under the configured deadline and size
+// limit.
+func (c *Conn) ReadFrame() (FrameType, []byte, error) {
+	if err := c.armRead(); err != nil {
+		return 0, nil, err
+	}
+	return ReadFrame(c.br, c.cfg.MaxFrame)
+}
+
+// armRead sets the read deadline for the next read, if one is
+// configured.
+func (c *Conn) armRead() error {
+	if c.cfg.ReadTimeout <= 0 {
+		return nil
+	}
+	return c.c.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
+}
+
+// Unblock expires any in-flight or future read immediately — the
+// graceful-shutdown lever: a handler parked in ReadFrame wakes with a
+// timeout and can observe the shutdown flag.
+func (c *Conn) Unblock() {
+	c.c.SetReadDeadline(time.Now())
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr names the peer for diagnostics.
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
+
+// IsTimeout reports whether err is a network deadline expiry — the
+// signature of a stalled peer or an Unblock nudge, as opposed to a
+// broken or misbehaving one.
+func IsTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// --- Message payloads -------------------------------------------------
+//
+// Payloads use the profstore varint conventions: uvarints for numbers,
+// uvarint-length-prefixed bytes for strings. Parse failures wrap
+// ErrProtocol — the frame arrived bit-exact (the CRC said so), so a
+// bad payload is a peer bug, not line noise.
+
+// maxNameLen bounds tenant and agent identifiers.
+const maxNameLen = 256
+
+// Hello identifies an agent to the server.
+type Hello struct {
+	// Tenant scopes everything the agent sends: aggregation, drop
+	// accounting, snapshots.
+	Tenant string
+	// Agent identifies the logical sender across reconnects; the
+	// server keys duplicate suppression by it. Agents choose it and
+	// must keep it stable for the life of their sequence numbering.
+	Agent string
+}
+
+// AppendHello encodes h.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = appendString(dst, h.Tenant)
+	return appendString(dst, h.Agent)
+}
+
+// ParseHello decodes a Hello payload.
+func ParseHello(p []byte) (Hello, error) {
+	var h Hello
+	var err error
+	if h.Tenant, p, err = parseString(p, "hello tenant"); err != nil {
+		return Hello{}, err
+	}
+	if h.Agent, p, err = parseString(p, "hello agent"); err != nil {
+		return Hello{}, err
+	}
+	if err := expectEnd(p, "hello"); err != nil {
+		return Hello{}, err
+	}
+	if h.Tenant == "" || h.Agent == "" {
+		return Hello{}, fmt.Errorf("%w: hello with empty tenant or agent", ErrProtocol)
+	}
+	return h, nil
+}
+
+// Welcome answers a Hello.
+type Welcome struct {
+	// LastSeq is the highest profile sequence number the server has
+	// merged for this agent — everything at or below it is already
+	// aggregated and must not be re-sent.
+	LastSeq uint64
+}
+
+// AppendWelcome encodes w.
+func AppendWelcome(dst []byte, w Welcome) []byte {
+	return binary.AppendUvarint(dst, w.LastSeq)
+}
+
+// ParseWelcome decodes a Welcome payload.
+func ParseWelcome(p []byte) (Welcome, error) {
+	v, p, err := parseUvarint(p, "welcome lastSeq")
+	if err != nil {
+		return Welcome{}, err
+	}
+	if err := expectEnd(p, "welcome"); err != nil {
+		return Welcome{}, err
+	}
+	return Welcome{LastSeq: v}, nil
+}
+
+// ProfileHeader prefixes a profile payload on the wire.
+type ProfileHeader struct {
+	// Seq is the agent's sequence number for this profile: starts at 1
+	// and increases by 1 per profile for the life of the agent ID.
+	Seq uint64
+	// Epoch selects the aggregation window the profile belongs to.
+	Epoch uint64
+}
+
+// AppendProfile encodes a profile frame payload: header then the
+// opaque stored-profile bytes.
+func AppendProfile(dst []byte, h ProfileHeader, profile []byte) []byte {
+	dst = binary.AppendUvarint(dst, h.Seq)
+	dst = binary.AppendUvarint(dst, h.Epoch)
+	return append(dst, profile...)
+}
+
+// ParseProfile decodes a profile frame payload, returning the header
+// and the profile bytes (aliasing p).
+func ParseProfile(p []byte) (ProfileHeader, []byte, error) {
+	var h ProfileHeader
+	var err error
+	if h.Seq, p, err = parseUvarint(p, "profile seq"); err != nil {
+		return ProfileHeader{}, nil, err
+	}
+	if h.Epoch, p, err = parseUvarint(p, "profile epoch"); err != nil {
+		return ProfileHeader{}, nil, err
+	}
+	if h.Seq == 0 {
+		return ProfileHeader{}, nil, fmt.Errorf("%w: profile seq 0 (sequence numbers start at 1)", ErrProtocol)
+	}
+	return h, p, nil
+}
+
+// Ack confirms a profile is merged.
+type Ack struct {
+	// Seq echoes the profile's sequence number.
+	Seq uint64
+	// Duplicate reports the profile was already merged by an earlier
+	// send (the ack the original never received) — merged exactly
+	// once either way.
+	Duplicate bool
+}
+
+// AppendAck encodes a.
+func AppendAck(dst []byte, a Ack) []byte {
+	dst = binary.AppendUvarint(dst, a.Seq)
+	dup := uint64(0)
+	if a.Duplicate {
+		dup = 1
+	}
+	return binary.AppendUvarint(dst, dup)
+}
+
+// ParseAck decodes an Ack payload.
+func ParseAck(p []byte) (Ack, error) {
+	var a Ack
+	var err error
+	var dup uint64
+	if a.Seq, p, err = parseUvarint(p, "ack seq"); err != nil {
+		return Ack{}, err
+	}
+	if dup, p, err = parseUvarint(p, "ack duplicate"); err != nil {
+		return Ack{}, err
+	}
+	if err := expectEnd(p, "ack"); err != nil {
+		return Ack{}, err
+	}
+	a.Duplicate = dup != 0
+	return a, nil
+}
+
+// NackCode classifies a refusal.
+type NackCode uint8
+
+const (
+	// NackOverloaded: the ingest queue stayed full past the
+	// backpressure deadline; the profile was shed and counted in the
+	// tenant's drop counters. Retryable.
+	NackOverloaded NackCode = 1
+	// NackBadProfile: the payload is not a loadable stored profile.
+	// Not retryable — re-sending the same bytes cannot succeed.
+	NackBadProfile NackCode = 2
+	// NackShuttingDown: the server is draining and accepts no new
+	// profiles. Retryable against a replacement server.
+	NackShuttingDown NackCode = 3
+)
+
+// String names a nack code.
+func (c NackCode) String() string {
+	switch c {
+	case NackOverloaded:
+		return "overloaded"
+	case NackBadProfile:
+		return "bad-profile"
+	case NackShuttingDown:
+		return "shutting-down"
+	}
+	return fmt.Sprintf("nack(%d)", uint8(c))
+}
+
+// Nack refuses one profile. The profile was not merged and is not in
+// any aggregate; retryability depends on the code.
+type Nack struct {
+	// Seq echoes the refused profile's sequence number.
+	Seq uint64
+	// Code classifies the refusal.
+	Code NackCode
+	// Msg carries optional human-readable detail.
+	Msg string
+}
+
+// AppendNack encodes n.
+func AppendNack(dst []byte, n Nack) []byte {
+	dst = binary.AppendUvarint(dst, n.Seq)
+	dst = binary.AppendUvarint(dst, uint64(n.Code))
+	return appendString(dst, n.Msg)
+}
+
+// ParseNack decodes a Nack payload.
+func ParseNack(p []byte) (Nack, error) {
+	var n Nack
+	var err error
+	var code uint64
+	if n.Seq, p, err = parseUvarint(p, "nack seq"); err != nil {
+		return Nack{}, err
+	}
+	if code, p, err = parseUvarint(p, "nack code"); err != nil {
+		return Nack{}, err
+	}
+	if code == 0 || code > 255 {
+		return Nack{}, fmt.Errorf("%w: nack code %d", ErrProtocol, code)
+	}
+	n.Code = NackCode(code)
+	if n.Msg, p, err = parseString(p, "nack message"); err != nil {
+		return Nack{}, err
+	}
+	if err := expectEnd(p, "nack"); err != nil {
+		return Nack{}, err
+	}
+	return n, nil
+}
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// parseString consumes one length-prefixed string.
+func parseString(p []byte, what string) (string, []byte, error) {
+	n, p, err := parseUvarint(p, what)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > maxNameLen {
+		return "", nil, fmt.Errorf("%w: %s length %d (limit %d)", ErrProtocol, what, n, maxNameLen)
+	}
+	if uint64(len(p)) < n {
+		return "", nil, fmt.Errorf("%w: %s ends early", ErrProtocol, what)
+	}
+	return string(p[:n]), p[n:], nil
+}
+
+// parseUvarint consumes one uvarint.
+func parseUvarint(p []byte, what string) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: %s is not a valid uvarint", ErrProtocol, what)
+	}
+	return v, p[n:], nil
+}
+
+// expectEnd rejects trailing payload bytes: a longer-than-expected
+// message means the peer speaks a dialect this build does not.
+func expectEnd(p []byte, what string) error {
+	if len(p) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after %s", ErrProtocol, len(p), what)
+	}
+	return nil
+}

@@ -1,0 +1,325 @@
+package fleetwire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// frameBytes encodes one frame for stream-surgery tests.
+func frameBytes(t FrameType, payload []byte) []byte {
+	return AppendFrame(nil, t, payload)
+}
+
+// TestFrameRoundTrip pins the codec: what AppendFrame writes,
+// ReadFrame returns, for the empty payload, a small one, and one at
+// the size limit.
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {0x42}, bytes.Repeat([]byte{0xAB}, 1024), make([]byte, 4096)}
+	for _, want := range payloads {
+		enc := frameBytes(FrameProfile, want)
+		typ, got, err := ReadFrame(bytes.NewReader(enc), 4096)
+		if err != nil {
+			t.Fatalf("len %d: %v", len(want), err)
+		}
+		if typ != FrameProfile {
+			t.Errorf("len %d: type %v", len(want), typ)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("len %d: payload diverged", len(want))
+		}
+	}
+}
+
+// TestFrameBackToBack pins that frames separate cleanly on a shared
+// stream and a clean end-of-stream reads as io.EOF, not truncation.
+func TestFrameBackToBack(t *testing.T) {
+	var stream []byte
+	stream = AppendFrame(stream, FrameHello, []byte("a"))
+	stream = AppendFrame(stream, FrameAck, []byte("bb"))
+	r := bytes.NewReader(stream)
+	for i, want := range []FrameType{FrameHello, FrameAck} {
+		typ, _, err := ReadFrame(r, 0)
+		if err != nil || typ != want {
+			t.Fatalf("frame %d: type %v err %v", i, typ, err)
+		}
+	}
+	if _, _, err := ReadFrame(r, 0); err != io.EOF {
+		t.Fatalf("end of stream = %v, want io.EOF", err)
+	}
+}
+
+// TestFrameTruncationClassifiesAtEveryOffset cuts a valid frame at
+// every byte offset: every cut but offset 0 (a clean close) must
+// classify as ErrFrameTruncated.
+func TestFrameTruncationClassifiesAtEveryOffset(t *testing.T) {
+	enc := frameBytes(FrameProfile, []byte("stored profile bytes"))
+	for cut := 0; cut < len(enc); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(enc[:cut]), 0)
+		if cut == 0 {
+			if err != io.EOF {
+				t.Fatalf("cut 0 = %v, want io.EOF", err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrFrameTruncated) {
+			t.Errorf("cut %d: %v does not classify as ErrFrameTruncated", cut, err)
+		}
+	}
+}
+
+// TestFrameCorruptionDetectedAtEveryByte flips one bit in every byte
+// of a frame: every flip must classify as corruption (or, for the
+// length word, corruption/size/truncation — never silent acceptance).
+func TestFrameCorruptionDetectedAtEveryByte(t *testing.T) {
+	payload := []byte("the CRC must catch every single-bit flip")
+	enc := frameBytes(FrameAck, payload)
+	for i := range enc {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x10
+		_, got, err := ReadFrame(bytes.NewReader(bad), len(enc))
+		if err == nil {
+			t.Errorf("flip at byte %d accepted; payload %q", i, got)
+			continue
+		}
+		if !errors.Is(err, ErrFrameCorrupt) && !errors.Is(err, ErrFrameTruncated) &&
+			!errors.Is(err, ErrFrameTooLarge) {
+			t.Errorf("flip at byte %d: unclassified error %v", i, err)
+		}
+	}
+}
+
+// TestFrameSizeLimit pins that a lying length prefix fails fast as
+// ErrFrameTooLarge without allocating the claim.
+func TestFrameSizeLimit(t *testing.T) {
+	enc := frameBytes(FrameProfile, make([]byte, 100))
+	if _, _, err := ReadFrame(bytes.NewReader(enc), 99); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize frame = %v", err)
+	}
+	// A 4 GiB claim on a 9-byte stream must be rejected by the limit,
+	// not attempted.
+	huge := []byte{byte(FrameProfile), 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}
+	if _, _, err := ReadFrame(bytes.NewReader(huge), 1<<20); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("huge claim = %v", err)
+	}
+}
+
+// TestPreambleClassification drives ReadPreamble over the failure
+// landscape: wrong protocol, wrong version, truncation.
+func TestPreambleClassification(t *testing.T) {
+	mk := func(b []byte) *Conn {
+		client, server := net.Pipe()
+		go func() {
+			client.Write(b)
+			client.Close()
+		}()
+		return NewConn(server, ConnConfig{})
+	}
+	good := append([]byte(Magic), 1, 0, 0, 0)
+
+	if err := mk(good).ReadPreamble(); err != nil {
+		t.Fatalf("valid preamble: %v", err)
+	}
+	if err := mk([]byte("HTTP/1.1 GET /")).ReadPreamble(); !errors.Is(err, ErrFrameMagic) {
+		t.Errorf("wrong protocol = %v", err)
+	}
+	if err := mk([]byte("XY")).ReadPreamble(); !errors.Is(err, ErrFrameMagic) {
+		t.Errorf("short garbage = %v", err)
+	}
+	// A genuine magic prefix earns the truncation classification, both
+	// cut inside the magic and cut inside the version word.
+	if err := mk([]byte("HB")).ReadPreamble(); !errors.Is(err, ErrFrameTruncated) {
+		t.Errorf("magic prefix cut short = %v", err)
+	}
+	if err := mk([]byte(Magic + "\x02")).ReadPreamble(); !errors.Is(err, ErrFrameTruncated) {
+		t.Errorf("genuine magic cut mid-version = %v", err)
+	}
+	future := append([]byte(Magic), 9, 0, 0, 0)
+	if err := mk(future).ReadPreamble(); !errors.Is(err, ErrUnsupportedVersion) {
+		t.Errorf("future version = %v", err)
+	}
+}
+
+// TestReadDeadlineFiresOnStall pins the slow-loris defense: a peer
+// that opens a frame and stalls must cost one ReadTimeout, not a
+// parked goroutine.
+func TestReadDeadlineFiresOnStall(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		wc := NewConn(c, ConnConfig{ReadTimeout: 50 * time.Millisecond})
+		_, _, err = wc.ReadFrame()
+		done <- err
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte{byte(FrameProfile), 0xFF, 0x00}) // half a header, then silence
+	select {
+	case err := <-done:
+		if !IsTimeout(err) {
+			t.Fatalf("stalled read = %v, want timeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read did not observe the deadline")
+	}
+}
+
+// TestUnblockWakesParkedRead pins the graceful-shutdown lever.
+func TestUnblockWakesParkedRead(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	wc := NewConn(server, ConnConfig{})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := wc.ReadFrame()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	wc.Unblock()
+	select {
+	case err := <-done:
+		if !IsTimeout(err) {
+			t.Fatalf("unblocked read = %v, want timeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Unblock did not wake the read")
+	}
+}
+
+// TestMessageRoundTrips pins every payload codec, including the
+// trailing-byte and empty-identity rejections.
+func TestMessageRoundTrips(t *testing.T) {
+	h, err := ParseHello(AppendHello(nil, Hello{Tenant: "prod", Agent: "host-17"}))
+	if err != nil || h.Tenant != "prod" || h.Agent != "host-17" {
+		t.Fatalf("hello = %+v, %v", h, err)
+	}
+	if _, err := ParseHello(AppendHello(nil, Hello{Tenant: "", Agent: "a"})); !errors.Is(err, ErrProtocol) {
+		t.Errorf("empty tenant = %v", err)
+	}
+	if _, err := ParseHello(append(AppendHello(nil, Hello{Tenant: "t", Agent: "a"}), 0xFF)); !errors.Is(err, ErrProtocol) {
+		t.Errorf("trailing bytes = %v", err)
+	}
+
+	w, err := ParseWelcome(AppendWelcome(nil, Welcome{LastSeq: 1 << 40}))
+	if err != nil || w.LastSeq != 1<<40 {
+		t.Fatalf("welcome = %+v, %v", w, err)
+	}
+
+	hdr, body, err := ParseProfile(AppendProfile(nil, ProfileHeader{Seq: 7, Epoch: 3}, []byte("HBBPROF1...")))
+	if err != nil || hdr.Seq != 7 || hdr.Epoch != 3 || string(body) != "HBBPROF1..." {
+		t.Fatalf("profile = %+v %q, %v", hdr, body, err)
+	}
+	if _, _, err := ParseProfile(AppendProfile(nil, ProfileHeader{Seq: 0}, nil)); !errors.Is(err, ErrProtocol) {
+		t.Errorf("seq 0 = %v", err)
+	}
+
+	a, err := ParseAck(AppendAck(nil, Ack{Seq: 9, Duplicate: true}))
+	if err != nil || a.Seq != 9 || !a.Duplicate {
+		t.Fatalf("ack = %+v, %v", a, err)
+	}
+
+	n, err := ParseNack(AppendNack(nil, Nack{Seq: 5, Code: NackOverloaded, Msg: "queue full"}))
+	if err != nil || n.Seq != 5 || n.Code != NackOverloaded || n.Msg != "queue full" {
+		t.Fatalf("nack = %+v, %v", n, err)
+	}
+	if _, err := ParseNack(AppendNack(nil, Nack{Seq: 1, Code: 0})); !errors.Is(err, ErrProtocol) {
+		t.Errorf("code 0 = %v", err)
+	}
+	long := Hello{Tenant: strings.Repeat("x", maxNameLen+1), Agent: "a"}
+	if _, err := ParseHello(AppendHello(nil, long)); !errors.Is(err, ErrProtocol) {
+		t.Errorf("oversized name = %v", err)
+	}
+}
+
+// TestConnHandshakeAndExchange runs the full protocol over a real
+// socket pair: preamble both ways, hello/welcome, one profile, one
+// ack.
+func TestConnHandshakeAndExchange(t *testing.T) {
+	client, server := net.Pipe()
+	cfg := ConnConfig{ReadTimeout: 2 * time.Second, WriteTimeout: 2 * time.Second}
+	cc, sc := NewConn(client, cfg), NewConn(server, cfg)
+
+	errc := make(chan error, 1)
+	go func() {
+		errc <- func() error {
+			if err := sc.ReadPreamble(); err != nil {
+				return err
+			}
+			typ, p, err := sc.ReadFrame()
+			if err != nil {
+				return err
+			}
+			if typ != FrameHello {
+				return errors.New("first frame is not hello")
+			}
+			if _, err := ParseHello(p); err != nil {
+				return err
+			}
+			if err := sc.WritePreamble(); err != nil {
+				return err
+			}
+			if err := sc.WriteFrame(FrameWelcome, AppendWelcome(nil, Welcome{LastSeq: 0})); err != nil {
+				return err
+			}
+			typ, p, err = sc.ReadFrame()
+			if err != nil {
+				return err
+			}
+			if typ != FrameProfile {
+				return errors.New("second frame is not a profile")
+			}
+			hdr, _, err := ParseProfile(p)
+			if err != nil {
+				return err
+			}
+			return sc.WriteFrame(FrameAck, AppendAck(nil, Ack{Seq: hdr.Seq}))
+		}()
+	}()
+
+	if err := cc.WritePreamble(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.WriteFrame(FrameHello, AppendHello(nil, Hello{Tenant: "t", Agent: "a"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.ReadPreamble(); err != nil {
+		t.Fatal(err)
+	}
+	typ, p, err := cc.ReadFrame()
+	if err != nil || typ != FrameWelcome {
+		t.Fatalf("welcome: %v %v", typ, err)
+	}
+	if _, err := ParseWelcome(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.WriteFrame(FrameProfile, AppendProfile(nil, ProfileHeader{Seq: 1, Epoch: 0}, []byte("bytes"))); err != nil {
+		t.Fatal(err)
+	}
+	typ, p, err = cc.ReadFrame()
+	if err != nil || typ != FrameAck {
+		t.Fatalf("ack: %v %v", typ, err)
+	}
+	if a, err := ParseAck(p); err != nil || a.Seq != 1 {
+		t.Fatalf("ack = %+v, %v", a, err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("server side: %v", err)
+	}
+}
