@@ -10,7 +10,10 @@ package hbbp
 //     internal/profstore and internal/fleetwire — import only the
 //     standard library (the DESIGN.md self-containment invariant), so
 //     the file formats and the wire protocol can be lifted into
-//     external tooling unchanged.
+//     external tooling unchanged. internal/tsstore gets the same
+//     treatment with one named exception: it may import profstore,
+//     whose codec its window files reuse — lifting tsstore means
+//     lifting the pair, still dependency-free.
 
 import (
 	"go/parser"
@@ -79,11 +82,18 @@ func TestCommandsAndExamplesUseOnlyTheFacade(t *testing.T) {
 // opaque bytes precisely so the protocol stays liftable) — the same
 // lift-out rule applies to all three.
 func TestFormatPackagesImportOnlyStdlib(t *testing.T) {
-	for _, pkg := range []string{"perffile", "profstore", "fleetwire"} {
+	// allowed maps a package to module-internal imports it may use
+	// beyond the stdlib; absent means none.
+	allowed := map[string]map[string]bool{
+		"tsstore": {"hbbp/internal/profstore": true},
+	}
+	for _, pkg := range []string{"perffile", "profstore", "fleetwire", "tsstore"} {
 		for _, file := range goFilesUnder(t, filepath.Join("internal", pkg)) {
 			for _, imp := range imports(t, file) {
 				if strings.HasPrefix(imp, "hbbp") {
-					t.Errorf("%s imports %q; %s must stay self-contained", file, imp, pkg)
+					if !allowed[pkg][imp] {
+						t.Errorf("%s imports %q; %s must stay self-contained", file, imp, pkg)
+					}
 					continue
 				}
 				// Standard-library import paths have no dot in their first

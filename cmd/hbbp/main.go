@@ -10,6 +10,10 @@
 //	     [-seed N]
 //	hbbp -merge A,B,C... [-view ...] [-top N]
 //	hbbp -diff BEFORE,AFTER [-threshold PP] [-top N]
+//	hbbp -series DIR -epoch N [-retain SPEC] [-workload NAME | -merge FILES]
+//	hbbp -series DIR [-since N] [-until N] [-view ...] [-top N]
+//	hbbp -series DIR -diff SINCE:UNTIL,SINCE:UNTIL [-threshold PP]
+//	hbbp -series DIR -trend [-trend-k N] [-trend-threshold PP]
 //	hbbp -list
 //
 // Workloads: any SPEC CPU2006 name (gcc, povray, lbm, ...), the
@@ -34,6 +38,24 @@
 // prints the selected view of the merged fleet mix. -diff loads a
 // before,after pair and prints the per-mnemonic share deltas, flagging
 // movements of at least -threshold percentage points as regressions.
+//
+// The time-series modes work on a profile series directory (written
+// by this command or by hbbpd -retain -save-dir), adding the epoch
+// axis. -series DIR -epoch N appends a profile at epoch N — captured
+// from a workload run, or merged from stored profile files when
+// -merge is also given — then applies the -retain ladder (e.g.
+// "1:8,4:4,16:0", or "default") and saves the store back atomically.
+// -series DIR alone queries: -since/-until merge the retained windows
+// overlapping that inclusive epoch range (defaults: the whole series)
+// and print the selected view. -series with -diff SINCE:UNTIL,
+// SINCE:UNTIL diffs two epoch windows of the same series. -trend
+// scans the newest -trend-k retained windows and reports every op and
+// function whose share of retirement moved monotonically across all
+// of them by at least -trend-threshold percentage points — the
+// regression detector's shape test: one-window spikes do not qualify.
+// All series failures exit non-zero with classified, actionable
+// messages (truncated index, mismatched window file, not enough
+// windows for the trend).
 package main
 
 import (
@@ -45,6 +67,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"hbbp"
@@ -71,6 +94,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	trained := fs.Bool("trained", false, "train the model on the corpus instead of the shipped rule")
 	seed := fs.Int64("seed", 1, "random seed")
 	list := fs.Bool("list", false, "list available workloads")
+	seriesDir := fs.String("series", "", "profile series directory for the time-series modes")
+	epoch := fs.Int64("epoch", -1, "with -series: append this run (or -merge FILES) at this epoch (-1 = query mode)")
+	retain := fs.String("retain", "", "with -series -epoch: downsample by this WIDTH:KEEP,... ladder after appending (\"default\" = "+hbbp.DefaultRetention().String()+")")
+	since := fs.Int64("since", -1, "with -series: first epoch of the query window (-1 = series start)")
+	until := fs.Int64("until", -1, "with -series: last epoch of the query window (-1 = series end)")
+	trend := fs.Bool("trend", false, "with -series: report ops/functions drifting monotonically across the newest windows")
+	trendK := fs.Int("trend-k", 0, "windows a -trend scan covers (0 = default 3)")
+	trendThreshold := fs.Float64("trend-threshold", hbbp.DefaultTrendThreshold*100, "minimum -trend drift in percentage points of share")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -107,6 +138,59 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if !ok {
 		fmt.Fprintf(stderr, "hbbp: unknown view %q (known: top, ext, packing, functions, rings)\n", *view)
 		return 2
+	}
+
+	// The time-series modes work on a series directory. -epoch selects
+	// append; -trend, -diff and the -since/-until window select the
+	// read-only queries.
+	if *epoch >= 0 && *seriesDir == "" {
+		fmt.Fprintln(stderr, "hbbp: -epoch needs -series DIR to append into")
+		return 2
+	}
+	if *trend && *seriesDir == "" {
+		fmt.Fprintln(stderr, "hbbp: -trend needs -series DIR to scan")
+		return 2
+	}
+	if (*since >= 0 || *until >= 0) && *seriesDir == "" {
+		fmt.Fprintln(stderr, "hbbp: -since/-until need -series DIR to query")
+		return 2
+	}
+	appendRun := false
+	var retention hbbp.RetentionPolicy
+	if *seriesDir != "" {
+		switch {
+		case *trend:
+			if *epoch >= 0 || *diff != "" {
+				fmt.Fprintln(stderr, "hbbp: -trend cannot be combined with -epoch or -diff")
+				return 2
+			}
+			return runTrend(*seriesDir, *trendK, *trendThreshold/100, *topN, stdout, stderr)
+		case *epoch >= 0:
+			if *diff != "" {
+				fmt.Fprintln(stderr, "hbbp: -epoch (append) cannot be combined with -diff")
+				return 2
+			}
+			// Resolve the ladder before any work — a bad spec must not
+			// cost a collection pass or touch the store.
+			if *retain == "default" {
+				retention = hbbp.DefaultRetention()
+			} else if *retain != "" {
+				var err error
+				if retention, err = hbbp.ParseRetention(*retain); err != nil {
+					fmt.Fprintf(stderr, "hbbp: -retain: %v\n", err)
+					return 2
+				}
+			}
+			if *merge != "" {
+				// Append pre-captured profiles: no collection run.
+				return runSeriesAppendFiles(*seriesDir, uint64(*epoch), strings.Split(*merge, ","), retention, stdout, stderr)
+			}
+			appendRun = true // run the workload below, append instead of rendering
+		case *diff != "":
+			return runSeriesDiff(*seriesDir, *diff, *threshold, *topN, stdout, stderr)
+		default:
+			return runSeriesQuery(*seriesDir, *since, *until, *view, render, stdout, stderr)
+		}
 	}
 
 	// The fleet modes work entirely on stored profiles: no workload
@@ -235,6 +319,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			*saveOut, len(sp.Blocks), len(sp.Ops), sp.TotalMass())
 	}
 
+	if appendRun {
+		sp, err := hbbp.CaptureProfile(prof, w.Name)
+		if err != nil {
+			fmt.Fprintf(stderr, "hbbp: %v\n", err)
+			return 1
+		}
+		return appendToSeries(*seriesDir, uint64(*epoch), []*hbbp.StoredProfile{sp}, retention, stdout, stderr)
+	}
 	fmt.Fprint(stdout, render(hbbp.Pivot(prof, hbbp.ViewOptions{LiveText: true})))
 	return 0
 }
@@ -340,4 +432,212 @@ func runDiff(before, after string, threshold float64, topN int, stdout, stderr i
 	rep := hbbp.DiffProfiles(b, a, threshold)
 	fmt.Fprint(stdout, rep.Render(topN))
 	return 0
+}
+
+// openSeries loads a series directory, translating the classified
+// decode errors into actionable messages the same way loadStored does
+// for single profiles: the message names the store and what to do
+// about it.
+func openSeries(dir string, stderr io.Writer) (*hbbp.ProfileSeries, bool) {
+	s, err := hbbp.OpenSeries(dir)
+	switch {
+	case errors.Is(err, hbbp.ErrSeriesVersion):
+		fmt.Fprintf(stderr, "hbbp: %s: %v\n", dir, err)
+		fmt.Fprintf(stderr, "hbbp: the series index was written by an incompatible hbbp version; re-save the series with this build\n")
+		return nil, false
+	case errors.Is(err, hbbp.ErrSeriesTruncated):
+		fmt.Fprintf(stderr, "hbbp: %s: %v\n", dir, err)
+		fmt.Fprintf(stderr, "hbbp: the series index is truncated — a save may have been interrupted; restore the directory from backup or rebuild it by re-appending epochs\n")
+		return nil, false
+	case errors.Is(err, hbbp.ErrSeriesMagic):
+		fmt.Fprintf(stderr, "hbbp: %s: %v\n", dir, err)
+		fmt.Fprintf(stderr, "hbbp: %s does not hold a profile series (expecting a directory written by -series -epoch or hbbpd -retain)\n", dir)
+		return nil, false
+	case errors.Is(err, hbbp.ErrSeriesWindowMismatch):
+		fmt.Fprintf(stderr, "hbbp: %s: %v\n", dir, err)
+		fmt.Fprintf(stderr, "hbbp: a window file disagrees with the series index — a torn copy or manual edit; restore the directory from a consistent save\n")
+		return nil, false
+	case err != nil:
+		fmt.Fprintf(stderr, "hbbp: %s: %v\n", dir, err)
+		return nil, false
+	}
+	return s, true
+}
+
+// appendToSeries opens (or creates) the series at dir, merges the
+// profiles into the given epoch, applies the retention ladder if one
+// was requested and saves the store back atomically.
+func appendToSeries(dir string, epoch uint64, profiles []*hbbp.StoredProfile, retention hbbp.RetentionPolicy, stdout, stderr io.Writer) int {
+	s, ok := openSeries(dir, stderr)
+	if !ok {
+		return 1
+	}
+	for _, sp := range profiles {
+		s.AppendEpoch(epoch, sp)
+	}
+	folds := 0
+	if _, hi, ok := s.Bounds(); ok && len(retention.Levels) > 0 {
+		folds = s.Downsample(retention, hi)
+	}
+	if err := s.Save(dir); err != nil {
+		fmt.Fprintf(stderr, "hbbp: saving series %s: %v (store unchanged on disk; fix the path or free space and re-run)\n", dir, err)
+		return 1
+	}
+	lo, hi, _ := s.Bounds()
+	fmt.Fprintf(stdout, "appended epoch %d to %s: %d windows over epochs %d-%d (%d folds)\n",
+		epoch, dir, s.Len(), lo, hi, folds)
+	return 0
+}
+
+// runSeriesAppendFiles implements -series -epoch -merge FILES: append
+// pre-captured stored profiles at one epoch without a collection run.
+func runSeriesAppendFiles(dir string, epoch uint64, names []string, retention hbbp.RetentionPolicy, stdout, stderr io.Writer) int {
+	profiles := make([]*hbbp.StoredProfile, 0, len(names))
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+		if names[i] == "" {
+			fmt.Fprintln(stderr, "hbbp: -merge: empty file name in list")
+			return 2
+		}
+	}
+	for _, name := range names {
+		sp, ok := loadStored(name, stderr)
+		if !ok {
+			return 1
+		}
+		profiles = append(profiles, sp)
+	}
+	return appendToSeries(dir, epoch, profiles, retention, stdout, stderr)
+}
+
+// resolveWindow turns the -since/-until flags (-1 = open end) into the
+// series' concrete inclusive epoch range.
+func resolveWindow(s *hbbp.ProfileSeries, since, until int64) (uint64, uint64) {
+	lo, hi, ok := s.Bounds()
+	if !ok {
+		return 1, 0 // empty series: an empty range
+	}
+	if since >= 0 {
+		lo = uint64(since)
+	}
+	if until >= 0 {
+		hi = uint64(until)
+	}
+	return lo, hi
+}
+
+// runSeriesQuery implements the windowed merge: load the series,
+// merge every retained window overlapping [since, until] and print
+// the selected view. An empty window is a non-zero exit — in a
+// pipeline, a query that matched nothing is a failure, not an empty
+// success.
+func runSeriesQuery(dir string, since, until int64, view string, render func(*hbbp.PivotTable) string, stdout, stderr io.Writer) int {
+	s, ok := openSeries(dir, stderr)
+	if !ok {
+		return 1
+	}
+	lo, hi := resolveWindow(s, since, until)
+	merged, spans := s.Window(lo, hi)
+	if len(spans) == 0 {
+		fmt.Fprintf(stderr, "hbbp: %s: no retained epochs in window [%d, %d]", dir, lo, hi)
+		if slo, shi, ok := s.Bounds(); ok {
+			fmt.Fprintf(stderr, " (series covers %d-%d)", slo, shi)
+		} else {
+			fmt.Fprint(stderr, " (series is empty)")
+		}
+		fmt.Fprintln(stderr)
+		return 1
+	}
+	fmt.Fprintf(stderr, "window [%d, %d]: %d windows (%s), %d runs, %d retired instructions\n",
+		lo, hi, len(spans), spanList(spans), merged.TotalRuns(), merged.TotalMass())
+	tab := hbbp.StoredPivot(merged)
+	if view == "functions" {
+		tab = hbbp.StoredBlockPivot(merged)
+	}
+	fmt.Fprint(stdout, render(tab))
+	return 0
+}
+
+// runSeriesDiff implements -series -diff SINCE:UNTIL,SINCE:UNTIL —
+// the windowed regression check: merge two epoch windows of one
+// series and print the movement report between them.
+func runSeriesDiff(dir, spec string, thresholdPP float64, topN int, stdout, stderr io.Writer) int {
+	if thresholdPP < 0 {
+		fmt.Fprintf(stderr, "hbbp: -threshold %g is negative\n", thresholdPP)
+		return 2
+	}
+	th := thresholdPP / 100
+	if thresholdPP == 0 {
+		th = math.SmallestNonzeroFloat64
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		fmt.Fprintf(stderr, "hbbp: -series -diff needs two windows as SINCE:UNTIL,SINCE:UNTIL (got %d)\n", len(parts))
+		return 2
+	}
+	var windows [2][2]uint64
+	for i, part := range parts {
+		a, b, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			fmt.Fprintf(stderr, "hbbp: -series -diff window %q is not SINCE:UNTIL\n", part)
+			return 2
+		}
+		var err error
+		if windows[i][0], err = strconv.ParseUint(a, 10, 64); err != nil {
+			fmt.Fprintf(stderr, "hbbp: -series -diff window %q: %v\n", part, err)
+			return 2
+		}
+		if windows[i][1], err = strconv.ParseUint(b, 10, 64); err != nil {
+			fmt.Fprintf(stderr, "hbbp: -series -diff window %q: %v\n", part, err)
+			return 2
+		}
+	}
+	s, ok := openSeries(dir, stderr)
+	if !ok {
+		return 1
+	}
+	var merged [2]*hbbp.StoredProfile
+	for i, w := range windows {
+		var spans []hbbp.SeriesSpan
+		merged[i], spans = s.Window(w[0], w[1])
+		if len(spans) == 0 {
+			fmt.Fprintf(stderr, "hbbp: %s: no retained epochs in window [%d, %d]\n", dir, w[0], w[1])
+			return 1
+		}
+		fmt.Fprintf(stderr, "window [%d, %d]: %s\n", w[0], w[1], spanList(spans))
+	}
+	rep := hbbp.DiffProfiles(merged[0], merged[1], th)
+	fmt.Fprint(stdout, rep.Render(topN))
+	return 0
+}
+
+// runTrend implements -series -trend: the monotonic-drift regression
+// detector over the newest k retained windows.
+func runTrend(dir string, k int, threshold float64, topN int, stdout, stderr io.Writer) int {
+	s, ok := openSeries(dir, stderr)
+	if !ok {
+		return 1
+	}
+	rep, err := s.Trend(hbbp.TrendOptions{K: k, Threshold: threshold})
+	switch {
+	case errors.Is(err, hbbp.ErrNotEnoughWindows):
+		fmt.Fprintf(stderr, "hbbp: %s: %v\n", dir, err)
+		fmt.Fprintf(stderr, "hbbp: append more epochs (the series retains %d windows) or lower -trend-k\n", s.Len())
+		return 1
+	case err != nil:
+		fmt.Fprintf(stderr, "hbbp: %v\n", err)
+		return 2
+	}
+	fmt.Fprint(stdout, rep.Render(topN))
+	return 0
+}
+
+// spanList renders contributing spans compactly for the stderr
+// provenance lines.
+func spanList(spans []hbbp.SeriesSpan) string {
+	parts := make([]string, len(spans))
+	for i, s := range spans {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " ")
 }

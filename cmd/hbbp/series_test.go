@@ -1,0 +1,249 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cli runs the command and returns its exit code plus both streams.
+func cli(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// seedSeries builds a series directory by appending pre-captured
+// stored profiles (fast: no repeated collection runs) across the
+// given epochs.
+func seedSeries(t *testing.T, dir, profFile string, epochs []string) {
+	t.Helper()
+	for _, e := range epochs {
+		code, _, stderr := cli(t, "-series", dir, "-epoch", e, "-merge", profFile)
+		if code != 0 {
+			t.Fatalf("append at epoch %s exited %d; stderr:\n%s", e, code, stderr)
+		}
+	}
+}
+
+// TestSeriesAppendAndWindowedQuery drives the happy path end to end:
+// a captured run appends across epochs (with retention), a full-range
+// query renders the view, and -since/-until narrow it.
+func TestSeriesAppendAndWindowedQuery(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "run.prof")
+	writeStoredProfile(t, "fitter-sse", prof)
+	sdir := filepath.Join(dir, "series")
+
+	// Append via a live run once (the run→capture→append path)...
+	code, stdout, stderr := cli(t, "-series", sdir, "-epoch", "0", "-workload", "test40")
+	if code != 0 {
+		t.Fatalf("run-append exited %d; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "appended epoch 0") {
+		t.Fatalf("no append confirmation:\n%s", stdout)
+	}
+	// ...then from the stored file for the rest, with retention.
+	for _, e := range []string{"1", "2", "3", "4", "5"} {
+		code, _, stderr := cli(t, "-series", sdir, "-epoch", e, "-merge", prof, "-retain", "1:2,4:0")
+		if code != 0 {
+			t.Fatalf("append at epoch %s exited %d; stderr:\n%s", e, code, stderr)
+		}
+	}
+
+	// The ladder folded old epochs: the index lists fewer than 6
+	// windows.
+	code, stdout, stderr = cli(t, "-series", sdir)
+	if code != 0 {
+		t.Fatalf("full query exited %d; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "MNEMONIC") {
+		t.Fatalf("query printed no view:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "window [0, 5]") {
+		t.Fatalf("no window provenance line:\n%s", stderr)
+	}
+
+	// Narrowed query: only the raw tail.
+	code, stdout, stderr = cli(t, "-series", sdir, "-since", "4", "-until", "5", "-view", "functions")
+	if code != 0 {
+		t.Fatalf("narrow query exited %d; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "FUNCTION") {
+		t.Fatalf("functions view missing:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "window [4, 5]") {
+		t.Fatalf("narrow provenance missing:\n%s", stderr)
+	}
+}
+
+// TestSeriesEmptyWindowExitsNonZero pins the pipeline contract: a
+// query matching no retained epochs is a failure that names the
+// window and what the series actually covers.
+func TestSeriesEmptyWindowExitsNonZero(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "run.prof")
+	writeStoredProfile(t, "test40", prof)
+	sdir := filepath.Join(dir, "series")
+	seedSeries(t, sdir, prof, []string{"10", "11"})
+
+	code, _, stderr := cli(t, "-series", sdir, "-since", "100", "-until", "200")
+	if code == 0 {
+		t.Fatal("empty window exited 0")
+	}
+	if !strings.Contains(stderr, "no retained epochs in window [100, 200]") {
+		t.Fatalf("message does not name the empty window:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "series covers 10-11") {
+		t.Fatalf("message does not say what the series covers:\n%s", stderr)
+	}
+}
+
+// TestSeriesTruncatedIndexClassified pins the typed-sentinel path: a
+// truncated index exits non-zero with the truncation diagnosis and an
+// actionable next step, not a generic parse error.
+func TestSeriesTruncatedIndexClassified(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "run.prof")
+	writeStoredProfile(t, "test40", prof)
+	sdir := filepath.Join(dir, "series")
+	seedSeries(t, sdir, prof, []string{"0", "1"})
+
+	idx := filepath.Join(sdir, "series.idx")
+	data, err := os.ReadFile(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(idx, data[:len(data)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range [][]string{
+		{"-series", sdir},
+		{"-series", sdir, "-trend"},
+		{"-series", sdir, "-epoch", "2", "-merge", prof},
+		{"-series", sdir, "-diff", "0:0,1:1"},
+	} {
+		code, _, stderr := cli(t, mode...)
+		if code == 0 {
+			t.Fatalf("%v exited 0 on a truncated index", mode)
+		}
+		if !strings.Contains(stderr, "truncated") {
+			t.Fatalf("%v did not diagnose truncation:\n%s", mode, stderr)
+		}
+	}
+
+	// Not-a-series classification too: wrong magic.
+	if err := os.WriteFile(idx, []byte("JPEGJPEG????????"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := cli(t, "-series", sdir)
+	if code == 0 {
+		t.Fatal("bad magic exited 0")
+	}
+	if !strings.Contains(stderr, "does not hold a profile series") {
+		t.Fatalf("bad magic not classified:\n%s", stderr)
+	}
+}
+
+// TestSeriesDiffWindows pins the windowed regression check between
+// two epoch ranges of one series, built from the vectorization case
+// study so the diff has real movement.
+func TestSeriesDiffWindows(t *testing.T) {
+	dir := t.TempDir()
+	before := filepath.Join(dir, "before.prof")
+	after := filepath.Join(dir, "after.prof")
+	writeStoredProfile(t, "fitter-x87", before)
+	writeStoredProfile(t, "fitter-sse", after)
+	sdir := filepath.Join(dir, "series")
+	seedSeries(t, sdir, before, []string{"0", "1"})
+	seedSeries(t, sdir, after, []string{"2", "3"})
+
+	code, stdout, stderr := cli(t, "-series", sdir, "-diff", "0:1,2:3", "-threshold", "0")
+	if code != 0 {
+		t.Fatalf("series diff exited %d; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "DIFF") {
+		t.Fatalf("no diff report:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "window [0, 1]") || !strings.Contains(stderr, "window [2, 3]") {
+		t.Fatalf("no window provenance:\n%s", stderr)
+	}
+
+	// Usage errors: malformed window specs are exit 2 before any I/O.
+	for _, spec := range []string{"0:1", "0:1,2:3,4:5", "a:b,0:1", "01,2:3"} {
+		code, _, _ := cli(t, "-series", sdir, "-diff", spec)
+		if code != 2 {
+			t.Errorf("-diff %q exited %d, want 2", spec, code)
+		}
+	}
+	// An empty window in an otherwise valid spec is a data failure.
+	if code, _, _ := cli(t, "-series", sdir, "-diff", "50:60,0:1"); code != 1 {
+		t.Errorf("empty diff window exited %d, want 1", code)
+	}
+}
+
+// TestSeriesTrend drives the trend detector end to end: the fitter
+// case study's x87→SSE→AVX progression moves vector-op share
+// monotonically, so the report flags risers and fallers; with too few
+// windows the command exits non-zero and says what to do.
+func TestSeriesTrend(t *testing.T) {
+	dir := t.TempDir()
+	sdir := filepath.Join(dir, "series")
+	for i, wl := range []string{"fitter-x87", "fitter-sse", "fitter-avx"} {
+		prof := filepath.Join(dir, wl+".prof")
+		writeStoredProfile(t, wl, prof)
+		seedSeries(t, sdir, prof, []string{string(rune('0' + i))})
+	}
+
+	code, stdout, stderr := cli(t, "-series", sdir, "-trend", "-trend-threshold", "0.1")
+	if code != 0 {
+		t.Fatalf("-trend exited %d; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "TREND") || !strings.Contains(stdout, "3 windows") {
+		t.Fatalf("no trend header:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "rising") && !strings.Contains(stdout, "falling") {
+		t.Fatalf("trend flagged nothing across the x87→SSE→AVX progression:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "->") {
+		t.Fatalf("no share trajectory in the report:\n%s", stdout)
+	}
+
+	// Not enough windows: k exceeds the series.
+	code, _, stderr = cli(t, "-series", sdir, "-trend", "-trend-k", "5")
+	if code == 0 {
+		t.Fatal("-trend with too few windows exited 0")
+	}
+	if !strings.Contains(stderr, "not enough retained windows") {
+		t.Fatalf("no classified diagnosis:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "lower -trend-k") {
+		t.Fatalf("no actionable next step:\n%s", stderr)
+	}
+}
+
+// TestSeriesUsageErrors pins the flag-combination contract: series
+// flags without -series, and conflicting modes, fail fast as usage
+// errors (exit 2) before any store is touched.
+func TestSeriesUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-epoch", "3"},
+		{"-trend"},
+		{"-since", "1"},
+		{"-until", "2"},
+		{"-series", "x", "-trend", "-epoch", "1"},
+		{"-series", "x", "-trend", "-diff", "0:1,2:3"},
+		{"-series", "x", "-epoch", "1", "-diff", "0:1,2:3"},
+		{"-series", "x", "-epoch", "1", "-merge", "f.prof", "-retain", "bogus"},
+	} {
+		code, _, stderr := cli(t, args...)
+		if code != 2 {
+			t.Errorf("%v exited %d, want 2; stderr:\n%s", args, code, stderr)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 //	hbbpd [-listen ADDR] [-queue N] [-workers N] [-max-frame BYTES]
 //	      [-enqueue-wait D] [-read-timeout D] [-write-timeout D]
 //	      [-stats-every D] [-save-dir DIR] [-drain-timeout D]
+//	      [-retain SPEC] [-epoch-lag N]
 //
 // The daemon prints "listening on ADDR" once the socket is open (with
 // -listen :0 this is how the chosen port is discovered), serves until
@@ -23,6 +24,17 @@
 // full past -enqueue-wait, the server refuses the profile with a
 // retryable overload nack and counts the shed against the tenant;
 // nothing is dropped silently and memory stays bounded.
+//
+// With -retain, the daemon also bounds its memory along the time
+// axis: completed epochs (those -epoch-lag behind a tenant's newest)
+// roll out of their live aggregators into a per-tenant profile series
+// downsampled by the given ladder — e.g. "1:8,4:4,16:0" keeps the
+// last 8 epochs raw, the 16 before those at 4 epochs per window, and
+// everything older at 16. Rolling is lossless: windowed queries over
+// the series merge bit-identical to the flat merge of the acked
+// profiles. On shutdown with -save-dir, each tenant's series is saved
+// to DIR/TENANT.series/ (readable by hbbp -series); without -retain
+// the historical per-epoch profile files are written instead.
 package main
 
 import (
@@ -35,7 +47,6 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -63,13 +74,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	readTimeout := fs.Duration("read-timeout", 0, "per-frame read deadline (0 = default 30s)")
 	writeTimeout := fs.Duration("write-timeout", 0, "per-frame write deadline (0 = default 10s)")
 	statsEvery := fs.Duration("stats-every", 0, "print an accounting snapshot this often (0 = only at exit)")
-	saveDir := fs.String("save-dir", "", "write each tenant/epoch aggregate to this directory on shutdown")
+	saveDir := fs.String("save-dir", "", "write each tenant/epoch aggregate (or, with -retain, each tenant's series) to this directory on shutdown")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight ingests to drain")
+	retain := fs.String("retain", "", "roll completed epochs into a downsampled series by this WIDTH:KEEP,... ladder (e.g. 1:8,4:4,16:0; \"default\" = "+hbbp.DefaultRetention().String()+"); empty keeps every epoch live")
+	epochLag := fs.Uint64("epoch-lag", 1, "epochs behind a tenant's newest before an epoch is considered complete and rolled (with -retain)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+
+	var retention hbbp.RetentionPolicy
+	if *retain == "default" {
+		retention = hbbp.DefaultRetention()
+	} else if *retain != "" {
+		var err error
+		if retention, err = hbbp.ParseRetention(*retain); err != nil {
+			fmt.Fprintf(stderr, "hbbpd: -retain: %v\n", err)
+			return 2
+		}
 	}
 
 	if *saveDir != "" {
@@ -95,6 +119,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		EnqueueWait:  *enqueueWait,
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
+		Retention:    retention,
+		EpochLag:     *epochLag,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(stderr, format+"\n", a...)
 		},
@@ -129,7 +155,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	stats := s.Stats()
 	printStats(stdout, stats)
 	if *saveDir != "" {
-		if err := saveSnapshots(s, stats, *saveDir, stderr); err != nil {
+		var err error
+		if len(retention.Levels) > 0 {
+			err = saveSeries(s, stats, *saveDir, stderr)
+		} else {
+			err = saveSnapshots(s, stats, *saveDir, stderr)
+		}
+		if err != nil {
 			fmt.Fprintf(stderr, "hbbpd: %v\n", err)
 			code = 1
 		}
@@ -143,19 +175,23 @@ func printStats(w io.Writer, st hbbp.FleetServerStats) {
 	fmt.Fprintf(w, "conns: accepted=%d active=%d handshake-failures=%d\n",
 		st.Accepted, st.ActiveConns, st.HandshakeFailures)
 	for _, ts := range st.Tenants {
-		fmt.Fprintf(w, "tenant %s: merged=%d duplicates=%d shed=%d rejected=%d corrupt=%d epochs=%d\n",
+		fmt.Fprintf(w, "tenant %s: merged=%d duplicates=%d shed=%d rejected=%d corrupt=%d epochs=%d",
 			ts.Tenant, ts.Merged, ts.Duplicates, ts.Shed, ts.Rejected, ts.Corrupt, len(ts.Epochs))
+		if len(ts.Windows) > 0 {
+			fmt.Fprintf(w, " windows=%d", len(ts.Windows))
+		}
+		fmt.Fprintln(w)
 	}
 }
 
 // saveSnapshots writes every tenant/epoch aggregate to dir, each via
 // an atomic temp-file-plus-rename so no partial profile can survive a
-// failure. The first error aborts the walk.
+// failure. Stats() already reports tenants and epochs sorted (the
+// fleetserver tests pin that), so the walk is deterministic as-is.
+// The first error aborts the walk.
 func saveSnapshots(s *hbbp.FleetServer, st hbbp.FleetServerStats, dir string, stderr io.Writer) error {
 	for _, ts := range st.Tenants {
-		epochs := append([]uint64(nil), ts.Epochs...)
-		sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
-		for _, epoch := range epochs {
+		for _, epoch := range ts.Epochs {
 			p := s.Snapshot(ts.Tenant, epoch)
 			if p == nil {
 				continue
@@ -166,6 +202,27 @@ func saveSnapshots(s *hbbp.FleetServer, st hbbp.FleetServerStats, dir string, st
 			}
 			fmt.Fprintf(stderr, "hbbpd: saved %s/%d to %s\n", ts.Tenant, epoch, path)
 		}
+	}
+	return nil
+}
+
+// saveSeries writes each tenant's full time axis — rolled windows
+// plus still-live epochs — as a series directory under dir, readable
+// by hbbp -series. The series' own save path is atomic per file with
+// the index written last, so a crash leaves a consistent store.
+func saveSeries(s *hbbp.FleetServer, st hbbp.FleetServerStats, dir string, stderr io.Writer) error {
+	for _, ts := range st.Tenants {
+		series := s.SeriesSnapshot(ts.Tenant)
+		if series.Len() == 0 {
+			continue
+		}
+		sdir := filepath.Join(dir, safeName(ts.Tenant)+".series")
+		if err := series.Save(sdir); err != nil {
+			return fmt.Errorf("saving series for %s: %w", ts.Tenant, err)
+		}
+		lo, hi, _ := series.Bounds()
+		fmt.Fprintf(stderr, "hbbpd: saved %s series (%d windows, epochs %d-%d) to %s\n",
+			ts.Tenant, series.Len(), lo, hi, sdir)
 	}
 	return nil
 }

@@ -73,6 +73,16 @@
 // [NewFlakyConn] and [NewFlakyListener] inject transport faults for
 // testing; examples/fleet shows the whole loop under fire.
 //
+// The time axis makes that fleet history queryable without unbounded
+// state: a [ProfileSeries] stores merged profiles per epoch, a
+// [RetentionPolicy] ladder folds old epochs into coarser windows
+// (losslessly — merging is exact, so any re-grouping equals the flat
+// merge bit for bit), windowed queries merge any epoch range, and
+// [ProfileSeries.Trend] flags ops and functions whose retirement share
+// moves monotonically across consecutive windows. Servers roll
+// completed epochs into a series online (FleetServerConfig.Retention),
+// and [OpenSeries] reloads what [ProfileSeries.Save] persisted.
+//
 // Determinism is the library's backbone: the same seed yields the same
 // samples, the same trained model and the same rendered tables, at any
 // parallelism, on the block-granularity fast path or the

@@ -8,6 +8,7 @@ import (
 	"hbbp/internal/fleetwire"
 	"hbbp/internal/perffile"
 	"hbbp/internal/profstore"
+	"hbbp/internal/tsstore"
 	"hbbp/internal/workloads"
 )
 
@@ -76,4 +77,19 @@ var (
 	// harness ([NewFlakyConn], [NewFlakyListener]) injects, so tests
 	// can tell deliberate faults from real transport failures.
 	ErrInjectedFault = fleetwire.ErrInjected
+	// ErrSeriesMagic reports an OpenSeries index file that is not a
+	// series index at all.
+	ErrSeriesMagic = tsstore.ErrBadMagic
+	// ErrSeriesTruncated reports a series index cut mid-record.
+	ErrSeriesTruncated = tsstore.ErrTruncatedRecord
+	// ErrSeriesVersion reports a series index written in a format
+	// version this library cannot read.
+	ErrSeriesVersion = tsstore.ErrUnsupportedVersion
+	// ErrSeriesWindowMismatch reports a series window file whose size
+	// or checksum disagrees with its index entry — a torn write, a
+	// stale file or a swap; re-save the series to repair.
+	ErrSeriesWindowMismatch = tsstore.ErrWindowMismatch
+	// ErrNotEnoughWindows reports a trend scan over a series with fewer
+	// retained windows than the requested k.
+	ErrNotEnoughWindows = tsstore.ErrNotEnoughWindows
 )

@@ -45,6 +45,7 @@ import (
 
 	"hbbp/internal/fleetwire"
 	"hbbp/internal/profstore"
+	"hbbp/internal/tsstore"
 )
 
 // Typed sentinels for ingest outcomes, following the façade's
@@ -88,6 +89,20 @@ type Config struct {
 	// (accept errors, handshake failures). Nil silences them.
 	Logf func(format string, args ...any)
 
+	// Retention, when non-empty, turns on epoch rolling: each tenant's
+	// completed epochs (see EpochLag) fold out of their live
+	// aggregators into a tsstore.Series downsampled by this ladder, so
+	// a long-lived daemon's memory is bounded by the ladder's window
+	// count instead of growing with every epoch ever seen. Empty (the
+	// zero value) keeps the historical behavior: every epoch's
+	// aggregator lives until shutdown.
+	Retention tsstore.Retention
+	// EpochLag is how many epochs behind a tenant's newest epoch an
+	// epoch must be before it is considered complete and rolled into
+	// the series; defaults to 1 (the newest epoch is always live,
+	// everything older rolls). Only meaningful with Retention set.
+	EpochLag uint64
+
 	// testIngestDelay slows every merge — the chaos suite's lever for
 	// forcing deterministic overload without a real slow disk.
 	testIngestDelay time.Duration
@@ -113,16 +128,28 @@ func (c Config) withDefaults() Config {
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
 	}
+	if c.EpochLag == 0 {
+		c.EpochLag = 1
+	}
 	return c
 }
+
+// rolling reports whether epoch rolling is configured.
+func (c Config) rolling() bool { return len(c.Retention.Levels) > 0 }
 
 // tenant is one tenant's aggregation state and drop accounting.
 type tenant struct {
 	name string
 
 	mu     sync.Mutex
-	epochs map[uint64]*profstore.Aggregator
+	epochs map[uint64]*epochEntry
 	agents map[string]*agentState
+	// series holds completed epochs rolled out of their aggregators,
+	// downsampled by the configured retention; nil when rolling is off.
+	// maxEpoch is the highest epoch this tenant has ever merged into —
+	// the clock the roll horizon is measured against.
+	series   *tsstore.Series
+	maxEpoch uint64
 
 	merged     atomic.Uint64 // profiles merged (first time)
 	duplicates atomic.Uint64 // re-sends answered without a second merge
@@ -140,17 +167,36 @@ type agentState struct {
 	lastSeq uint64
 }
 
-// epochAgg returns (creating if needed) the tenant's aggregator for
-// one epoch.
-func (t *tenant) epochAgg(epoch uint64) *profstore.Aggregator {
+// epochEntry is one live epoch's aggregator plus the number of merges
+// currently in flight against it. The count is what makes epoch
+// rolling safe alongside parallel ingest: a worker ingests without
+// holding the tenant lock, so roll must not snapshot-and-delete an
+// epoch a worker is still merging into — it skips entries with
+// inflight > 0, and the releasing worker triggers its own roll.
+type epochEntry struct {
+	agg      *profstore.Aggregator
+	inflight int
+}
+
+// acquireEpoch returns (creating if needed) the tenant's entry for one
+// epoch with an in-flight merge registered; pair with releaseEpoch.
+func (t *tenant) acquireEpoch(epoch uint64) *epochEntry {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	agg := t.epochs[epoch]
-	if agg == nil {
-		agg = profstore.NewAggregator()
-		t.epochs[epoch] = agg
+	ent := t.epochs[epoch]
+	if ent == nil {
+		ent = &epochEntry{agg: profstore.NewAggregator()}
+		t.epochs[epoch] = ent
 	}
-	return agg
+	ent.inflight++
+	return ent
+}
+
+// releaseEpoch retires one in-flight merge.
+func (t *tenant) releaseEpoch(ent *epochEntry) {
+	t.mu.Lock()
+	ent.inflight--
+	t.mu.Unlock()
 }
 
 // agent returns (creating if needed) the agent's dedup ledger.
@@ -262,7 +308,7 @@ func (s *Server) tenantFor(name string) *tenant {
 	if t == nil {
 		t = &tenant{
 			name:   name,
-			epochs: make(map[uint64]*profstore.Aggregator),
+			epochs: make(map[uint64]*epochEntry),
 			agents: make(map[string]*agentState),
 		}
 		s.tenants[name] = t
@@ -485,7 +531,9 @@ func (s *Server) worker() {
 			if err != nil {
 				r = jobReply{status: ingestRejected, msg: err.Error()}
 			} else {
-				j.t.epochAgg(j.epoch).Ingest(p)
+				ent := j.t.acquireEpoch(j.epoch)
+				ent.agg.Ingest(p)
+				j.t.releaseEpoch(ent)
 				j.agent.lastSeq = j.seq
 				r = jobReply{status: ingestMerged}
 			}
@@ -494,6 +542,7 @@ func (s *Server) worker() {
 		switch r.status {
 		case ingestMerged:
 			j.t.merged.Add(1)
+			s.roll(j.t, j.epoch)
 		case ingestDuplicate:
 			j.t.duplicates.Add(1)
 		case ingestRejected:
@@ -507,7 +556,11 @@ func (s *Server) worker() {
 // canonical profile bit-identical to profstore.Merge over exactly the
 // profiles acked into that pair — or nil if nothing has been merged
 // there. Safe during ingestion; see profstore.Aggregator.Snapshot for
-// the consistency contract.
+// the consistency contract. With epoch rolling configured the answer
+// covers only a still-live epoch: rolled epochs live in the tenant's
+// series, where folding may have merged them beyond per-epoch
+// recovery — query those through [Server.Window] or
+// [Server.SeriesSnapshot].
 func (s *Server) Snapshot(tenantName string, epoch uint64) *profstore.Profile {
 	s.mu.Lock()
 	tn := s.tenants[tenantName]
@@ -516,12 +569,12 @@ func (s *Server) Snapshot(tenantName string, epoch uint64) *profstore.Profile {
 		return nil
 	}
 	tn.mu.Lock()
-	agg := tn.epochs[epoch]
+	ent := tn.epochs[epoch]
 	tn.mu.Unlock()
-	if agg == nil {
+	if ent == nil {
 		return nil
 	}
-	return agg.Snapshot()
+	return ent.agg.Snapshot()
 }
 
 // TenantStats is one tenant's ingest ledger: what merged and every
@@ -544,8 +597,12 @@ type TenantStats struct {
 	// Corrupt counts frames lost to CRC mismatches, truncation or
 	// protocol violations after handshake.
 	Corrupt uint64
-	// Epochs lists the epochs holding merged state, ascending.
+	// Epochs lists the epochs holding live (unrolled) merged state,
+	// ascending.
 	Epochs []uint64
+	// Windows lists the retained series windows rolled out of live
+	// aggregators, ascending; empty unless epoch rolling is configured.
+	Windows []tsstore.Span
 }
 
 // Stats is a point-in-time view of the server's accounting.
@@ -587,6 +644,9 @@ func (s *Server) Stats() Stats {
 		t.mu.Lock()
 		for e := range t.epochs {
 			ts.Epochs = append(ts.Epochs, e)
+		}
+		if t.series != nil {
+			ts.Windows = t.series.Spans()
 		}
 		t.mu.Unlock()
 		sort.Slice(ts.Epochs, func(i, j int) bool { return ts.Epochs[i] < ts.Epochs[j] })

@@ -1,0 +1,87 @@
+package tsstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hbbp/internal/profstore"
+)
+
+// BenchmarkSeriesAppend measures folding one per-run profile into the
+// newest raw window — the daemon's per-roll hot path.
+func BenchmarkSeriesAppend(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := epochProfileBench(rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var s Series
+	for i := 0; i < b.N; i++ {
+		s.AppendEpoch(uint64(i/64), p)
+	}
+}
+
+// BenchmarkSeriesWindow measures a windowed query over a downsampled
+// 256-epoch series.
+func BenchmarkSeriesWindow(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var s Series
+	for e := uint64(0); e < 256; e++ {
+		s.AppendEpoch(e, epochProfileBench(rng))
+	}
+	s.Downsample(DefaultRetention(), 255)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, _ := s.Window(64, 255)
+		if len(p.Ops) == 0 {
+			b.Fatal("empty query")
+		}
+	}
+}
+
+// BenchmarkSeriesDownsample measures folding 256 raw epochs through
+// the default ladder in one pass.
+func BenchmarkSeriesDownsample(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var base Series
+	for e := uint64(0); e < 256; e++ {
+		base.AppendEpoch(e, epochProfileBench(rng))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := base.Clone()
+		b.StartTimer()
+		if s.Downsample(DefaultRetention(), 255) == 0 {
+			b.Fatal("nothing folded")
+		}
+	}
+}
+
+// epochProfileBench builds a mid-size profile (32 ops, 64 blocks) —
+// larger than epochProfile's so merge cost dominates bookkeeping.
+func epochProfileBench(rng *rand.Rand) *profstore.Profile {
+	p := &profstore.Profile{
+		Workloads: []profstore.WorkloadWeight{{Name: "bench", Runs: 1}},
+	}
+	for i := 0; i < 32; i++ {
+		p.Ops = append(p.Ops, profstore.OpMass{
+			Mnemonic: fmt.Sprintf("op%02d", i),
+			Ring:     uint8(i % 2),
+			Mass:     uint64(1 + rng.Intn(1<<16)),
+		})
+	}
+	for i := 0; i < 64; i++ {
+		p.Blocks = append(p.Blocks, profstore.Block{
+			Unit: "bench", Module: "a.out",
+			Function: fmt.Sprintf("f%02d", i%16),
+			Addr:     uint64(0x1000 + 64*i),
+			Ring:     profstore.RingUser,
+			Len:      uint32(1 + rng.Intn(12)),
+			Count:    uint64(1 + rng.Intn(1<<12)),
+		})
+	}
+	return profstore.Canonical(p)
+}

@@ -1,0 +1,301 @@
+package tsstore
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildSeries makes a deterministic multi-window series for disk tests.
+func buildSeries(t *testing.T, seed int64, epochs uint64) *Series {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var s Series
+	for e := uint64(0); e < epochs; e++ {
+		s.AppendEpoch(e, epochProfile(rng, e))
+	}
+	s.Downsample(DefaultRetention(), epochs-1)
+	return &s
+}
+
+// TestSaveOpenRoundTrip pins that a saved series reloads with the same
+// spans and byte-identical window profiles.
+func TestSaveOpenRoundTrip(t *testing.T) {
+	s := buildSeries(t, 10, 40)
+	dir := t.TempDir()
+	if err := s.Save(dir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("reloaded %d windows, saved %d", got.Len(), s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		wp, wspan := s.At(i)
+		gp, gspan := got.At(i)
+		if wspan != gspan {
+			t.Errorf("window %d span %v != %v", i, gspan, wspan)
+		}
+		if !bytes.Equal(profileBytes(t, wp), profileBytes(t, gp)) {
+			t.Errorf("window %d profile bytes differ", i)
+		}
+	}
+}
+
+// TestOpenMissingIsEmpty pins that a nonexistent or index-less
+// directory opens as an empty series.
+func TestOpenMissingIsEmpty(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || s.Len() != 0 {
+		t.Fatalf("Open(missing) = %d windows, %v", s.Len(), err)
+	}
+	dir := t.TempDir() // exists, no index
+	if s, err = Open(dir); err != nil || s.Len() != 0 {
+		t.Fatalf("Open(empty dir) = %d windows, %v", s.Len(), err)
+	}
+}
+
+// TestSaveSweepsStaleWindows pins that re-saving after a fold removes
+// the finer-grained window files the index no longer references.
+func TestSaveSweepsStaleWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var s Series
+	for e := uint64(0); e < 32; e++ {
+		s.AppendEpoch(e, epochProfile(rng, e))
+	}
+	dir := t.TempDir()
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	rawCount := countWindowFiles(t, dir)
+	if rawCount != 32 {
+		t.Fatalf("saved %d window files, want 32", rawCount)
+	}
+	s.Downsample(DefaultRetention(), 31)
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := countWindowFiles(t, dir); got != s.Len() {
+		t.Errorf("after fold+resave: %d window files on disk, series has %d windows", got, s.Len())
+	}
+	if _, err := Open(dir); err != nil {
+		t.Errorf("reopen after sweep: %v", err)
+	}
+}
+
+func countWindowFiles(t *testing.T, dir string) int {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, de := range des {
+		if name := de.Name(); len(name) > 8 && name[0] == 'w' && filepath.Ext(name) == ".hbbprof" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestOpenClassifiesIndexCorruption walks the classified failure
+// modes of the index decoder: wrong magic, truncation at every byte
+// offset, unsupported version, trailing data, implausible counts.
+func TestOpenClassifiesIndexCorruption(t *testing.T) {
+	s := buildSeries(t, 12, 24)
+	dir := t.TempDir()
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	idx := filepath.Join(dir, IndexName)
+	good, err := os.ReadFile(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := func() {
+		if err := os.WriteFile(idx, good, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		defer restore()
+		bad := append([]byte("NOTASER1"), good[8:]...)
+		os.WriteFile(idx, bad, 0o644)
+		if _, err := Open(dir); !errors.Is(err, ErrBadMagic) {
+			t.Errorf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("unsupported version", func(t *testing.T) {
+		defer restore()
+		bad := append([]byte(nil), good...)
+		bad[8], bad[9], bad[10], bad[11] = 0xff, 0xff, 0xff, 0xff
+		os.WriteFile(idx, bad, 0o644)
+		if _, err := Open(dir); !errors.Is(err, ErrUnsupportedVersion) {
+			t.Errorf("err = %v, want ErrUnsupportedVersion", err)
+		}
+	})
+	t.Run("truncated at every offset", func(t *testing.T) {
+		defer restore()
+		for cut := len(IndexMagic); cut < len(good); cut++ {
+			os.WriteFile(idx, good[:cut], 0o644)
+			_, err := Open(dir)
+			if err == nil {
+				t.Fatalf("cut at %d accepted", cut)
+			}
+			if !errors.Is(err, ErrTruncatedRecord) && !errors.Is(err, ErrUnsupportedVersion) {
+				t.Fatalf("cut at %d: err = %v, want ErrTruncatedRecord", cut, err)
+			}
+		}
+	})
+	t.Run("short non-magic is bad magic", func(t *testing.T) {
+		defer restore()
+		os.WriteFile(idx, []byte("XY"), 0o644)
+		if _, err := Open(dir); !errors.Is(err, ErrBadMagic) {
+			t.Errorf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("short genuine prefix is truncation", func(t *testing.T) {
+		defer restore()
+		os.WriteFile(idx, []byte(IndexMagic[:3]), 0o644)
+		if _, err := Open(dir); !errors.Is(err, ErrTruncatedRecord) {
+			t.Errorf("err = %v, want ErrTruncatedRecord", err)
+		}
+	})
+	t.Run("trailing data", func(t *testing.T) {
+		defer restore()
+		os.WriteFile(idx, append(append([]byte(nil), good...), 0x00), 0o644)
+		if _, err := Open(dir); err == nil {
+			t.Error("trailing byte accepted")
+		}
+	})
+}
+
+// TestOpenClassifiesWindowCorruption pins ErrWindowMismatch for torn,
+// swapped or missing window files, and profstore classification for a
+// window whose checksum matches but whose content is corrupt (i.e. the
+// index was rewritten around bad bytes).
+func TestOpenClassifiesWindowCorruption(t *testing.T) {
+	s := buildSeries(t, 13, 24)
+	dir := t.TempDir()
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	_, span := s.At(0)
+	winPath := filepath.Join(dir, windowFileName(span))
+	good, err := os.ReadFile(winPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated window file", func(t *testing.T) {
+		os.WriteFile(winPath, good[:len(good)-3], 0o644)
+		defer os.WriteFile(winPath, good, 0o644)
+		if _, err := Open(dir); !errors.Is(err, ErrWindowMismatch) {
+			t.Errorf("err = %v, want ErrWindowMismatch", err)
+		}
+	})
+	t.Run("bit flip same size", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[len(bad)/2] ^= 0x40
+		os.WriteFile(winPath, bad, 0o644)
+		defer os.WriteFile(winPath, good, 0o644)
+		if _, err := Open(dir); !errors.Is(err, ErrWindowMismatch) {
+			t.Errorf("err = %v, want ErrWindowMismatch", err)
+		}
+	})
+	t.Run("missing window file", func(t *testing.T) {
+		os.Remove(winPath)
+		defer os.WriteFile(winPath, good, 0o644)
+		if _, err := Open(dir); !errors.Is(err, ErrWindowMismatch) {
+			t.Errorf("err = %v, want ErrWindowMismatch", err)
+		}
+	})
+}
+
+// TestReadIndexRejectsStructuralLies covers decoder bounds readIndex
+// enforces beyond framing: lying counts and disordered windows.
+func TestReadIndexRejectsStructuralLies(t *testing.T) {
+	t.Run("implausible count", func(t *testing.T) {
+		buf := appendIndex(nil, nil)
+		// Rewrite the count varint to maxIndexWindows+1.
+		buf = buf[:len(IndexMagic)+4]
+		buf = appendUvarintForTest(buf, maxIndexWindows+1)
+		if _, err := readIndex(bytes.NewReader(buf)); err == nil {
+			t.Error("implausible count accepted")
+		}
+	})
+	t.Run("overlapping windows", func(t *testing.T) {
+		buf := appendIndex(nil, []indexEntry{
+			{span: Span{0, 5}}, {span: Span{5, 9}},
+		})
+		if _, err := readIndex(bytes.NewReader(buf)); err == nil {
+			t.Error("overlapping windows accepted")
+		}
+	})
+	t.Run("unsorted windows", func(t *testing.T) {
+		buf := appendIndex(nil, []indexEntry{
+			{span: Span{8, 9}}, {span: Span{0, 3}},
+		})
+		if _, err := readIndex(bytes.NewReader(buf)); err == nil {
+			t.Error("unsorted windows accepted")
+		}
+	})
+	t.Run("span overflow", func(t *testing.T) {
+		buf := append([]byte(IndexMagic), 1, 0, 0, 0) // version 1
+		buf = appendUvarintForTest(buf, 1)            // one window
+		buf = appendUvarintForTest(buf, ^uint64(0))   // start = max
+		buf = appendUvarintForTest(buf, 1)            // extent 1: overflows
+		if _, err := readIndex(bytes.NewReader(buf)); err == nil {
+			t.Error("span overflow accepted")
+		}
+	})
+}
+
+func appendUvarintForTest(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+// FuzzLoadIndex drives the series-index decoder with raw bytes: it
+// must never panic, and any accepted index must re-encode and re-read
+// to the same entries (decode/encode stability).
+func FuzzLoadIndex(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(IndexMagic))
+	f.Add(appendIndex(nil, nil))
+	f.Add(appendIndex(nil, []indexEntry{{span: Span{0, 0}, size: 10, crc: 0xdeadbeef}}))
+	f.Add(appendIndex(nil, []indexEntry{
+		{span: Span{0, 15}, size: 100, crc: 1},
+		{span: Span{16, 19}, size: 50, crc: 2},
+		{span: Span{20, 20}, size: 25, crc: 3},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := readIndex(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		re := appendIndex(nil, entries)
+		back, err := readIndex(bytes.NewReader(re))
+		if err != nil {
+			t.Fatalf("accepted index failed to re-read after re-encode: %v", err)
+		}
+		if len(back) != len(entries) {
+			t.Fatalf("re-read %d entries, had %d", len(back), len(entries))
+		}
+		for i := range back {
+			if back[i] != entries[i] {
+				t.Fatalf("entry %d changed across re-encode: %+v != %+v", i, back[i], entries[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package tsstore
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hbbp/internal/profstore"
+)
+
+// trendProfile builds one epoch's profile with explicit op masses and
+// one function's block count, so share trajectories are exact.
+func trendProfile(ops map[string]uint64, fnCounts map[string]uint64) *profstore.Profile {
+	p := &profstore.Profile{
+		Workloads: []profstore.WorkloadWeight{{Name: "w", Runs: 1}},
+	}
+	for m, mass := range ops {
+		p.Ops = append(p.Ops, profstore.OpMass{Mnemonic: m, Ring: profstore.RingUser, Mass: mass})
+	}
+	for fn, count := range fnCounts {
+		p.Blocks = append(p.Blocks, profstore.Block{
+			Unit: "u", Module: "m", Function: fn,
+			Addr: 0x1000, Ring: profstore.RingUser, Len: 1, Count: count,
+		})
+	}
+	return profstore.Canonical(p)
+}
+
+func trendSeries(profiles ...*profstore.Profile) *Series {
+	var s Series
+	for i, p := range profiles {
+		s.AppendEpoch(uint64(i), p)
+	}
+	return &s
+}
+
+// TestTrendFlagsMonotonicDrift pins the detector's core judgment: a
+// steady climb is flagged with the right direction and delta, a
+// one-window spike is not.
+func TestTrendFlagsMonotonicDrift(t *testing.T) {
+	// vaddps climbs 10% -> 20% -> 30% of op mass; add falls to match;
+	// mov spikes in the middle window only. Function hot.f climbs.
+	s := trendSeries(
+		trendProfile(map[string]uint64{"vaddps": 10, "add": 60, "mov": 30}, map[string]uint64{"hot": 10, "cold": 90}),
+		trendProfile(map[string]uint64{"vaddps": 20, "add": 40, "mov": 40}, map[string]uint64{"hot": 20, "cold": 80}),
+		trendProfile(map[string]uint64{"vaddps": 30, "add": 35, "mov": 35}, map[string]uint64{"hot": 30, "cold": 70}),
+	)
+	rep, err := s.Trend(TrendOptions{K: 3, Threshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Windows) != 3 {
+		t.Fatalf("windows = %v", rep.Windows)
+	}
+	byName := map[string]TrendEntry{}
+	for _, e := range rep.Ops {
+		byName[e.Name] = e
+	}
+	if _, ok := byName["mov"]; ok {
+		t.Error("non-monotonic mov flagged")
+	}
+	va, ok := byName["vaddps"]
+	if !ok {
+		t.Fatal("vaddps not flagged")
+	}
+	if va.Direction() != "rising" || va.Delta < 0.19 || va.Delta > 0.21 {
+		t.Errorf("vaddps delta %.3f direction %s", va.Delta, va.Direction())
+	}
+	ad, ok := byName["add"]
+	if !ok {
+		t.Fatal("add not flagged")
+	}
+	if ad.Direction() != "falling" {
+		t.Errorf("add direction %s", ad.Direction())
+	}
+
+	if len(rep.Functions) == 0 {
+		t.Fatal("no function trends")
+	}
+	names := []string{}
+	for _, e := range rep.Functions {
+		names = append(names, e.Name)
+	}
+	found := false
+	for _, n := range names {
+		if n == "u/m.hot" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("u/m.hot not flagged; functions = %v", names)
+	}
+
+	// Sorted by |Delta| descending.
+	for i := 1; i < len(rep.Ops); i++ {
+		if abs(rep.Ops[i].Delta) > abs(rep.Ops[i-1].Delta) {
+			t.Error("ops not sorted by |delta| desc")
+		}
+	}
+}
+
+// TestTrendThresholdGates pins that sub-threshold monotonic drift is
+// dropped.
+func TestTrendThresholdGates(t *testing.T) {
+	s := trendSeries(
+		trendProfile(map[string]uint64{"a": 1000, "b": 1000}, nil),
+		trendProfile(map[string]uint64{"a": 1001, "b": 1000}, nil),
+		trendProfile(map[string]uint64{"a": 1002, "b": 1000}, nil),
+	)
+	rep, err := s.Trend(TrendOptions{K: 3, Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Ops) != 0 {
+		t.Errorf("sub-threshold drift flagged: %+v", rep.Ops)
+	}
+}
+
+// TestTrendAppearingOp pins that an op absent from early windows reads
+// as share 0 there, so its appearance counts as a rise.
+func TestTrendAppearingOp(t *testing.T) {
+	s := trendSeries(
+		trendProfile(map[string]uint64{"add": 100}, nil),
+		trendProfile(map[string]uint64{"add": 90, "vgather": 10}, nil),
+		trendProfile(map[string]uint64{"add": 80, "vgather": 20}, nil),
+	)
+	rep, err := s.Trend(TrendOptions{K: 3, Threshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rep.Ops {
+		if e.Name == "vgather" {
+			if e.Shares[0] != 0 || e.Direction() != "rising" {
+				t.Errorf("vgather shares %v", e.Shares)
+			}
+			return
+		}
+	}
+	t.Error("appearing op not flagged")
+}
+
+// TestTrendErrors pins the failure modes a CLI turns into exit codes.
+func TestTrendErrors(t *testing.T) {
+	s := trendSeries(
+		trendProfile(map[string]uint64{"a": 1}, nil),
+		trendProfile(map[string]uint64{"a": 1}, nil),
+	)
+	_, err := s.Trend(TrendOptions{K: 3})
+	if !errors.Is(err, ErrNotEnoughWindows) {
+		t.Errorf("err = %v, want ErrNotEnoughWindows", err)
+	}
+	if _, err := s.Trend(TrendOptions{K: 1}); err == nil {
+		t.Error("k=1 accepted")
+	}
+	// Defaults: zero options resolve to DefaultTrendK windows.
+	if _, err := (&Series{}).Trend(TrendOptions{}); !errors.Is(err, ErrNotEnoughWindows) {
+		t.Errorf("empty series err = %v", err)
+	}
+}
+
+// TestTrendRender pins the report's rendered shape.
+func TestTrendRender(t *testing.T) {
+	s := trendSeries(
+		trendProfile(map[string]uint64{"vaddps": 10, "add": 90}, nil),
+		trendProfile(map[string]uint64{"vaddps": 20, "add": 80}, nil),
+		trendProfile(map[string]uint64{"vaddps": 30, "add": 70}, nil),
+	)
+	rep, err := s.Trend(TrendOptions{K: 3, Threshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Render(10)
+	for _, want := range []string{"TREND", "3 windows", "vaddps", "rising", "add", "falling", "->", "user"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Render(1) truncates each section.
+	if out1 := rep.Render(1); strings.Count(out1, "rising")+strings.Count(out1, "falling") > 1 {
+		t.Errorf("Render(1) shows more than one op row:\n%s", out1)
+	}
+}
