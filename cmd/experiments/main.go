@@ -4,6 +4,7 @@
 // Usage:
 //
 //	experiments [-experiment NAME] [-only NAMES] [-fast] [-seed N] [-parallel N]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //	experiments -list-workloads
 //
 // NAME is one of table1..table8, figure1..figure4, or "all" (default).
@@ -18,6 +19,10 @@
 // happens inside the worker pool, through the concurrency-safe spec
 // registry. -list-workloads prints that registry (the workload set the
 // experiments draw from) and exits.
+//
+// -cpuprofile FILE and -memprofile FILE write pprof profiles of the
+// experiment run itself (go tool pprof reads them) — the knob used to
+// find and verify the merge-kernel optimizations.
 package main
 
 import (
@@ -25,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,7 +47,37 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = all cores, 1 = sequential)")
 	listWorkloads := flag.Bool("list-workloads", false, "list the workload registry and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live mass
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *listWorkloads {
 		for _, info := range hbbp.Workloads() {

@@ -357,13 +357,12 @@ func saveStoredAtomic(path string, sp *hbbp.StoredProfile) error {
 // mismatch or truncation is the user's file, not their invocation, so
 // the message names the file and what is wrong with it.
 func loadStored(name string, stderr io.Writer) (*hbbp.StoredProfile, bool) {
-	f, err := os.Open(name)
+	data, err := os.ReadFile(name)
 	if err != nil {
 		fmt.Fprintf(stderr, "hbbp: %v\n", err)
 		return nil, false
 	}
-	defer f.Close()
-	sp, err := hbbp.LoadProfile(f)
+	sp, err := hbbp.LoadProfileBytes(data)
 	switch {
 	case errors.Is(err, hbbp.ErrProfileVersion):
 		fmt.Fprintf(stderr, "hbbp: %s: %v\n", name, err)

@@ -175,8 +175,8 @@ func printStats(w io.Writer, st hbbp.FleetServerStats) {
 	fmt.Fprintf(w, "conns: accepted=%d active=%d handshake-failures=%d\n",
 		st.Accepted, st.ActiveConns, st.HandshakeFailures)
 	for _, ts := range st.Tenants {
-		fmt.Fprintf(w, "tenant %s: merged=%d duplicates=%d shed=%d rejected=%d corrupt=%d epochs=%d",
-			ts.Tenant, ts.Merged, ts.Duplicates, ts.Shed, ts.Rejected, ts.Corrupt, len(ts.Epochs))
+		fmt.Fprintf(w, "tenant %s: merged=%d batches=%d duplicates=%d shed=%d rejected=%d corrupt=%d epochs=%d",
+			ts.Tenant, ts.Merged, ts.Batches, ts.Duplicates, ts.Shed, ts.Rejected, ts.Corrupt, len(ts.Epochs))
 		if len(ts.Windows) > 0 {
 			fmt.Fprintf(w, " windows=%d", len(ts.Windows))
 		}

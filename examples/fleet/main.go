@@ -178,16 +178,17 @@ func main() {
 					return
 				}
 				defer c.Close()
-				var mine []*hbbp.StoredProfile
+				// One batched round trip delivers the agent's whole
+				// epoch: same exactly-once ledger, 1/per the frames.
+				mine := make([]*hbbp.StoredProfile, 0, *per)
 				for i := 0; i < *per; i++ {
-					p := pool[(a+i)%len(pool)]
-					if err := c.Send(actx, epoch, p); err != nil {
-						mu.Lock()
-						failures++
-						mu.Unlock()
-						break
-					}
-					mine = append(mine, p)
+					mine = append(mine, pool[(a+i)%len(pool)])
+				}
+				if err := c.SendBatch(actx, epoch, mine); err != nil {
+					mu.Lock()
+					failures++
+					mu.Unlock()
+					mine = nil
 				}
 				st := c.Stats()
 				mu.Lock()

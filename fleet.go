@@ -70,6 +70,15 @@ func LoadProfile(r io.Reader) (*StoredProfile, error) {
 	return profstore.Load(r)
 }
 
+// LoadProfileBytes decodes one stored profile from an in-memory
+// buffer — [LoadProfile] without the reader indirection. When the
+// whole file is already in memory (os.ReadFile, a wire frame), this
+// path decodes through the interned kernel without an intermediate
+// copy.
+func LoadProfileBytes(data []byte) (*StoredProfile, error) {
+	return profstore.LoadBytes(data)
+}
+
 // MergeProfiles combines any number of stored profiles into one.
 // Mass accounting is integer addition over canonical keys, so the
 // result is bit-identical in any argument order or grouping; merging

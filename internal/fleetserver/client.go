@@ -137,6 +137,10 @@ type Client struct {
 
 	closed bool
 	stats  ClientStats
+
+	// frameBuf is the reused frame-encode scratch; safe because mu is
+	// held across every send, including its retries.
+	frameBuf []byte
 }
 
 // Dial validates cfg and connects to addr, retrying transient
@@ -186,7 +190,8 @@ func (c *Client) SendBytes(ctx context.Context, epoch uint64, payload []byte) er
 	}
 	c.seq++
 	seq := c.seq
-	frame := fleetwire.AppendProfile(nil, fleetwire.ProfileHeader{Seq: seq, Epoch: epoch}, payload)
+	c.frameBuf = fleetwire.AppendProfile(c.frameBuf[:0], fleetwire.ProfileHeader{Seq: seq, Epoch: epoch}, payload)
+	frame := c.frameBuf
 
 	for attempt := 1; ; attempt++ {
 		err := c.trySend(ctx, seq, frame)
@@ -201,6 +206,176 @@ func (c *Client) SendBytes(ctx context.Context, epoch uint64, payload []byte) er
 			return giveUp
 		}
 	}
+}
+
+// BatchItem is one profile for SendBatchBytes: a serialized stored
+// profile bound for one epoch.
+type BatchItem struct {
+	Epoch   uint64
+	Payload []byte
+}
+
+// SendBatch delivers several profiles for one epoch in batch frames —
+// one round trip per batch instead of one per profile. Each profile
+// still merges exactly once under the same retry semantics as Send.
+// Returns nil when every profile merged; ErrRejected (wrapped) when
+// the server permanently refused at least one entry (the others still
+// merged); any other error means the retry budget ran out with
+// profiles undelivered.
+func (c *Client) SendBatch(ctx context.Context, epoch uint64, profiles []*profstore.Profile) error {
+	items := make([]BatchItem, 0, len(profiles))
+	for _, p := range profiles {
+		data, err := profstore.AppendSave(nil, p)
+		if err != nil {
+			return err
+		}
+		items = append(items, BatchItem{Epoch: epoch, Payload: data})
+	}
+	return c.SendBatchBytes(ctx, items)
+}
+
+// SendBatchBytes is SendBatch for already-serialized profiles, each
+// with its own epoch. Entries are assigned consecutive sequence
+// numbers and sent as one batch frame; on resets or overload the
+// still-unconfirmed suffix retries as a smaller batch, with the
+// handshake resume point confirming anything merged before a lost ack.
+func (c *Client) SendBatchBytes(ctx context.Context, items []BatchItem) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	entries := make([]fleetwire.BatchEntry, len(items))
+	for i, it := range items {
+		c.seq++
+		entries[i] = fleetwire.BatchEntry{Seq: c.seq, Epoch: it.Epoch, Profile: it.Payload}
+	}
+	// done tracks entries confirmed merged (ack or resume point);
+	// rejection remembers permanent refusals so they are not re-sent.
+	done := make([]bool, len(entries))
+	var firstRejection error
+	rejections := 0
+	for attempt := 1; ; attempt++ {
+		err := c.trySendBatch(ctx, entries, done, &firstRejection, &rejections)
+		if err == nil {
+			if firstRejection != nil {
+				return fmt.Errorf("fleetserver: batch of %d: %d rejected (first: %v): %w",
+					len(entries), rejections, firstRejection, ErrRejected)
+			}
+			return nil
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		if giveUp := c.retryBudget(ctx, attempt, err); giveUp != nil {
+			return giveUp
+		}
+	}
+}
+
+// trySendBatch makes one delivery attempt for the batch's unresolved
+// entries. nil means every entry is resolved (merged, duplicate,
+// resume-skipped, or permanently rejected — recorded via firstRejection
+// rather than returned, so one bad entry cannot abort its batchmates).
+func (c *Client) trySendBatch(ctx context.Context, entries []fleetwire.BatchEntry,
+	done []bool, firstRejection *error, rejections *int) error {
+	if err := c.ensureConn(ctx); err != nil {
+		return err
+	}
+	// Resolve what the resume point already confirms, then collect the
+	// still-pending suffix. Indexes into entries ride along so verdicts
+	// map back.
+	var pending []fleetwire.BatchEntry
+	var idx []int
+	for i := range entries {
+		if done[i] {
+			continue
+		}
+		if entries[i].Seq <= c.serverSeq {
+			done[i] = true
+			c.stats.ResumeSkipped++
+			continue
+		}
+		pending = append(pending, entries[i])
+		idx = append(idx, i)
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+	c.frameBuf = fleetwire.AppendProfileBatch(c.frameBuf[:0], pending)
+	if err := c.wc.WriteFrame(fleetwire.FrameProfileBatch, c.frameBuf); err != nil {
+		c.dropConn()
+		c.stats.ConnErrors++
+		return err
+	}
+	c.stats.Sent += uint64(len(pending))
+	typ, payload, err := c.wc.ReadFrame()
+	if err != nil {
+		c.dropConn()
+		c.stats.ConnErrors++
+		return err
+	}
+	if typ != fleetwire.FrameAckBatch {
+		c.dropConn()
+		c.stats.ConnErrors++
+		return fmt.Errorf("fleetserver: unexpected %v frame awaiting batch verdicts: %w", typ, fleetwire.ErrProtocol)
+	}
+	verdicts, err := fleetwire.ParseAckBatch(payload)
+	if err != nil || len(verdicts) != len(pending) {
+		c.dropConn()
+		c.stats.ConnErrors++
+		return fmt.Errorf("fleetserver: bad batch ack (%d verdicts for %d entries): %w",
+			len(verdicts), len(pending), fleetwire.ErrProtocol)
+	}
+	var retryable error
+	for vi, v := range verdicts {
+		if v.Seq != pending[vi].Seq {
+			c.dropConn()
+			c.stats.ConnErrors++
+			return fmt.Errorf("fleetserver: batch verdict %d echoes seq %d, want %d: %w",
+				vi, v.Seq, pending[vi].Seq, fleetwire.ErrProtocol)
+		}
+		i := idx[vi]
+		switch v.Status {
+		case fleetwire.BatchMerged, fleetwire.BatchDuplicate:
+			done[i] = true
+			c.stats.Acked++
+			if v.Status == fleetwire.BatchDuplicate {
+				c.stats.DuplicateAcks++
+			}
+			if v.Seq > c.serverSeq {
+				c.serverSeq = v.Seq
+			}
+		case fleetwire.BatchNacked:
+			switch v.Code {
+			case fleetwire.NackBadProfile:
+				// Permanent: resolve the entry, remember the refusal.
+				done[i] = true
+				c.stats.RejectedNacks++
+				*rejections++
+				if *firstRejection == nil {
+					*firstRejection = fmt.Errorf("seq %d: %s", v.Seq, v.Msg)
+				}
+			case fleetwire.NackOverloaded:
+				c.stats.OverloadNacks++
+				retryable = fmt.Errorf("fleetserver: seq %d: %w", v.Seq, ErrOverloaded)
+			default:
+				// Shutting down or future codes: retry on a fresh
+				// connection.
+				retryable = fmt.Errorf("fleetserver: seq %d refused: %s (code %d)", v.Seq, v.Msg, v.Code)
+			}
+		}
+	}
+	if retryable != nil {
+		if !errors.Is(retryable, ErrOverloaded) {
+			c.dropConn()
+		}
+		return retryable
+	}
+	return nil
 }
 
 // trySend makes one delivery attempt: connect if needed, check the

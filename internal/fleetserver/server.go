@@ -32,7 +32,6 @@
 package fleetserver
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"io"
@@ -156,6 +155,7 @@ type tenant struct {
 	shed       atomic.Uint64 // profiles nacked NackOverloaded
 	rejected   atomic.Uint64 // profiles nacked NackBadProfile
 	corrupt    atomic.Uint64 // frames lost to CRC/truncation/protocol errors
+	batches    atomic.Uint64 // batch frames answered with per-entry verdicts
 }
 
 // agentState is the per-agent exactly-once ledger: the highest
@@ -211,20 +211,29 @@ func (t *tenant) agent(name string) *agentState {
 	return ag
 }
 
-// job is one admitted profile on its way to a merge.
+// job is one admitted unit of ingest on its way to a merge: a single
+// profile (entries nil) or a whole batch. A batch is deliberately ONE
+// job, not one per entry: the agent's watermark demands the entries
+// apply in sequence order as an atomic run under the agent lock, and a
+// single queue slot keeps the backpressure accounting whole-batch.
 type job struct {
 	t     *tenant
 	agent *agentState
 	seq   uint64
 	epoch uint64
 	body  []byte
-	reply chan jobReply
+	// entries, when non-nil, makes this a batch job; seq/epoch/body are
+	// unused and the reply carries per-entry verdicts.
+	entries []fleetwire.BatchEntry
+	reply   chan jobReply
 }
 
 // jobReply is a worker's verdict on one job.
 type jobReply struct {
 	status ingestStatus
 	msg    string
+	// verdicts answers a batch job, one per entry in entry order.
+	verdicts []fleetwire.BatchVerdict
 }
 
 type ingestStatus uint8
@@ -364,6 +373,15 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 
+	// Per-connection scratch: the protocol is strictly one in-flight
+	// exchange per connection, so one job, one reply channel and one
+	// ack buffer serve the connection's whole life — the reply is
+	// always awaited before the next frame, so the worker is done with
+	// the job before it is refilled.
+	reply := make(chan jobReply, 1)
+	connJob := &job{}
+	var ackBuf []byte
+
 	for {
 		if s.isClosing() {
 			return
@@ -377,6 +395,12 @@ func (s *Server) handle(conn net.Conn) {
 				tn.corrupt.Add(1)
 			}
 			return
+		}
+		if typ == fleetwire.FrameProfileBatch {
+			if !s.handleBatch(wc, tn, ag, payload, connJob, reply) {
+				return
+			}
+			continue
 		}
 		if typ != fleetwire.FrameProfile {
 			tn.corrupt.Add(1)
@@ -395,16 +419,15 @@ func (s *Server) handle(conn net.Conn) {
 		ag.mu.Unlock()
 		if dup {
 			tn.duplicates.Add(1)
-			if err := wc.WriteFrame(fleetwire.FrameAck,
-				fleetwire.AppendAck(nil, fleetwire.Ack{Seq: hdr.Seq, Duplicate: true})); err != nil {
+			ackBuf = fleetwire.AppendAck(ackBuf[:0], fleetwire.Ack{Seq: hdr.Seq, Duplicate: true})
+			if err := wc.WriteFrame(fleetwire.FrameAck, ackBuf); err != nil {
 				return
 			}
 			continue
 		}
 
-		j := &job{t: tn, agent: ag, seq: hdr.Seq, epoch: hdr.Epoch, body: body,
-			reply: make(chan jobReply, 1)}
-		if !s.enqueue(j) {
+		*connJob = job{t: tn, agent: ag, seq: hdr.Seq, epoch: hdr.Epoch, body: body, reply: reply}
+		if !s.enqueue(connJob) {
 			if s.isClosing() {
 				// Refused because the server is draining: explicit,
 				// retryable elsewhere, never merged.
@@ -428,12 +451,12 @@ func (s *Server) handle(conn net.Conn) {
 
 		// The worker always replies — shutdown drains the queue before
 		// the workers exit — so a merged profile is always answered.
-		r := <-j.reply
+		r := <-reply
 		switch r.status {
 		case ingestMerged, ingestDuplicate:
-			if err := wc.WriteFrame(fleetwire.FrameAck,
-				fleetwire.AppendAck(nil, fleetwire.Ack{Seq: hdr.Seq,
-					Duplicate: r.status == ingestDuplicate})); err != nil {
+			ackBuf = fleetwire.AppendAck(ackBuf[:0], fleetwire.Ack{Seq: hdr.Seq,
+				Duplicate: r.status == ingestDuplicate})
+			if err := wc.WriteFrame(fleetwire.FrameAck, ackBuf); err != nil {
 				return
 			}
 		case ingestRejected:
@@ -444,6 +467,44 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		}
 	}
+}
+
+// handleBatch answers one batch frame: parse, admit as ONE queue job
+// (whole-batch backpressure), reply with per-entry verdicts. Returns
+// false when the connection should close. The entries alias the
+// connection's read buffer; that is safe because the reply is awaited
+// — and the bytes fully consumed — before the next ReadFrame.
+func (s *Server) handleBatch(wc *fleetwire.Conn, tn *tenant, ag *agentState, payload []byte, j *job, reply chan jobReply) bool {
+	entries, err := fleetwire.ParseProfileBatch(payload)
+	if err != nil {
+		tn.corrupt.Add(1)
+		return false
+	}
+	tn.batches.Add(1)
+	*j = job{t: tn, agent: ag, entries: entries, reply: reply}
+	if !s.enqueue(j) {
+		code, msg := fleetwire.NackOverloaded, "ingest queue full"
+		if s.isClosing() {
+			code, msg = fleetwire.NackShuttingDown, "server draining"
+		} else {
+			// Whole-batch shed: the queue refused the unit, so every
+			// entry is counted dropped before the nack is attempted.
+			tn.shed.Add(uint64(len(entries)))
+		}
+		verdicts := make([]fleetwire.BatchVerdict, len(entries))
+		for i := range entries {
+			verdicts[i] = fleetwire.BatchVerdict{Seq: entries[i].Seq,
+				Status: fleetwire.BatchNacked, Code: code, Msg: msg}
+		}
+		if err := wc.WriteFrame(fleetwire.FrameAckBatch,
+			fleetwire.AppendAckBatch(nil, verdicts)); err != nil {
+			return false
+		}
+		return !s.isClosing()
+	}
+	r := <-reply
+	return wc.WriteFrame(fleetwire.FrameAckBatch,
+		fleetwire.AppendAckBatch(nil, r.verdicts)) == nil
 }
 
 // handshake validates the preamble and hello and answers with the
@@ -514,10 +575,17 @@ func (s *Server) enqueue(j *job) bool {
 
 // worker merges admitted profiles. The dedup check, the merge and the
 // ledger commit are one atomic step under the agent's lock, so a
-// profile can never merge twice no matter how it was re-sent.
+// profile can never merge twice no matter how it was re-sent. Profiles
+// decode straight into interned form (profstore.LoadInterned) and feed
+// the aggregator as integer rows — the wire path never materializes a
+// string-keyed profile.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for j := range s.queue {
+		if j.entries != nil {
+			j.reply <- s.processBatch(j)
+			continue
+		}
 		if s.cfg.testIngestDelay > 0 {
 			time.Sleep(s.cfg.testIngestDelay)
 		}
@@ -527,12 +595,12 @@ func (s *Server) worker() {
 		case j.seq <= j.agent.lastSeq:
 			r = jobReply{status: ingestDuplicate}
 		default:
-			p, err := profstore.Load(bytes.NewReader(j.body))
+			in, err := profstore.LoadInterned(j.body)
 			if err != nil {
 				r = jobReply{status: ingestRejected, msg: err.Error()}
 			} else {
 				ent := j.t.acquireEpoch(j.epoch)
-				ent.agg.Ingest(p)
+				ent.agg.IngestInterned(in)
 				j.t.releaseEpoch(ent)
 				j.agent.lastSeq = j.seq
 				r = jobReply{status: ingestMerged}
@@ -550,6 +618,55 @@ func (s *Server) worker() {
 		}
 		j.reply <- r
 	}
+}
+
+// processBatch applies one batch job: every entry in sequence order
+// under the agent lock, each with the same dedup/merge/reject
+// semantics a single-profile job has. A bad entry is refused and
+// skipped without advancing the watermark for it — later entries still
+// merge (their higher seqs then advance the ledger past the refused
+// one, which is sound: BadProfile is permanent, re-sending the same
+// bytes could never succeed).
+func (s *Server) processBatch(j *job) jobReply {
+	verdicts := make([]fleetwire.BatchVerdict, 0, len(j.entries))
+	var merged, dups, rejected uint64
+	var maxMergedEpoch uint64
+	j.agent.mu.Lock()
+	for i := range j.entries {
+		e := &j.entries[i]
+		if s.cfg.testIngestDelay > 0 {
+			time.Sleep(s.cfg.testIngestDelay)
+		}
+		if e.Seq <= j.agent.lastSeq {
+			dups++
+			verdicts = append(verdicts, fleetwire.BatchVerdict{Seq: e.Seq, Status: fleetwire.BatchDuplicate})
+			continue
+		}
+		in, err := profstore.LoadInterned(e.Profile)
+		if err != nil {
+			rejected++
+			verdicts = append(verdicts, fleetwire.BatchVerdict{Seq: e.Seq,
+				Status: fleetwire.BatchNacked, Code: fleetwire.NackBadProfile, Msg: err.Error()})
+			continue
+		}
+		ent := j.t.acquireEpoch(e.Epoch)
+		ent.agg.IngestInterned(in)
+		j.t.releaseEpoch(ent)
+		j.agent.lastSeq = e.Seq
+		merged++
+		if e.Epoch > maxMergedEpoch {
+			maxMergedEpoch = e.Epoch
+		}
+		verdicts = append(verdicts, fleetwire.BatchVerdict{Seq: e.Seq, Status: fleetwire.BatchMerged})
+	}
+	j.agent.mu.Unlock()
+	j.t.merged.Add(merged)
+	j.t.duplicates.Add(dups)
+	j.t.rejected.Add(rejected)
+	if merged > 0 {
+		s.roll(j.t, maxMergedEpoch)
+	}
+	return jobReply{verdicts: verdicts}
 }
 
 // Snapshot returns the merged profile for one tenant and epoch — a
@@ -597,6 +714,9 @@ type TenantStats struct {
 	// Corrupt counts frames lost to CRC mismatches, truncation or
 	// protocol violations after handshake.
 	Corrupt uint64
+	// Batches counts batch frames answered with per-entry verdicts
+	// (their entries are counted in the per-profile fields above).
+	Batches uint64
 	// Epochs lists the epochs holding live (unrolled) merged state,
 	// ascending.
 	Epochs []uint64
@@ -640,6 +760,7 @@ func (s *Server) Stats() Stats {
 			Shed:       t.shed.Load(),
 			Rejected:   t.rejected.Load(),
 			Corrupt:    t.corrupt.Load(),
+			Batches:    t.batches.Load(),
 		}
 		t.mu.Lock()
 		for e := range t.epochs {

@@ -62,8 +62,9 @@ const frameOverhead = 1 + 4 + 4
 // FrameType identifies a frame's message kind.
 type FrameType uint8
 
-// The protocol's frame types. Hello and Profile flow agent to server;
-// Welcome, Ack and Nack flow server to agent.
+// The protocol's frame types. Hello, Profile and ProfileBatch flow
+// agent to server; Welcome, Ack, Nack and AckBatch flow server to
+// agent.
 const (
 	// FrameHello identifies the agent: tenant and agent ID.
 	FrameHello FrameType = 1
@@ -80,6 +81,13 @@ const (
 	// FrameNack refuses a profile with a reason code; the profile was
 	// NOT merged.
 	FrameNack FrameType = 5
+	// FrameProfileBatch carries several profiles in one frame, each
+	// with its own sequence number and epoch; answered by one
+	// FrameAckBatch with a verdict per entry.
+	FrameProfileBatch FrameType = 6
+	// FrameAckBatch answers a FrameProfileBatch: one per-entry verdict
+	// (merged, duplicate, or nacked with a reason) in entry order.
+	FrameAckBatch FrameType = 7
 )
 
 // String names a frame type for diagnostics.
@@ -95,6 +103,10 @@ func (t FrameType) String() string {
 		return "ack"
 	case FrameNack:
 		return "nack"
+	case FrameProfileBatch:
+		return "profile-batch"
+	case FrameAckBatch:
+		return "ack-batch"
 	}
 	return fmt.Sprintf("frame(%d)", uint8(t))
 }
@@ -143,35 +155,50 @@ func AppendFrame(dst []byte, t FrameType, payload []byte) []byte {
 // inside the frame returns ErrFrameTruncated; a checksum mismatch
 // returns ErrFrameCorrupt.
 func ReadFrame(r io.Reader, maxFrame int) (FrameType, []byte, error) {
+	t, payload, _, err := readFrameScratch(r, maxFrame, nil)
+	return t, payload, err
+}
+
+// readFrameScratch is ReadFrame decoding into a reusable buffer: the
+// returned payload aliases the returned scratch slice, which grows as
+// needed and is handed back for the next call. A nil scratch allocates
+// fresh (ReadFrame's semantics).
+func readFrameScratch(r io.Reader, maxFrame int, scratch []byte) (FrameType, []byte, []byte, error) {
 	if maxFrame <= 0 {
 		maxFrame = DefaultMaxFrame
 	}
 	var head [5]byte
 	if _, err := io.ReadFull(r, head[:1]); err != nil {
 		if err == io.EOF {
-			return 0, nil, io.EOF // clean close between frames
+			return 0, nil, scratch, io.EOF // clean close between frames
 		}
-		return 0, nil, classifyRead("frame type", err)
+		return 0, nil, scratch, classifyRead("frame type", err)
 	}
 	if _, err := io.ReadFull(r, head[1:]); err != nil {
-		return 0, nil, classifyRead("frame header", err)
+		return 0, nil, scratch, classifyRead("frame header", err)
 	}
 	t := FrameType(head[0])
 	n := binary.LittleEndian.Uint32(head[1:])
 	if n > uint32(maxFrame) {
-		return 0, nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, n, maxFrame)
+		return 0, nil, scratch, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, n, maxFrame)
 	}
-	body := make([]byte, int(n)+4)
+	need := int(n) + 4
+	body := scratch
+	if cap(body) < need {
+		body = make([]byte, need)
+		scratch = body
+	}
+	body = body[:need]
 	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, classifyRead("frame payload", err)
+		return 0, nil, scratch, classifyRead("frame payload", err)
 	}
 	payload := body[:n]
 	sum := crc32.Checksum(head[:], castagnoli)
 	sum = crc32.Update(sum, castagnoli, payload)
 	if got := binary.LittleEndian.Uint32(body[n:]); got != sum {
-		return 0, nil, fmt.Errorf("%w: %s frame, %#08x != %#08x", ErrFrameCorrupt, t, got, sum)
+		return 0, nil, scratch, fmt.Errorf("%w: %s frame, %#08x != %#08x", ErrFrameCorrupt, t, got, sum)
 	}
-	return t, payload, nil
+	return t, payload, scratch, nil
 }
 
 // classifyRead maps a mid-frame read failure to its sentinel: an early
@@ -206,6 +233,7 @@ type Conn struct {
 	bw   *bufio.Writer
 	cfg  ConnConfig
 	wbuf []byte
+	rbuf []byte
 }
 
 // NewConn wraps c for framed exchange.
@@ -277,12 +305,18 @@ func (c *Conn) WriteFrame(t FrameType, payload []byte) error {
 }
 
 // ReadFrame reads one frame under the configured deadline and size
-// limit.
+// limit. The payload is decoded into a buffer the connection owns and
+// reuses: it is valid only until the next ReadFrame on c, and callers
+// that keep profile bytes past that point must copy them. The protocol
+// is strictly request/response, so in practice each frame is fully
+// handled — parsed, merged or copied — before the next read.
 func (c *Conn) ReadFrame() (FrameType, []byte, error) {
 	if err := c.armRead(); err != nil {
 		return 0, nil, err
 	}
-	return ReadFrame(c.br, c.cfg.MaxFrame)
+	t, payload, scratch, err := readFrameScratch(c.br, c.cfg.MaxFrame, c.rbuf)
+	c.rbuf = scratch
+	return t, payload, err
 }
 
 // armRead sets the read deadline for the next read, if one is
@@ -527,6 +561,197 @@ func ParseNack(p []byte) (Nack, error) {
 		return Nack{}, err
 	}
 	return n, nil
+}
+
+// maxBatchEntries bounds the profiles in one batch frame: far above
+// any sane sender (the frame size limit binds first), low enough that
+// a lying count cannot buy an implausible allocation.
+const maxBatchEntries = 1 << 16
+
+// batchPrealloc caps the entry prealloc so a corrupt count fails on
+// parse, not on make.
+const batchPrealloc = 1 << 10
+
+// BatchEntry is one profile inside a batch frame.
+type BatchEntry struct {
+	// Seq and Epoch are the entry's ProfileHeader fields; seqs in one
+	// batch are strictly ascending (the watermark protocol depends on
+	// in-order application).
+	Seq, Epoch uint64
+	// Profile is the opaque stored-profile bytes. On parse it aliases
+	// the frame payload.
+	Profile []byte
+}
+
+// AppendProfileBatch encodes a batch frame payload: an entry count,
+// then per entry its seq, epoch, and length-prefixed profile bytes.
+func AppendProfileBatch(dst []byte, entries []BatchEntry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	for i := range entries {
+		e := &entries[i]
+		dst = binary.AppendUvarint(dst, e.Seq)
+		dst = binary.AppendUvarint(dst, e.Epoch)
+		dst = binary.AppendUvarint(dst, uint64(len(e.Profile)))
+		dst = append(dst, e.Profile...)
+	}
+	return dst
+}
+
+// ParseProfileBatch decodes a batch frame payload. Entry profile bytes
+// alias p. Zero-entry batches, non-ascending sequence numbers and
+// zero seqs are protocol violations: the server applies a batch as one
+// in-order unit against the agent's watermark, so a disordered batch
+// could never ack coherently.
+func ParseProfileBatch(p []byte) ([]BatchEntry, error) {
+	n, p, err := parseUvarint(p, "batch count")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty profile batch", ErrProtocol)
+	}
+	if n > maxBatchEntries {
+		return nil, fmt.Errorf("%w: batch of %d profiles (limit %d)", ErrProtocol, n, maxBatchEntries)
+	}
+	pre := n
+	if pre > batchPrealloc {
+		pre = batchPrealloc
+	}
+	entries := make([]BatchEntry, 0, pre)
+	for i := uint64(0); i < n; i++ {
+		var e BatchEntry
+		if e.Seq, p, err = parseUvarint(p, "batch entry seq"); err != nil {
+			return nil, err
+		}
+		if e.Epoch, p, err = parseUvarint(p, "batch entry epoch"); err != nil {
+			return nil, err
+		}
+		if e.Seq == 0 {
+			return nil, fmt.Errorf("%w: batch entry seq 0 (sequence numbers start at 1)", ErrProtocol)
+		}
+		if len(entries) > 0 && e.Seq <= entries[len(entries)-1].Seq {
+			return nil, fmt.Errorf("%w: batch seqs not ascending (%d after %d)",
+				ErrProtocol, e.Seq, entries[len(entries)-1].Seq)
+		}
+		var size uint64
+		if size, p, err = parseUvarint(p, "batch entry size"); err != nil {
+			return nil, err
+		}
+		if size > uint64(len(p)) {
+			return nil, fmt.Errorf("%w: batch entry %d ends early (%d bytes declared, %d left)",
+				ErrProtocol, i, size, len(p))
+		}
+		e.Profile, p = p[:size], p[size:]
+		entries = append(entries, e)
+	}
+	if err := expectEnd(p, "profile batch"); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// BatchStatus is one entry's outcome inside a batch ack.
+type BatchStatus uint8
+
+const (
+	// BatchMerged: the entry was merged now.
+	BatchMerged BatchStatus = 0
+	// BatchDuplicate: the entry was already merged by an earlier send.
+	BatchDuplicate BatchStatus = 1
+	// BatchNacked: the entry was refused; Code and Msg say why.
+	BatchNacked BatchStatus = 2
+)
+
+// String names a batch status.
+func (s BatchStatus) String() string {
+	switch s {
+	case BatchMerged:
+		return "merged"
+	case BatchDuplicate:
+		return "duplicate"
+	case BatchNacked:
+		return "nacked"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// BatchVerdict is one entry's verdict in a batch ack, in batch order.
+type BatchVerdict struct {
+	// Seq echoes the entry's sequence number.
+	Seq uint64
+	// Status is the outcome.
+	Status BatchStatus
+	// Code classifies a refusal; only meaningful when Status is
+	// BatchNacked.
+	Code NackCode
+	// Msg carries optional refusal detail.
+	Msg string
+}
+
+// AppendAckBatch encodes a batch ack payload.
+func AppendAckBatch(dst []byte, verdicts []BatchVerdict) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(verdicts)))
+	for i := range verdicts {
+		v := &verdicts[i]
+		dst = binary.AppendUvarint(dst, v.Seq)
+		dst = binary.AppendUvarint(dst, uint64(v.Status))
+		if v.Status == BatchNacked {
+			dst = binary.AppendUvarint(dst, uint64(v.Code))
+			dst = appendString(dst, v.Msg)
+		}
+	}
+	return dst
+}
+
+// ParseAckBatch decodes a batch ack payload.
+func ParseAckBatch(p []byte) ([]BatchVerdict, error) {
+	n, p, err := parseUvarint(p, "ack-batch count")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty batch ack", ErrProtocol)
+	}
+	if n > maxBatchEntries {
+		return nil, fmt.Errorf("%w: batch ack of %d verdicts (limit %d)", ErrProtocol, n, maxBatchEntries)
+	}
+	pre := n
+	if pre > batchPrealloc {
+		pre = batchPrealloc
+	}
+	verdicts := make([]BatchVerdict, 0, pre)
+	for i := uint64(0); i < n; i++ {
+		var v BatchVerdict
+		if v.Seq, p, err = parseUvarint(p, "ack-batch seq"); err != nil {
+			return nil, err
+		}
+		var status uint64
+		if status, p, err = parseUvarint(p, "ack-batch status"); err != nil {
+			return nil, err
+		}
+		if status > uint64(BatchNacked) {
+			return nil, fmt.Errorf("%w: batch verdict status %d", ErrProtocol, status)
+		}
+		v.Status = BatchStatus(status)
+		if v.Status == BatchNacked {
+			var code uint64
+			if code, p, err = parseUvarint(p, "ack-batch code"); err != nil {
+				return nil, err
+			}
+			if code == 0 || code > 255 {
+				return nil, fmt.Errorf("%w: batch nack code %d", ErrProtocol, code)
+			}
+			v.Code = NackCode(code)
+			if v.Msg, p, err = parseString(p, "ack-batch message"); err != nil {
+				return nil, err
+			}
+		}
+		verdicts = append(verdicts, v)
+	}
+	if err := expectEnd(p, "ack batch"); err != nil {
+		return nil, err
+	}
+	return verdicts, nil
 }
 
 // appendString appends a uvarint-length-prefixed string.

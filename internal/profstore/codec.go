@@ -1,12 +1,10 @@
 package profstore
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 )
 
 // prealloc bounds an up-front slice capacity claimed by a section
@@ -38,6 +36,13 @@ func prealloc(n uint64) int {
 // Sections are written from the canonical profile, so equal profiles
 // serialize to identical bytes, and the string table (sorted unique
 // strings) is itself canonical.
+//
+// The on-disk form and the in-memory [Interned] form are the same
+// shape — sorted unique string table, index-keyed rows in canonical
+// order — so encode is a flat dump of the interned profile and decode
+// verifies the invariants instead of rebuilding them: a file this
+// package wrote is interned by construction, and the canonicalizing
+// path only runs for streams written by something else.
 
 // Magic identifies a stored profile.
 const Magic = "HBBPROF1"
@@ -68,125 +73,100 @@ const (
 	// preallocCap bounds up-front slice allocation; a stream claiming
 	// more entries earns them by actually carrying the bytes.
 	preallocCap = 1 << 12
+	// maxBlockLen bounds a block's instruction count.
+	maxBlockLen = 1 << 20
 )
 
 // Save writes the profile in the stored format. The profile is
 // canonicalized first, so any two equal profiles — regardless of how
 // they were assembled — produce identical bytes.
 func Save(w io.Writer, p *Profile) error {
-	if p == nil {
-		return fmt.Errorf("profstore: Save of a nil profile")
-	}
-	p = Canonical(p)
-
-	// String table: sorted unique strings; the canonical profile's
-	// sorted sections make first-use order non-deterministic-looking
-	// but a sorted table is simplest to reason about.
-	index := make(map[string]uint64)
-	var table []string
-	intern := func(s string) {
-		if _, ok := index[s]; !ok {
-			index[s] = 0 // placeholder; assigned after sort
-			table = append(table, s)
-		}
-	}
-	for _, wl := range p.Workloads {
-		intern(wl.Name)
-	}
-	for i := range p.Blocks {
-		intern(p.Blocks[i].Unit)
-		intern(p.Blocks[i].Module)
-		intern(p.Blocks[i].Function)
-	}
-	for _, o := range p.Ops {
-		intern(o.Mnemonic)
-	}
-	sort.Strings(table)
-	for i, s := range table {
-		index[s] = uint64(i)
-	}
-
-	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.WriteString(Magic); err != nil {
-		return err
-	}
-	var v [4]byte
-	binary.LittleEndian.PutUint32(v[:], Version)
-	if _, err := bw.Write(v[:]); err != nil {
-		return err
-	}
-	var buf []byte
-	flush := func() error {
-		_, err := bw.Write(buf)
-		buf = buf[:0]
-		return err
-	}
-
-	buf = binary.AppendUvarint(buf, uint64(len(table)))
-	for _, s := range table {
-		buf = binary.AppendUvarint(buf, uint64(len(s)))
-		buf = append(buf, s...)
-	}
-	buf = binary.AppendUvarint(buf, uint64(len(p.Workloads)))
-	for _, wl := range p.Workloads {
-		buf = binary.AppendUvarint(buf, index[wl.Name])
-		buf = binary.AppendUvarint(buf, wl.Runs)
-	}
-	if err := flush(); err != nil {
-		return err
-	}
-	buf = binary.AppendUvarint(buf, uint64(len(p.Blocks)))
-	for i := range p.Blocks {
-		b := &p.Blocks[i]
-		buf = binary.AppendUvarint(buf, index[b.Unit])
-		buf = binary.AppendUvarint(buf, index[b.Module])
-		buf = binary.AppendUvarint(buf, index[b.Function])
-		buf = binary.AppendUvarint(buf, b.Addr)
-		buf = binary.AppendUvarint(buf, uint64(b.Ring))
-		buf = binary.AppendUvarint(buf, uint64(b.Len))
-		buf = binary.AppendUvarint(buf, b.Count)
-		if len(buf) >= 1<<15 {
-			if err := flush(); err != nil {
-				return err
-			}
-		}
-	}
-	if err := flush(); err != nil {
-		return err
-	}
-	buf = binary.AppendUvarint(buf, uint64(len(p.Ops)))
-	for _, o := range p.Ops {
-		buf = binary.AppendUvarint(buf, index[o.Mnemonic])
-		buf = binary.AppendUvarint(buf, uint64(o.Ring))
-		buf = binary.AppendUvarint(buf, o.Mass)
-		if len(buf) >= 1<<15 {
-			if err := flush(); err != nil {
-				return err
-			}
-		}
-	}
-	if err := flush(); err != nil {
-		return err
-	}
-	return bw.Flush()
-}
-
-// decoder wraps the varint read path with truncation classification.
-type decoder struct {
-	r *bufio.Reader
-}
-
-// uvarint reads one varint; a stream ending inside it is a truncated
-// record.
-func (d *decoder) uvarint(what string) (uint64, error) {
-	v, err := binary.ReadUvarint(d.r)
+	buf, err := AppendSave(nil, p)
 	if err != nil {
-		return 0, classifyReadError(what, err)
+		return err
 	}
-	return v, nil
+	_, err = w.Write(buf)
+	return err
 }
 
-// classifyReadError maps a mid-stream read failure to the sentinel it
+// AppendSave appends the profile's stored form to dst and returns the
+// extended slice — Save without the Writer round-trip, for callers
+// assembling frames or reusing buffers.
+func AppendSave(dst []byte, p *Profile) ([]byte, error) {
+	if p == nil {
+		return nil, fmt.Errorf("profstore: Save of a nil profile")
+	}
+	return Intern(p).appendStored(dst), nil
+}
+
+// appendStored dumps the interned profile: the symbol table is already
+// the format's sorted unique string table, and row IDs are already the
+// table indexes the format wants.
+func (in *Interned) appendStored(dst []byte) []byte {
+	dst = append(dst, Magic...)
+	dst = binary.LittleEndian.AppendUint32(dst, Version)
+	dst = binary.AppendUvarint(dst, uint64(len(in.syms)))
+	for _, s := range in.syms {
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(in.workloads)))
+	for _, w := range in.workloads {
+		dst = binary.AppendUvarint(dst, uint64(w.name))
+		dst = binary.AppendUvarint(dst, w.runs)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(in.blocks)))
+	for i := range in.blocks {
+		b := &in.blocks[i]
+		dst = binary.AppendUvarint(dst, uint64(b.unit))
+		dst = binary.AppendUvarint(dst, uint64(b.module))
+		dst = binary.AppendUvarint(dst, uint64(b.function))
+		dst = binary.AppendUvarint(dst, b.addr)
+		dst = binary.AppendUvarint(dst, uint64(b.ring))
+		dst = binary.AppendUvarint(dst, uint64(b.blen))
+		dst = binary.AppendUvarint(dst, b.count)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(in.ops)))
+	for i := range in.ops {
+		o := &in.ops[i]
+		dst = binary.AppendUvarint(dst, uint64(o.mnemonic))
+		dst = binary.AppendUvarint(dst, uint64(o.ring))
+		dst = binary.AppendUvarint(dst, o.mass)
+	}
+	return dst
+}
+
+// byteDecoder walks a fully-buffered stream. Running out of bytes is a
+// truncated record by definition — I/O errors cannot happen here, so
+// the classification old streaming decoders had to do per read site is
+// built into the two primitives.
+type byteDecoder struct {
+	data []byte
+	off  int
+}
+
+func (d *byteDecoder) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n > 0 {
+		d.off += n
+		return v, nil
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("%w: %s: %w", ErrTruncatedRecord, what, io.ErrUnexpectedEOF)
+	}
+	return 0, fmt.Errorf("profstore: reading %s: varint overflows a 64-bit integer", what)
+}
+
+func (d *byteDecoder) take(n uint64, what string) ([]byte, error) {
+	if uint64(len(d.data)-d.off) < n {
+		return nil, fmt.Errorf("%w: %s: %w", ErrTruncatedRecord, what, io.ErrUnexpectedEOF)
+	}
+	b := d.data[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b, nil
+}
+
+// classifyReadError maps a stream read failure to the sentinel it
 // deserves, exactly as perffile does: an early end is a truncated
 // record; any other I/O failure keeps its own identity so callers do
 // not mistake a retryable read for file corruption. The cause stays on
@@ -198,34 +178,64 @@ func classifyReadError(what string, err error) error {
 	return fmt.Errorf("profstore: reading %s: %w", what, err)
 }
 
+// badMagicPrefix reports whether a stream that ended early was never a
+// stored profile to begin with: a short stream that does not even
+// start with the magic is a wrong-file-type error, not a truncated
+// one. Only a genuine magic prefix earns the truncation classification.
+func badMagicPrefix(data []byte) bool {
+	prefix := len(data)
+	if prefix > len(Magic) {
+		prefix = len(Magic)
+	}
+	return string(data[:prefix]) != Magic[:prefix]
+}
+
 // Load reads one stored profile. Malformed streams return errors
 // matching [ErrBadMagic], [ErrTruncatedRecord] or
 // [ErrUnsupportedVersion] under errors.Is. The result is canonical:
 // a well-formed but unsorted or duplicated stream (which this package
 // never writes) is normalized on the way in.
 func Load(r io.Reader) (*Profile, error) {
-	d := &decoder{r: bufio.NewReaderSize(r, 1<<16)}
-	head := make([]byte, len(Magic)+4)
-	if n, err := io.ReadFull(d.r, head); err != nil {
-		// A short stream that does not even start with the magic was
-		// never a stored profile — that is a wrong-file-type error,
-		// not a truncated one. Only a genuine magic prefix earns the
-		// truncation classification.
-		prefix := n
-		if prefix > len(Magic) {
-			prefix = len(Magic)
-		}
-		if string(head[:prefix]) != Magic[:prefix] {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		if badMagicPrefix(data) {
 			return nil, ErrBadMagic
 		}
-		return nil, classifyReadError("header", err)
+		return nil, classifyReadError("stream", err)
 	}
-	if string(head[:len(Magic)]) != Magic {
+	return LoadBytes(data)
+}
+
+// LoadBytes is Load for a fully-buffered stream.
+func LoadBytes(data []byte) (*Profile, error) {
+	in, err := LoadInterned(data)
+	if err != nil {
+		return nil, err
+	}
+	return in.Profile(), nil
+}
+
+// LoadInterned decodes a stored profile straight into interned form,
+// without materializing string-keyed rows: row keys stay integer
+// tuples against the file's own string table. Files this package
+// writes are canonical on disk — sorted unique table, rows ascending
+// by integer key — so the decode is a verify-only pass; anything else
+// is canonicalized the long way. Error classification matches [Load].
+// The returned Interned copies what it needs: data may be reused.
+func LoadInterned(data []byte) (*Interned, error) {
+	if len(data) < len(Magic)+4 {
+		if badMagicPrefix(data) {
+			return nil, ErrBadMagic
+		}
+		return nil, classifyReadError("header", io.ErrUnexpectedEOF)
+	}
+	if string(data[:len(Magic)]) != Magic {
 		return nil, ErrBadMagic
 	}
-	if v := binary.LittleEndian.Uint32(head[len(Magic):]); v != Version {
+	if v := binary.LittleEndian.Uint32(data[len(Magic):]); v != Version {
 		return nil, fmt.Errorf("%w: %d", ErrUnsupportedVersion, v)
 	}
+	d := &byteDecoder{data: data, off: len(Magic) + 4}
 
 	nStrings, err := d.uvarint("string table size")
 	if err != nil {
@@ -235,7 +245,6 @@ func Load(r io.Reader) (*Profile, error) {
 		return nil, fmt.Errorf("profstore: implausible string table size %d", nStrings)
 	}
 	table := make([]string, 0, prealloc(nStrings))
-	buf := make([]byte, 0, 64)
 	for i := uint64(0); i < nStrings; i++ {
 		n, err := d.uvarint("string length")
 		if err != nil {
@@ -244,21 +253,18 @@ func Load(r io.Reader) (*Profile, error) {
 		if n > maxStringLen {
 			return nil, fmt.Errorf("profstore: implausible string length %d", n)
 		}
-		if uint64(cap(buf)) < n {
-			buf = make([]byte, n)
+		b, err := d.take(n, "string")
+		if err != nil {
+			return nil, err
 		}
-		buf = buf[:n]
-		if _, err := io.ReadFull(d.r, buf); err != nil {
-			return nil, classifyReadError("string", err)
-		}
-		table = append(table, string(buf))
+		table = append(table, string(b))
 	}
-	str := func(idx uint64, what string) (string, error) {
+	symIdx := func(idx uint64, what string) (uint32, error) {
 		if idx >= uint64(len(table)) {
-			return "", fmt.Errorf("profstore: %s string index %d out of range (table has %d)",
+			return 0, fmt.Errorf("profstore: %s string index %d out of range (table has %d)",
 				what, idx, len(table))
 		}
-		return table[idx], nil
+		return uint32(idx), nil
 	}
 	ring := func(v uint64) (uint8, error) {
 		if v > 255 {
@@ -267,7 +273,7 @@ func Load(r io.Reader) (*Profile, error) {
 		return uint8(v), nil
 	}
 
-	p := &Profile{}
+	in := &Interned{syms: table}
 	nWorkloads, err := d.uvarint("workload count")
 	if err != nil {
 		return nil, err
@@ -275,13 +281,15 @@ func Load(r io.Reader) (*Profile, error) {
 	if nWorkloads > maxEntries {
 		return nil, fmt.Errorf("profstore: implausible workload count %d", nWorkloads)
 	}
-	p.Workloads = make([]WorkloadWeight, 0, prealloc(nWorkloads))
+	if nWorkloads > 0 {
+		in.workloads = make([]iWorkload, 0, prealloc(nWorkloads))
+	}
 	for i := uint64(0); i < nWorkloads; i++ {
 		nameIdx, err := d.uvarint("workload name")
 		if err != nil {
 			return nil, err
 		}
-		name, err := str(nameIdx, "workload name")
+		name, err := symIdx(nameIdx, "workload name")
 		if err != nil {
 			return nil, err
 		}
@@ -289,7 +297,7 @@ func Load(r io.Reader) (*Profile, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.Workloads = append(p.Workloads, WorkloadWeight{Name: name, Runs: runs})
+		in.workloads = append(in.workloads, iWorkload{name: name, runs: runs})
 	}
 
 	nBlocks, err := d.uvarint("block count")
@@ -299,9 +307,11 @@ func Load(r io.Reader) (*Profile, error) {
 	if nBlocks > maxEntries {
 		return nil, fmt.Errorf("profstore: implausible block count %d", nBlocks)
 	}
-	p.Blocks = make([]Block, 0, prealloc(nBlocks))
+	if nBlocks > 0 {
+		in.blocks = make([]iBlock, 0, prealloc(nBlocks))
+	}
 	for i := uint64(0); i < nBlocks; i++ {
-		var b Block
+		var b iBlock
 		var fields [7]uint64
 		for fi, what := range [7]string{
 			"block unit", "block module", "block function",
@@ -312,25 +322,25 @@ func Load(r io.Reader) (*Profile, error) {
 				return nil, err
 			}
 		}
-		if b.Unit, err = str(fields[0], "block unit"); err != nil {
+		if b.unit, err = symIdx(fields[0], "block unit"); err != nil {
 			return nil, err
 		}
-		if b.Module, err = str(fields[1], "block module"); err != nil {
+		if b.module, err = symIdx(fields[1], "block module"); err != nil {
 			return nil, err
 		}
-		if b.Function, err = str(fields[2], "block function"); err != nil {
+		if b.function, err = symIdx(fields[2], "block function"); err != nil {
 			return nil, err
 		}
-		b.Addr = fields[3]
-		if b.Ring, err = ring(fields[4]); err != nil {
+		b.addr = fields[3]
+		if b.ring, err = ring(fields[4]); err != nil {
 			return nil, err
 		}
-		if fields[5] > 1<<20 {
+		if fields[5] > maxBlockLen {
 			return nil, fmt.Errorf("profstore: implausible block length %d", fields[5])
 		}
-		b.Len = uint32(fields[5])
-		b.Count = fields[6]
-		p.Blocks = append(p.Blocks, b)
+		b.blen = uint32(fields[5])
+		b.count = fields[6]
+		in.blocks = append(in.blocks, b)
 	}
 
 	nOps, err := d.uvarint("op count")
@@ -340,36 +350,78 @@ func Load(r io.Reader) (*Profile, error) {
 	if nOps > maxEntries {
 		return nil, fmt.Errorf("profstore: implausible op count %d", nOps)
 	}
-	p.Ops = make([]OpMass, 0, prealloc(nOps))
+	if nOps > 0 {
+		in.ops = make([]iOp, 0, prealloc(nOps))
+	}
 	for i := uint64(0); i < nOps; i++ {
-		var o OpMass
+		var o iOp
 		mnIdx, err := d.uvarint("op mnemonic")
 		if err != nil {
 			return nil, err
 		}
-		if o.Mnemonic, err = str(mnIdx, "op mnemonic"); err != nil {
+		if o.mnemonic, err = symIdx(mnIdx, "op mnemonic"); err != nil {
 			return nil, err
 		}
 		rv, err := d.uvarint("op ring")
 		if err != nil {
 			return nil, err
 		}
-		if o.Ring, err = ring(rv); err != nil {
+		if o.ring, err = ring(rv); err != nil {
 			return nil, err
 		}
-		if o.Mass, err = d.uvarint("op mass"); err != nil {
+		if o.mass, err = d.uvarint("op mass"); err != nil {
 			return nil, err
 		}
-		p.Ops = append(p.Ops, o)
+		in.ops = append(in.ops, o)
 	}
 	// The ops section is the last one: a well-formed stream ends here.
 	// Trailing bytes mean the section counts lied (e.g. a corrupted
 	// count varint shrank a section), so the mass parsed so far cannot
 	// be trusted either.
-	if _, err := d.r.ReadByte(); err == nil {
+	if d.off != len(data) {
 		return nil, fmt.Errorf("profstore: trailing data after profile")
-	} else if err != io.EOF {
-		return nil, fmt.Errorf("profstore: reading trailer: %w", err)
 	}
-	return Canonical(p), nil
+	if in.isCanonicalInterned() {
+		return in, nil
+	}
+	// A stream some other writer produced: unsorted table or rows,
+	// duplicate strings, zero masses. Materialize and re-intern, which
+	// canonicalizes — exactly what the accepting fuzz property demands.
+	return Intern(in.Profile()), nil
+}
+
+// isCanonicalInterned verifies the decode-side invariants the fast
+// path relies on: a strictly-ascending symbol table (sorted + unique,
+// so ID order is string order) and strictly-ascending, zero-free rows.
+func (in *Interned) isCanonicalInterned() bool {
+	for i := 1; i < len(in.syms); i++ {
+		if in.syms[i-1] >= in.syms[i] {
+			return false
+		}
+	}
+	for i := range in.workloads {
+		if in.workloads[i].runs == 0 {
+			return false
+		}
+		if i > 0 && in.workloads[i-1].name >= in.workloads[i].name {
+			return false
+		}
+	}
+	for i := range in.blocks {
+		if in.blocks[i].count == 0 {
+			return false
+		}
+		if i > 0 && iBlockCmp(&in.blocks[i-1], &in.blocks[i]) >= 0 {
+			return false
+		}
+	}
+	for i := range in.ops {
+		if in.ops[i].mass == 0 {
+			return false
+		}
+		if i > 0 && iOpCmp(&in.ops[i-1], &in.ops[i]) >= 0 {
+			return false
+		}
+	}
+	return true
 }

@@ -86,6 +86,10 @@ func Diff(before, after *Profile, opts DiffOptions) *DiffReport {
 		Threshold:   threshold,
 	}
 
+	type opKey struct {
+		mnemonic string
+		ring     uint8
+	}
 	masses := make(map[opKey][2]uint64, len(before.Ops)+len(after.Ops))
 	for _, o := range before.Ops {
 		k := opKey{o.Mnemonic, o.Ring}

@@ -1,0 +1,78 @@
+package profstore
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestGoldenV1ByteIdentity pins the on-disk format against a committed
+// v1 fixture: bytes written before the interned kernel existed must
+// load through it and re-save to the identical bytes, on every decode
+// and encode path. This is the compatibility gate for the format —
+// if any kernel change shifts even one byte, this fails before a
+// fleet's stored profiles do.
+func TestGoldenV1ByteIdentity(t *testing.T) {
+	data, err := os.ReadFile("testdata/golden_v1.prof")
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+
+	p, err := LoadBytes(data)
+	if err != nil {
+		t.Fatalf("LoadBytes: %v", err)
+	}
+	out, err := AppendSave(nil, p)
+	if err != nil {
+		t.Fatalf("AppendSave: %v", err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("LoadBytes → AppendSave is not byte-identical to the v1 fixture")
+	}
+
+	var buf bytes.Buffer
+	if err := Save(&buf, p); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("LoadBytes → Save is not byte-identical to the v1 fixture")
+	}
+
+	// The reader path decodes to the same profile.
+	p2, err := Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	out2, err := AppendSave(nil, p2)
+	if err != nil {
+		t.Fatalf("AppendSave(Load): %v", err)
+	}
+	if !bytes.Equal(out2, data) {
+		t.Fatal("Load → AppendSave is not byte-identical to the v1 fixture")
+	}
+
+	// The interned decode exposed directly, materialized back.
+	in, err := LoadInterned(data)
+	if err != nil {
+		t.Fatalf("LoadInterned: %v", err)
+	}
+	out3, err := AppendSave(nil, in.Profile())
+	if err != nil {
+		t.Fatalf("AppendSave(Interned): %v", err)
+	}
+	if !bytes.Equal(out3, data) {
+		t.Fatal("LoadInterned → Profile → AppendSave is not byte-identical to the v1 fixture")
+	}
+
+	// Merging the fixture alone is the identity; merging it with the
+	// empty profile must also leave the bytes unchanged.
+	for _, m := range []*Profile{Merge(p), Merge(p, &Profile{})} {
+		mout, err := AppendSave(nil, m)
+		if err != nil {
+			t.Fatalf("AppendSave(Merge): %v", err)
+		}
+		if !bytes.Equal(mout, data) {
+			t.Fatal("identity merge of the v1 fixture changed its bytes")
+		}
+	}
+}

@@ -221,8 +221,8 @@ func (p *Profile) Weighted(times uint64) *Profile {
 
 // BlockKeyLess reports whether a orders before b in canonical form —
 // the block identity order Merge emits. Producers that build sections
-// already unique by key can sort with it and skip the accumulator
-// round-trip (see Merge's canonical fast path).
+// already unique by key can sort with it and take Merge's canonical
+// fast path (a one-pass intern instead of a canonicalizing sort).
 func BlockKeyLess(a, b *Block) bool { return blockKeyLess(a, b) }
 
 // OpKeyLess is BlockKeyLess for op-mass entries.
@@ -256,83 +256,6 @@ func opKeyLess(a, b *OpMass) bool {
 	return a.Ring < b.Ring
 }
 
-// accumulator gathers mass under map keys; canonicalization sorts it
-// back out. It is the shared spine of Merge, Canonical, the codec's
-// load path and the Aggregator's snapshot.
-type accumulator struct {
-	workloads map[string]uint64
-	blocks    map[Block]uint64 // key: Block with Count zeroed
-	ops       map[opKey]uint64
-}
-
-type opKey struct {
-	mnemonic string
-	ring     uint8
-}
-
-func newAccumulator() *accumulator {
-	return &accumulator{
-		workloads: make(map[string]uint64),
-		blocks:    make(map[Block]uint64),
-		ops:       make(map[opKey]uint64),
-	}
-}
-
-// add folds one profile in. Zero-mass entries are dropped: they carry
-// no information and would otherwise make canonical form depend on
-// capture noise.
-func (acc *accumulator) add(p *Profile) {
-	for _, w := range p.Workloads {
-		if w.Runs != 0 {
-			acc.workloads[w.Name] += w.Runs
-		}
-	}
-	for i := range p.Blocks {
-		if p.Blocks[i].Count != 0 {
-			acc.blocks[p.Blocks[i].key()] += p.Blocks[i].Count
-		}
-	}
-	for _, o := range p.Ops {
-		if o.Mass != 0 {
-			acc.ops[opKey{o.Mnemonic, o.Ring}] += o.Mass
-		}
-	}
-}
-
-// profile converts the accumulated mass to a canonical Profile.
-func (acc *accumulator) profile() *Profile {
-	out := &Profile{}
-	if len(acc.workloads) > 0 {
-		out.Workloads = make([]WorkloadWeight, 0, len(acc.workloads))
-		for name, runs := range acc.workloads {
-			out.Workloads = append(out.Workloads, WorkloadWeight{Name: name, Runs: runs})
-		}
-		sort.Slice(out.Workloads, func(i, j int) bool {
-			return out.Workloads[i].Name < out.Workloads[j].Name
-		})
-	}
-	if len(acc.blocks) > 0 {
-		out.Blocks = make([]Block, 0, len(acc.blocks))
-		for k, count := range acc.blocks {
-			k.Count = count
-			out.Blocks = append(out.Blocks, k)
-		}
-		sort.Slice(out.Blocks, func(i, j int) bool {
-			return blockKeyLess(&out.Blocks[i], &out.Blocks[j])
-		})
-	}
-	if len(acc.ops) > 0 {
-		out.Ops = make([]OpMass, 0, len(acc.ops))
-		for k, mass := range acc.ops {
-			out.Ops = append(out.Ops, OpMass{Mnemonic: k.mnemonic, Ring: k.ring, Mass: mass})
-		}
-		sort.Slice(out.Ops, func(i, j int) bool {
-			return opKeyLess(&out.Ops[i], &out.Ops[j])
-		})
-	}
-	return out
-}
-
 // Merge combines any number of profiles into one canonical profile.
 // Mass accounting is pure integer addition over canonical keys, so the
 // result is independent of argument order and grouping down to the
@@ -340,27 +263,126 @@ func (acc *accumulator) profile() *Profile {
 // are identical, Merge(p) of a canonical p returns an equal profile,
 // and Merge() returns the empty profile (the merge identity). Nil
 // arguments are ignored.
+//
+// Internally every input is interned — string keys become fixed-width
+// symbol-ID tuples against a sorted table (see [Interned]) — and the
+// inputs meet in a pairwise tournament of linear integer-compare
+// merges, parallel across the worker pool for large fan-ins. Profiles
+// this package produces intern in one linear pass; hand-assembled
+// ones are canonicalized on the way in.
 func Merge(profiles ...*Profile) *Profile {
 	live := make([]*Profile, 0, len(profiles))
-	canonical := true
 	for _, p := range profiles {
-		if p == nil {
-			continue
+		if p != nil {
+			live = append(live, p)
 		}
-		live = append(live, p)
-		canonical = canonical && isCanonical(p)
 	}
-	if canonical && len(live) <= canonicalMergeMax {
-		// Profiles this package produces are already canonical, so the
-		// common case — merging stored profiles — sums by key order
-		// without hashing a single block identity.
-		return mergeCanonical(live)
+	// Tiny canonical fan-ins skip the interning machinery: a left fold
+	// of linear two-way string-key merges beats paying the symbol-table
+	// setup per call (the per-epoch accumulate path merges two small
+	// profiles at a time; retention folds a handful). Identical integer
+	// sums in identical key order — associativity makes the fold
+	// bit-for-bit what the interned tournament gives.
+	if n := len(live); n >= 1 && n <= smallMergeFanIn {
+		canonical := true
+		for _, p := range live {
+			if !isCanonical(p) {
+				canonical = false
+				break
+			}
+		}
+		if canonical {
+			if n == 1 {
+				return live[0].Clone()
+			}
+			out := merge2Canonical(live[0], live[1])
+			for _, p := range live[2:] {
+				out = merge2Canonical(out, p)
+			}
+			return out
+		}
 	}
-	acc := newAccumulator()
-	for _, p := range live {
-		acc.add(p)
+	return mergeProfilesInterned(live).Profile()
+}
+
+// smallMergeFanIn is the largest all-canonical fan-in Merge folds with
+// direct two-way merges instead of the interned tournament. Above it
+// the shared symbol table starts paying for itself.
+const smallMergeFanIn = 4
+
+// merge2Canonical merges two canonical profiles with linear two-pointer
+// walks over string keys — no symbol table, one allocation per section.
+// Summed rows are kept as the interned merges keep them, so both paths
+// emit identical bytes.
+func merge2Canonical(a, b *Profile) *Profile {
+	out := &Profile{}
+	if n := len(a.Workloads) + len(b.Workloads); n > 0 {
+		out.Workloads = make([]WorkloadWeight, 0, n)
+		i, j := 0, 0
+		for i < len(a.Workloads) && j < len(b.Workloads) {
+			switch {
+			case a.Workloads[i].Name < b.Workloads[j].Name:
+				out.Workloads = append(out.Workloads, a.Workloads[i])
+				i++
+			case b.Workloads[j].Name < a.Workloads[i].Name:
+				out.Workloads = append(out.Workloads, b.Workloads[j])
+				j++
+			default:
+				w := a.Workloads[i]
+				w.Runs += b.Workloads[j].Runs
+				out.Workloads = append(out.Workloads, w)
+				i++
+				j++
+			}
+		}
+		out.Workloads = append(out.Workloads, a.Workloads[i:]...)
+		out.Workloads = append(out.Workloads, b.Workloads[j:]...)
 	}
-	return acc.profile()
+	if n := len(a.Blocks) + len(b.Blocks); n > 0 {
+		out.Blocks = make([]Block, 0, n)
+		i, j := 0, 0
+		for i < len(a.Blocks) && j < len(b.Blocks) {
+			switch {
+			case blockKeyLess(&a.Blocks[i], &b.Blocks[j]):
+				out.Blocks = append(out.Blocks, a.Blocks[i])
+				i++
+			case blockKeyLess(&b.Blocks[j], &a.Blocks[i]):
+				out.Blocks = append(out.Blocks, b.Blocks[j])
+				j++
+			default:
+				blk := a.Blocks[i]
+				blk.Count += b.Blocks[j].Count
+				out.Blocks = append(out.Blocks, blk)
+				i++
+				j++
+			}
+		}
+		out.Blocks = append(out.Blocks, a.Blocks[i:]...)
+		out.Blocks = append(out.Blocks, b.Blocks[j:]...)
+	}
+	if n := len(a.Ops) + len(b.Ops); n > 0 {
+		out.Ops = make([]OpMass, 0, n)
+		i, j := 0, 0
+		for i < len(a.Ops) && j < len(b.Ops) {
+			switch {
+			case opKeyLess(&a.Ops[i], &b.Ops[j]):
+				out.Ops = append(out.Ops, a.Ops[i])
+				i++
+			case opKeyLess(&b.Ops[j], &a.Ops[i]):
+				out.Ops = append(out.Ops, b.Ops[j])
+				j++
+			default:
+				o := a.Ops[i]
+				o.Mass += b.Ops[j].Mass
+				out.Ops = append(out.Ops, o)
+				i++
+				j++
+			}
+		}
+		out.Ops = append(out.Ops, a.Ops[i:]...)
+		out.Ops = append(out.Ops, b.Ops[j:]...)
+	}
+	return out
 }
 
 // isCanonical reports whether p is already in canonical form: every
@@ -392,145 +414,6 @@ func isCanonical(p *Profile) bool {
 		}
 	}
 	return true
-}
-
-// canonicalMergeMax bounds the fan-in of the sort-free canonical merge
-// path. Small merges (the harness's per-suite fleet rollups) are
-// dominated by per-call constants, where linear key-ordered merging
-// wins; bulk merges of hundreds of profiles amortize the accumulator's
-// map away and its single hash pass beats the tournament's slice churn.
-const canonicalMergeMax = 32
-
-// mergeCanonical merges profiles that are each already canonical by a
-// pairwise tournament of linear two-way merges. Each round halves the
-// profile count, so total work is O(N log k) direct key comparisons —
-// never the sort a concatenate-and-sort scheme would pay, and unlike a
-// sequential fold it stays cheap whether the inputs share keys (fleet
-// snapshots of one program, where every round's output stays
-// union-sized) or are disjoint (per-workload profiles). Integer
-// addition over the same canonical keys the accumulator would use, so
-// the result is bit-identical to the map path.
-func mergeCanonical(profiles []*Profile) *Profile {
-	switch len(profiles) {
-	case 0:
-		return &Profile{}
-	case 1:
-		// Callers own the result, so a lone input is copied, not aliased.
-		p := profiles[0]
-		out := &Profile{}
-		if len(p.Workloads) > 0 {
-			out.Workloads = append([]WorkloadWeight(nil), p.Workloads...)
-		}
-		if len(p.Blocks) > 0 {
-			out.Blocks = append([]Block(nil), p.Blocks...)
-		}
-		if len(p.Ops) > 0 {
-			out.Ops = append([]OpMass(nil), p.Ops...)
-		}
-		return out
-	}
-	round := profiles
-	for len(round) > 1 {
-		next := make([]*Profile, 0, (len(round)+1)/2)
-		for i := 0; i+1 < len(round); i += 2 {
-			next = append(next, merge2(round[i], round[i+1]))
-		}
-		if len(round)%2 == 1 {
-			next = append(next, round[len(round)-1])
-		}
-		round = next
-	}
-	return round[0]
-}
-
-// merge2 merges two canonical profiles section by section.
-func merge2(a, b *Profile) *Profile {
-	return &Profile{
-		Workloads: merge2Workloads(a.Workloads, b.Workloads),
-		Blocks:    merge2Blocks(a.Blocks, b.Blocks),
-		Ops:       merge2Ops(a.Ops, b.Ops),
-	}
-}
-
-// merge2Workloads linearly merges two sorted workload sections.
-func merge2Workloads(a, b []WorkloadWeight) []WorkloadWeight {
-	if len(a)+len(b) == 0 {
-		return nil
-	}
-	out := make([]WorkloadWeight, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i].Name < b[j].Name:
-			out = append(out, a[i])
-			i++
-		case b[j].Name < a[i].Name:
-			out = append(out, b[j])
-			j++
-		default:
-			m := a[i]
-			m.Runs += b[j].Runs
-			out = append(out, m)
-			i++
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	return append(out, b[j:]...)
-}
-
-// merge2Blocks linearly merges two sorted block sections.
-func merge2Blocks(a, b []Block) []Block {
-	if len(a)+len(b) == 0 {
-		return nil
-	}
-	out := make([]Block, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case blockKeyLess(&a[i], &b[j]):
-			out = append(out, a[i])
-			i++
-		case blockKeyLess(&b[j], &a[i]):
-			out = append(out, b[j])
-			j++
-		default:
-			m := a[i]
-			m.Count += b[j].Count
-			out = append(out, m)
-			i++
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	return append(out, b[j:]...)
-}
-
-// merge2Ops linearly merges two sorted op sections.
-func merge2Ops(a, b []OpMass) []OpMass {
-	if len(a)+len(b) == 0 {
-		return nil
-	}
-	out := make([]OpMass, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case opKeyLess(&a[i], &b[j]):
-			out = append(out, a[i])
-			i++
-		case opKeyLess(&b[j], &a[i]):
-			out = append(out, b[j])
-			j++
-		default:
-			m := a[i]
-			m.Mass += b[j].Mass
-			out = append(out, m)
-			i++
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	return append(out, b[j:]...)
 }
 
 // Canonical normalizes a hand-assembled profile: duplicate keys are

@@ -2,7 +2,6 @@ package tsstore
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -205,20 +204,21 @@ func (s *Series) Save(dir string) error {
 	entries := make([]indexEntry, 0, len(s.windows))
 	live := make(map[string]bool, len(s.windows)+1)
 	live[IndexName] = true
+	var buf []byte
 	for _, w := range s.windows {
-		var buf bytes.Buffer
-		if err := profstore.Save(&buf, w.prof); err != nil {
+		var err error
+		if buf, err = profstore.AppendSave(buf[:0], w.prof); err != nil {
 			return fmt.Errorf("tsstore: serializing window %s: %w", w.span, err)
 		}
 		name := windowFileName(w.span)
 		live[name] = true
-		if err := writeFileAtomic(dir, name, buf.Bytes()); err != nil {
+		if err := writeFileAtomic(dir, name, buf); err != nil {
 			return fmt.Errorf("tsstore: writing window %s: %w", w.span, err)
 		}
 		entries = append(entries, indexEntry{
 			span: w.span,
-			size: uint64(buf.Len()),
-			crc:  crc32.Checksum(buf.Bytes(), castagnoli),
+			size: uint64(len(buf)),
+			crc:  crc32.Checksum(buf, castagnoli),
 		})
 	}
 	if err := writeFileAtomic(dir, IndexName, appendIndex(nil, entries)); err != nil {
@@ -295,7 +295,7 @@ func Open(dir string) (*Series, error) {
 			return nil, fmt.Errorf("%w: window %s: checksum %08x, index says %08x",
 				ErrWindowMismatch, e.span, crc, e.crc)
 		}
-		p, err := profstore.Load(bytes.NewReader(data))
+		p, err := profstore.LoadBytes(data)
 		if err != nil {
 			return nil, fmt.Errorf("tsstore: window %s: %w", e.span, err)
 		}

@@ -323,3 +323,74 @@ func TestCloneIsolation(t *testing.T) {
 		t.Error("clone content changed")
 	}
 }
+
+// windowFlat is the reference implementation Window's merge tree must
+// agree with byte-for-byte: a linear collect of every overlapping
+// window and one flat merge.
+func (s *Series) windowFlat(since, until uint64) *profstore.Profile {
+	if since > until {
+		return &profstore.Profile{}
+	}
+	var profs []*profstore.Profile
+	i, _ := s.locate(since)
+	for ; i < len(s.windows) && s.windows[i].span.Start <= until; i++ {
+		profs = append(profs, s.windows[i].prof)
+	}
+	return profstore.Merge(profs...)
+}
+
+// TestMergeTreeMatchesFlatMerge pins the memoized merge tree to the
+// flat merge it decomposes: every query shape — small and large,
+// repeated (memo hits), interleaved with appends and downsampling that
+// must invalidate the tree — serializes identically to the linear
+// reference.
+func TestMergeTreeMatchesFlatMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s Series
+	for e := uint64(0); e < 48; e++ {
+		s.AppendEpoch(e, epochProfile(rng, e))
+	}
+	check := func(stage string) {
+		t.Helper()
+		lo, hi, _ := s.Bounds()
+		queries := [][2]uint64{
+			{lo, hi}, {lo, lo}, {hi, hi}, {lo + 1, hi - 1},
+			{lo + 3, lo + 20}, {hi - 9, hi}, {lo, lo + 2},
+		}
+		for _, q := range queries {
+			got, _ := s.Window(q[0], q[1])
+			want := s.windowFlat(q[0], q[1])
+			if !bytes.Equal(profileBytes(t, got), profileBytes(t, want)) {
+				t.Errorf("%s: Window(%d,%d) diverges from flat merge", stage, q[0], q[1])
+			}
+			// Ask again: the second answer comes mostly from memoized
+			// nodes and must not drift.
+			again, _ := s.Window(q[0], q[1])
+			if !bytes.Equal(profileBytes(t, again), profileBytes(t, want)) {
+				t.Errorf("%s: repeated Window(%d,%d) diverges", stage, q[0], q[1])
+			}
+		}
+	}
+	check("raw")
+
+	// An append into the middle of the queried range must invalidate
+	// the memoized nodes covering it.
+	s.AppendEpoch(20, epochProfile(rng, 20))
+	check("after mid-range append")
+
+	// Downsampling rebuilds the window list; stale nodes must go.
+	if s.Downsample(DefaultRetention(), 47) == 0 {
+		t.Fatal("downsample folded nothing")
+	}
+	check("after downsample")
+
+	// A clone must not share memoization state with the original: query
+	// the clone, mutate the original, and re-check both.
+	c := s.Clone()
+	cw, _ := c.Window(0, 47)
+	s.AppendEpoch(48, epochProfile(rng, 48))
+	if !bytes.Equal(profileBytes(t, cw), profileBytes(t, c.windowFlat(0, 47))) {
+		t.Error("clone's query diverged after mutating the original")
+	}
+	check("after post-clone append")
+}

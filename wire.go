@@ -39,9 +39,14 @@ type FleetServerStats = fleetserver.Stats
 type FleetTenantStats = fleetserver.TenantStats
 
 // FleetClient delivers stored profiles to a [FleetServer] with
-// retries, reconnection and exactly-once delivery. Construct with
-// [Dial].
+// retries, reconnection and exactly-once delivery — one per round
+// trip ([fleetserver.Client.Send]) or many
+// ([fleetserver.Client.SendBatch]). Construct with [Dial].
 type FleetClient = fleetserver.Client
+
+// FleetBatchItem is one profile in a [FleetClient.SendBatchBytes]
+// batch: an already-serialized stored profile bound for one epoch.
+type FleetBatchItem = fleetserver.BatchItem
 
 // FleetClientConfig parameterizes [Dial]. Tenant and Agent are
 // required; Agent is the stable identity the server's exactly-once
