@@ -14,6 +14,14 @@ package hbbp
 //     treatment with one named exception: it may import profstore,
 //     whose codec its window files reuse — lifting tsstore means
 //     lifting the pair, still dependency-free.
+//  3. internal/telemetry sits below everything: it imports only the
+//     standard library (so instrumenting a package never drags in new
+//     dependencies), it may be imported by the instrumented internals,
+//     and nothing it imports can ever point back up. profstore and
+//     tsstore keep their lift-out property with telemetry as a second
+//     named exception — telemetry is itself stdlib-only, so the lifted
+//     set stays dependency-free. fleetwire stays pure: the wire codec
+//     is not instrumented; its callers time around it.
 
 import (
 	"go/parser"
@@ -83,11 +91,16 @@ func TestCommandsAndExamplesUseOnlyTheFacade(t *testing.T) {
 // lift-out rule applies to all three.
 func TestFormatPackagesImportOnlyStdlib(t *testing.T) {
 	// allowed maps a package to module-internal imports it may use
-	// beyond the stdlib; absent means none.
+	// beyond the stdlib; absent means none. telemetry is stdlib-only by
+	// rule 3, so allowing it does not compromise the lift-out property.
 	allowed := map[string]map[string]bool{
-		"tsstore": {"hbbp/internal/profstore": true},
+		"tsstore": {
+			"hbbp/internal/profstore": true,
+			"hbbp/internal/telemetry": true,
+		},
+		"profstore": {"hbbp/internal/telemetry": true},
 	}
-	for _, pkg := range []string{"perffile", "profstore", "fleetwire", "tsstore"} {
+	for _, pkg := range []string{"perffile", "profstore", "fleetwire", "tsstore", "telemetry"} {
 		for _, file := range goFilesUnder(t, filepath.Join("internal", pkg)) {
 			for _, imp := range imports(t, file) {
 				if strings.HasPrefix(imp, "hbbp") {

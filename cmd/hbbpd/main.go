@@ -5,10 +5,21 @@
 //
 // Usage:
 //
-//	hbbpd [-listen ADDR] [-queue N] [-workers N] [-max-frame BYTES]
-//	      [-enqueue-wait D] [-read-timeout D] [-write-timeout D]
-//	      [-stats-every D] [-save-dir DIR] [-drain-timeout D]
-//	      [-retain SPEC] [-epoch-lag N]
+//	hbbpd [-listen ADDR] [-http ADDR] [-queue N] [-workers N]
+//	      [-max-frame BYTES] [-enqueue-wait D] [-read-timeout D]
+//	      [-write-timeout D] [-stats-every D] [-save-dir DIR]
+//	      [-drain-timeout D] [-drain-grace D] [-retain SPEC]
+//	      [-epoch-lag N]
+//
+// With -http, the daemon also serves an admin endpoint: /metrics in
+// the Prometheus text format (every counter the accounting lines are
+// rendered from, plus latency histograms, queue gauges and client
+// metrics — one registry is the single source of truth), /healthz
+// (200 while serving, 503 once shutdown begins), /slowops (the
+// threshold-gated slow-operation log) and the standard /debug/pprof
+// profiles. On a shutdown signal the daemon flips /healthz to 503,
+// waits -drain-grace (the load-balancer deregistration window; 0 by
+// default), then drains.
 //
 // The daemon prints "listening on ADDR" once the socket is open (with
 // -listen :0 this is how the chosen port is discovered), serves until
@@ -44,10 +55,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -67,6 +81,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hbbpd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	listen := fs.String("listen", "127.0.0.1:7690", "address to serve the fleet wire protocol on (use :0 for an ephemeral port)")
+	httpAddr := fs.String("http", "", "serve the admin endpoint (/metrics, /healthz, /slowops, /debug/pprof) on this address (empty = off)")
+	drainGrace := fs.Duration("drain-grace", 0, "after a shutdown signal, keep serving with /healthz at 503 this long before draining (the LB deregistration window)")
 	queue := fs.Int("queue", 0, "ingest queue depth (0 = default)")
 	workers := fs.Int("workers", 0, "ingest worker goroutines (0 = GOMAXPROCS)")
 	maxFrame := fs.Int("max-frame", 0, "largest accepted wire frame in bytes (0 = default 16MiB)")
@@ -112,6 +128,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "hbbpd: listen %s: %v\n", *listen, err)
 		return 1
 	}
+	reg := hbbp.NewTelemetry()
 	s := hbbp.Serve(ln, hbbp.FleetServerConfig{
 		Queue:        *queue,
 		Workers:      *workers,
@@ -121,11 +138,35 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		WriteTimeout: *writeTimeout,
 		Retention:    retention,
 		EpochLag:     *epochLag,
+		// A registry per run keeps a daemon's ledgers distinct from
+		// any other server in the process (the in-process tests run
+		// several); /metrics serves this registry plus the
+		// process-wide one, so the exposition still covers the
+		// package-level instrumentation (merge kernels, series
+		// queries) the daemon's ingestion drives.
+		Telemetry: reg,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(stderr, format+"\n", a...)
 		},
 	})
 	fmt.Fprintf(stderr, "hbbpd: listening on %s\n", s.Addr())
+
+	// draining gates /healthz: it flips the instant a shutdown signal
+	// arrives, -drain-grace before connections actually drain, so a
+	// load balancer polling /healthz stops routing new agents while
+	// the daemon still answers the ones it has.
+	var draining atomic.Bool
+	if *httpAddr != "" {
+		adminLn, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "hbbpd: admin listen %s: %v\n", *httpAddr, err)
+			return 1
+		}
+		admin := &http.Server{Handler: adminMux(reg, &draining)}
+		go admin.Serve(adminLn)
+		defer admin.Close()
+		fmt.Fprintf(stderr, "hbbpd: admin endpoint on %s\n", adminLn.Addr())
+	}
 
 	if *statsEvery > 0 {
 		go func() {
@@ -143,6 +184,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	<-ctx.Done()
+	draining.Store(true)
+	if *drainGrace > 0 {
+		fmt.Fprintf(stderr, "hbbpd: shutdown signaled, /healthz now 503, draining in %s\n", *drainGrace)
+		time.Sleep(*drainGrace)
+	}
 	fmt.Fprintln(stderr, "hbbpd: shutting down, draining in-flight ingests")
 	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -169,19 +215,65 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return code
 }
 
+// adminMux builds the admin endpoint: the Prometheus exposition, a
+// drain-aware health check, the slow-op log and the standard pprof
+// profiles. /metrics concatenates the daemon's registry (the storage
+// the accounting lines are rendered from) with the process-wide one
+// (package-level instrumentation the ingestion drives); their family
+// names are disjoint, so the result is one well-formed exposition.
+func adminMux(reg *hbbp.Telemetry, draining *atomic.Bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteProm(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if err := hbbp.WriteMetricsText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/slowops", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, reg.Slow().Render())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // printStats writes one accounting line per tenant plus a connection
 // summary — the human-readable form of the drop ledger.
 func printStats(w io.Writer, st hbbp.FleetServerStats) {
-	fmt.Fprintf(w, "conns: accepted=%d active=%d handshake-failures=%d\n",
+	io.WriteString(w, formatStats(st))
+}
+
+// formatStats renders the accounting snapshot. Every number is read
+// from the process-wide telemetry registry through Stats() — the same
+// storage /metrics exposes — so the lines and the exposition can
+// never disagree. The format is pinned by a golden test.
+func formatStats(st hbbp.FleetServerStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conns: accepted=%d active=%d handshake-failures=%d\n",
 		st.Accepted, st.ActiveConns, st.HandshakeFailures)
 	for _, ts := range st.Tenants {
-		fmt.Fprintf(w, "tenant %s: merged=%d batches=%d duplicates=%d shed=%d rejected=%d corrupt=%d epochs=%d",
+		fmt.Fprintf(&b, "tenant %s: merged=%d batches=%d duplicates=%d shed=%d rejected=%d corrupt=%d epochs=%d",
 			ts.Tenant, ts.Merged, ts.Batches, ts.Duplicates, ts.Shed, ts.Rejected, ts.Corrupt, len(ts.Epochs))
 		if len(ts.Windows) > 0 {
-			fmt.Fprintf(w, " windows=%d", len(ts.Windows))
+			fmt.Fprintf(&b, " windows=%d", len(ts.Windows))
 		}
-		fmt.Fprintln(w)
+		b.WriteByte('\n')
 	}
+	return b.String()
 }
 
 // saveSnapshots writes every tenant/epoch aggregate to dir, each via

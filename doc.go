@@ -83,6 +83,20 @@
 // completed epochs into a series online (FleetServerConfig.Retention),
 // and [OpenSeries] reloads what [ProfileSeries.Save] persisted.
 //
+// The telemetry layer watches all of the above at production cost:
+// every instrumented subsystem — ingest server and client, merge
+// kernel, series store, experiment harness — counts into a [Telemetry]
+// registry whose update paths are allocation-free atomics, cheap
+// enough to leave on (the paper's premise, applied to the observer).
+// [TelemetrySnapshot] reads it programmatically, [RenderTelemetry]
+// formats the summary the bundled programs print on exit,
+// [WriteMetricsText] emits the Prometheus text format served by
+// hbbpd's opt-in -http admin endpoint (/metrics, /healthz with
+// drain-aware 503s, /slowops, net/http/pprof), and [SlowOps] /
+// [SetSlowOpThreshold] expose the threshold-gated slow-operation log.
+// Embedders running several servers give each its own registry via
+// [NewTelemetry] and FleetServerConfig.Telemetry.
+//
 // Determinism is the library's backbone: the same seed yields the same
 // samples, the same trained model and the same rendered tables, at any
 // parallelism, on the block-granularity fast path or the

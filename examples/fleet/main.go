@@ -107,7 +107,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	server := hbbp.Serve(ln, hbbp.FleetServerConfig{Queue: 256, Retention: retention})
+	// Joining the process-wide telemetry registry puts the server's
+	// ledgers, the clients' retry counters and the package-level merge
+	// and series instrumentation into one final snapshot.
+	server := hbbp.Serve(ln, hbbp.FleetServerConfig{
+		Queue: 256, Retention: retention, Telemetry: hbbp.DefaultTelemetry(),
+	})
 	addr := server.Addr().String()
 	fmt.Printf("ingest server on %s (retention %s)\n", addr, retention)
 
@@ -296,6 +301,11 @@ func main() {
 	if !match {
 		log.Fatal("drop-accounting invariant violated")
 	}
+
+	// Everything the run did, as the telemetry layer saw it: ingest
+	// outcomes per tenant, frame latencies, client retries, merge
+	// kernel paths and series queries — one registry, stable order.
+	fmt.Printf("\ntelemetry snapshot:\n%s", hbbp.RenderTelemetry(hbbp.TelemetrySnapshot()))
 }
 
 // sameProfileBytes compares two profiles the strong way: by their

@@ -13,6 +13,7 @@ import (
 
 	"hbbp/internal/fleetwire"
 	"hbbp/internal/profstore"
+	"hbbp/internal/telemetry"
 )
 
 // ClientConfig parameterizes a fleet agent's ingest client. Tenant
@@ -47,6 +48,11 @@ type ClientConfig struct {
 	// Seed makes the retry jitter reproducible in tests; 0 derives a
 	// per-agent seed from Tenant/Agent.
 	Seed int64
+	// Telemetry is the registry the client counts its dials, re-dials,
+	// retries and backoff wall into, labeled by tenant. Nil uses the
+	// process-wide default registry: agents are normally embedded in a
+	// process that wants one exposition of everything it does.
+	Telemetry *telemetry.Registry
 }
 
 // withDefaults resolves the zero value and validates identity.
@@ -81,6 +87,9 @@ func (c ClientConfig) withDefaults() (ClientConfig, error) {
 		h.Write([]byte{0})
 		h.Write([]byte(c.Agent))
 		c.Seed = int64(h.Sum64())
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.Default()
 	}
 	return c, nil
 }
@@ -138,6 +147,12 @@ type Client struct {
 	closed bool
 	stats  ClientStats
 
+	// Telemetry handles, resolved at Dial against cfg.Telemetry.
+	telDials   *telemetry.Counter
+	telRedials *telemetry.Counter
+	telRetries *telemetry.Counter
+	telBackoff *telemetry.Histogram // backoff sleep wall, seconds
+
 	// frameBuf is the reused frame-encode scratch; safe because mu is
 	// held across every send, including its retries.
 	frameBuf []byte
@@ -157,6 +172,16 @@ func Dial(ctx context.Context, addr string, cfg ClientConfig) (*Client, error) {
 		addr: addr,
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 	}
+	tel := cfg.Telemetry
+	c.telDials = tel.Counter("hbbp_fleetclient_dials_total",
+		"Completed handshakes (first dial and re-dials).", "tenant", cfg.Tenant)
+	c.telRedials = tel.Counter("hbbp_fleetclient_redials_total",
+		"Re-dials after a dropped connection.", "tenant", cfg.Tenant)
+	c.telRetries = tel.Counter("hbbp_fleetclient_retries_total",
+		"Backoff sleeps taken.", "tenant", cfg.Tenant)
+	c.telBackoff = tel.Histogram("hbbp_fleetclient_backoff_seconds",
+		"Wall time spent in retry backoff.",
+		telemetry.NanosToSeconds, telemetry.DurationBuckets(), "tenant", cfg.Tenant)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for attempt := 1; ; attempt++ {
@@ -503,6 +528,10 @@ func (c *Client) ensureConn(ctx context.Context) error {
 	}
 	c.wc = wc
 	c.stats.Dials++
+	c.telDials.Inc()
+	if c.stats.Dials > 1 {
+		c.telRedials.Inc()
+	}
 	return nil
 }
 
@@ -530,6 +559,8 @@ func (c *Client) retryBudget(ctx context.Context, attempt int, cause error) erro
 	// the backoff floor.
 	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
 	c.stats.Retries++
+	c.telRetries.Inc()
+	c.telBackoff.Observe(int64(d))
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

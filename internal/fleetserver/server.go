@@ -39,11 +39,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"hbbp/internal/fleetwire"
 	"hbbp/internal/profstore"
+	"hbbp/internal/telemetry"
 	"hbbp/internal/tsstore"
 )
 
@@ -88,6 +88,14 @@ type Config struct {
 	// (accept errors, handshake failures). Nil silences them.
 	Logf func(format string, args ...any)
 
+	// Telemetry is the metrics registry the server instruments itself
+	// into: per-tenant ingest ledgers, frame latency histograms, queue
+	// and connection gauges, and the slow-op log. Nil gets a fresh
+	// private registry, so side-by-side servers (tests, embedders)
+	// never share series; a daemon that serves /metrics passes the
+	// process-wide registry instead.
+	Telemetry *telemetry.Registry
+
 	// Retention, when non-empty, turns on epoch rolling: each tenant's
 	// completed epochs (see EpochLag) fold out of their live
 	// aggregators into a tsstore.Series downsampled by this ladder, so
@@ -130,6 +138,9 @@ func (c Config) withDefaults() Config {
 	if c.EpochLag == 0 {
 		c.EpochLag = 1
 	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.NewRegistry()
+	}
 	return c
 }
 
@@ -150,12 +161,16 @@ type tenant struct {
 	series   *tsstore.Series
 	maxEpoch uint64
 
-	merged     atomic.Uint64 // profiles merged (first time)
-	duplicates atomic.Uint64 // re-sends answered without a second merge
-	shed       atomic.Uint64 // profiles nacked NackOverloaded
-	rejected   atomic.Uint64 // profiles nacked NackBadProfile
-	corrupt    atomic.Uint64 // frames lost to CRC/truncation/protocol errors
-	batches    atomic.Uint64 // batch frames answered with per-entry verdicts
+	// The ledger counters live in the server's telemetry registry
+	// (handles resolved once in tenantFor), so Stats() and /metrics
+	// read the same storage — one source of truth for the accounting
+	// the chaos suite audits.
+	merged     *telemetry.Counter // profiles merged (first time)
+	duplicates *telemetry.Counter // re-sends answered without a second merge
+	shed       *telemetry.Counter // profiles nacked NackOverloaded
+	rejected   *telemetry.Counter // profiles nacked NackBadProfile
+	corrupt    *telemetry.Counter // frames lost to CRC/truncation/protocol errors
+	batches    *telemetry.Counter // batch frames answered with per-entry verdicts
 }
 
 // agentState is the per-agent exactly-once ledger: the highest
@@ -263,8 +278,14 @@ type Server struct {
 	done     chan struct{}
 	stopOnce sync.Once
 
-	accepted        atomic.Uint64
-	handshakeFailed atomic.Uint64
+	// Telemetry handles, resolved once in Serve so the per-frame path
+	// pays only atomic updates.
+	accepted        *telemetry.Counter
+	handshakeFailed *telemetry.Counter
+	profileLat      *telemetry.Histogram // FrameProfile read-to-reply
+	batchLat        *telemetry.Histogram // FrameProfileBatch read-to-reply
+	batchEntries    *telemetry.Histogram // entries per batch frame
+	slow            *telemetry.SlowLog
 }
 
 // Serve starts ingesting on ln and returns immediately; the server
@@ -280,6 +301,30 @@ func Serve(ln net.Listener, cfg Config) *Server {
 		closing: make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	tel := cfg.Telemetry
+	s.accepted = tel.Counter("hbbp_fleetserver_connections_total",
+		"Connections admitted since start.")
+	s.handshakeFailed = tel.Counter("hbbp_fleetserver_handshake_failures_total",
+		"Connections that never completed a valid hello.")
+	s.profileLat = tel.Histogram("hbbp_fleetserver_ingest_seconds",
+		"Frame read-to-reply latency by frame type.",
+		telemetry.NanosToSeconds, telemetry.DurationBuckets(), "frame", "profile")
+	s.batchLat = tel.Histogram("hbbp_fleetserver_ingest_seconds",
+		"Frame read-to-reply latency by frame type.",
+		telemetry.NanosToSeconds, telemetry.DurationBuckets(), "frame", "batch")
+	s.batchEntries = tel.Histogram("hbbp_fleetserver_batch_entries",
+		"Entries per batch frame.", 1, telemetry.CountBuckets())
+	s.slow = tel.Slow()
+	tel.GaugeFunc("hbbp_fleetserver_queue_depth",
+		"Ingest queue occupancy.", func() float64 { return float64(len(s.queue)) })
+	tel.GaugeFunc("hbbp_fleetserver_queue_capacity",
+		"Ingest queue bound.", func() float64 { return float64(cap(s.queue)) })
+	tel.GaugeFunc("hbbp_fleetserver_active_connections",
+		"Currently live connections.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.conns))
+		})
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
@@ -315,10 +360,23 @@ func (s *Server) tenantFor(name string) *tenant {
 	defer s.mu.Unlock()
 	t := s.tenants[name]
 	if t == nil {
+		tel := s.cfg.Telemetry
+		outcome := func(o string) *telemetry.Counter {
+			return tel.Counter("hbbp_fleetserver_profiles_total",
+				"Profiles by ingest outcome.", "tenant", name, "outcome", o)
+		}
 		t = &tenant{
-			name:   name,
-			epochs: make(map[uint64]*epochEntry),
-			agents: make(map[string]*agentState),
+			name:       name,
+			epochs:     make(map[uint64]*epochEntry),
+			agents:     make(map[string]*agentState),
+			merged:     outcome("merged"),
+			duplicates: outcome("duplicate"),
+			shed:       outcome("shed"),
+			rejected:   outcome("rejected"),
+			corrupt: tel.Counter("hbbp_fleetserver_corrupt_frames_total",
+				"Frames lost to CRC, truncation or protocol errors.", "tenant", name),
+			batches: tel.Counter("hbbp_fleetserver_batches_total",
+				"Batch frames answered with per-entry verdicts.", "tenant", name),
 		}
 		s.tenants[name] = t
 	}
@@ -396,8 +454,14 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
+		// The latency clock starts after the frame is in hand — it
+		// measures the server's parse/queue/merge/reply work, not how
+		// long the agent took to send the next frame.
+		t0 := time.Now()
 		if typ == fleetwire.FrameProfileBatch {
-			if !s.handleBatch(wc, tn, ag, payload, connJob, reply) {
+			ok := s.handleBatch(wc, tn, ag, payload, connJob, reply)
+			s.observeFrame(s.batchLat, "batch", tn, t0)
+			if !ok {
 				return
 			}
 			continue
@@ -423,6 +487,7 @@ func (s *Server) handle(conn net.Conn) {
 			if err := wc.WriteFrame(fleetwire.FrameAck, ackBuf); err != nil {
 				return
 			}
+			s.observeFrame(s.profileLat, "profile", tn, t0)
 			continue
 		}
 
@@ -446,6 +511,7 @@ func (s *Server) handle(conn net.Conn) {
 					Code: fleetwire.NackOverloaded, Msg: "ingest queue full"})); err != nil {
 				return
 			}
+			s.observeFrame(s.profileLat, "profile", tn, t0)
 			continue
 		}
 
@@ -466,6 +532,18 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		}
+		s.observeFrame(s.profileLat, "profile", tn, t0)
+	}
+}
+
+// observeFrame records one answered frame's latency, feeding the slow
+// log when it crossed the threshold. The threshold pre-check keeps the
+// fast path free of the detail closure's allocation.
+func (s *Server) observeFrame(h *telemetry.Histogram, frame string, tn *tenant, t0 time.Time) {
+	d := time.Since(t0)
+	h.Observe(int64(d))
+	if d >= s.slow.Threshold() {
+		s.slow.Observe("ingest/"+frame, d, func() string { return "tenant=" + tn.name })
 	}
 }
 
@@ -481,6 +559,7 @@ func (s *Server) handleBatch(wc *fleetwire.Conn, tn *tenant, ag *agentState, pay
 		return false
 	}
 	tn.batches.Add(1)
+	s.batchEntries.Observe(int64(len(entries)))
 	*j = job{t: tn, agent: ag, entries: entries, reply: reply}
 	if !s.enqueue(j) {
 		code, msg := fleetwire.NackOverloaded, "ingest queue full"
@@ -742,8 +821,8 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	st := Stats{
-		Accepted:          s.accepted.Load(),
-		HandshakeFailures: s.handshakeFailed.Load(),
+		Accepted:          s.accepted.Value(),
+		HandshakeFailures: s.handshakeFailed.Value(),
 		ActiveConns:       len(s.conns),
 	}
 	tenants := make([]*tenant, 0, len(s.tenants))
@@ -755,12 +834,12 @@ func (s *Server) Stats() Stats {
 	for _, t := range tenants {
 		ts := TenantStats{
 			Tenant:     t.name,
-			Merged:     t.merged.Load(),
-			Duplicates: t.duplicates.Load(),
-			Shed:       t.shed.Load(),
-			Rejected:   t.rejected.Load(),
-			Corrupt:    t.corrupt.Load(),
-			Batches:    t.batches.Load(),
+			Merged:     t.merged.Value(),
+			Duplicates: t.duplicates.Value(),
+			Shed:       t.shed.Value(),
+			Rejected:   t.rejected.Value(),
+			Corrupt:    t.corrupt.Value(),
+			Batches:    t.batches.Value(),
 		}
 		t.mu.Lock()
 		for e := range t.epochs {

@@ -118,6 +118,7 @@ type evalSlot struct {
 
 // noteCollected records one executed collection run under key.
 func (r *Runner) noteCollected(key string) {
+	runcacheMisses.Inc()
 	r.statsMu.Lock()
 	if r.collectCounts == nil {
 		r.collectCounts = map[string]int{}
@@ -128,6 +129,7 @@ func (r *Runner) noteCollected(key string) {
 
 // noteReused records n requests served from a cache.
 func (r *Runner) noteReused(n int) {
+	runcacheHits.Add(uint64(n))
 	r.statsMu.Lock()
 	r.reused += n
 	r.statsMu.Unlock()

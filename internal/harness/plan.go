@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hbbp/internal/telemetry"
 	"hbbp/internal/workloads"
 )
 
@@ -270,6 +271,10 @@ func (r *Runner) RunPlan(names ...string) (*Report, error) {
 		return rep, err
 	}
 	rep.CollectWall = time.Since(start)
+	collectWall.Observe(int64(rep.CollectWall))
+	telemetry.Default().Slow().Observe("harness/collect", rep.CollectWall, func() string {
+		return fmt.Sprintf("experiments=%v", plan.Experiments)
+	})
 	for _, name := range plan.Experiments {
 		// Checking between renders keeps a cancelled multi-experiment
 		// run from starting further renders while leaving the ones
@@ -289,7 +294,10 @@ func (r *Runner) RunPlan(names ...string) (*Report, error) {
 		if len(plan.Experiments) > 1 {
 			r.printf("\n")
 		}
-		rep.Renders = append(rep.Renders, ExperimentTiming{Name: name, Wall: time.Since(t0)})
+		wall := time.Since(t0)
+		renderWall.Observe(int64(wall))
+		telemetry.Default().Slow().Observe("harness/render", wall, func() string { return name })
+		rep.Renders = append(rep.Renders, ExperimentTiming{Name: name, Wall: wall})
 	}
 	finish()
 	return rep, nil

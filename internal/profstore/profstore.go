@@ -24,7 +24,8 @@
 //     in any order, grouping or sharding produce bit-identical
 //     results.
 //   - Self-containment. Like internal/perffile, this package depends
-//     only on the standard library (enforced by the repository's
+//     only on the standard library plus the stdlib-only
+//     internal/telemetry counters (enforced by the repository's
 //     import-boundary test), so the store format can be lifted into
 //     external fleet tooling unchanged.
 //
@@ -36,6 +37,18 @@ package profstore
 import (
 	"fmt"
 	"sort"
+
+	"hbbp/internal/telemetry"
+)
+
+// Merge-path counters: which kernel a Merge call took. The fast path
+// handles registration once at init; the per-call cost is one atomic
+// add, so instrumenting the merge kernel does not move its benchmark.
+var (
+	mergeTwoPointer = telemetry.Default().Counter("hbbp_profstore_merge_total",
+		"Merge calls by kernel path.", "path", "two_pointer")
+	mergeViaInterned = telemetry.Default().Counter("hbbp_profstore_merge_total",
+		"Merge calls by kernel path.", "path", "interned")
 )
 
 // Ring is the privilege level a block executes in, mirroring the
@@ -292,6 +305,7 @@ func Merge(profiles ...*Profile) *Profile {
 			}
 		}
 		if canonical {
+			mergeTwoPointer.Inc()
 			if n == 1 {
 				return live[0].Clone()
 			}
@@ -302,6 +316,7 @@ func Merge(profiles ...*Profile) *Profile {
 			return out
 		}
 	}
+	mergeViaInterned.Inc()
 	return mergeProfilesInterned(live).Profile()
 }
 

@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkTelemetryCounter measures the hot-path counter increment —
+// the cost every instrumented ingest frame pays.
+func BenchmarkTelemetryCounter(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkTelemetryHistogram measures one latency observation: the
+// bucket scan plus two atomic adds.
+func BenchmarkTelemetryHistogram(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", NanosToSeconds, DurationBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i%5000000 + 1000))
+	}
+}
+
+// BenchmarkTelemetryExposition measures a full /metrics render of the
+// golden registry — the cost of one scrape.
+func BenchmarkTelemetryExposition(b *testing.B) {
+	r := goldenRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.WriteProm(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Bucket is one cumulative histogram bucket in a [Metric]: the count
+// of observations at or below LE (in exposition base units).
+type Bucket struct {
+	LE    float64
+	Count uint64
+}
+
+// Metric is one time series in a [Snapshot]. Counters and gauges carry
+// Value; histograms carry Count, Sum and cumulative Buckets (Value is
+// zero).
+type Metric struct {
+	// Name is the family name, e.g. "hbbp_fleetserver_profiles_total".
+	Name string
+	// Type is the Prometheus type: "counter", "gauge" or "histogram".
+	Type string
+	// Labels is the rendered label set (`tenant="acme"`), empty when
+	// the series has no labels.
+	Labels string
+	// Value is the counter or gauge reading.
+	Value float64
+	// Count and Sum summarize a histogram (Sum in base units).
+	Count uint64
+	Sum   float64
+	// Buckets are the histogram's cumulative buckets, ending with +Inf.
+	Buckets []Bucket
+}
+
+// Snapshot is a point-in-time read of a registry in stable (name,
+// labels) order — the programmatic twin of the /metrics exposition.
+type Snapshot []Metric
+
+// Snapshot reads every series. Each individual value is one atomic
+// load; the snapshot as a whole is not a cross-metric transaction
+// (standard for metrics: monitoring reads race with updates
+// harmlessly).
+func (r *Registry) Snapshot() Snapshot {
+	var out Snapshot
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.sortedSeries(r) {
+			m := Metric{Name: f.name, Type: f.kind.String(), Labels: s.labels}
+			switch f.kind {
+			case kindCounter:
+				m.Value = float64(s.counter.Value())
+			case kindGauge:
+				m.Value = float64(s.gauge.Value())
+			case kindGaugeFunc:
+				m.Value = s.gaugeFn()
+			case kindHistogram:
+				var cum uint64
+				m.Buckets = make([]Bucket, 0, len(f.bounds)+1)
+				for i := range s.hist.counts {
+					cum += s.hist.counts[i].Load()
+					le := math.Inf(1)
+					if i < len(f.bounds) {
+						le = float64(f.bounds[i]) * f.scale
+					}
+					m.Buckets = append(m.Buckets, Bucket{LE: le, Count: cum})
+				}
+				m.Count = cum
+				m.Sum = float64(s.hist.Sum()) * f.scale
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Render formats the snapshot as aligned human-readable lines — the
+// final-summary form cmd/experiments and examples/fleet print.
+// Zero-valued series are skipped (an unexercised code path is noise in
+// a run summary); histograms render as count and mean.
+func (s Snapshot) Render() string {
+	var b strings.Builder
+	for _, m := range s {
+		name := m.Name
+		if m.Labels != "" {
+			name += "{" + m.Labels + "}"
+		}
+		switch m.Type {
+		case "histogram":
+			if m.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-64s count=%d sum=%s\n", name, m.Count, formatFloat(m.Sum))
+		default:
+			if m.Value == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-64s %s\n", name, formatFloat(m.Value))
+		}
+	}
+	return b.String()
+}
+
+// WriteProm writes the registry in the Prometheus text exposition
+// format (version 0.0.4): families in name order, series in label
+// order, histograms as cumulative _bucket/_sum/_count series. The
+// bytes are deterministic for deterministic metric values — the
+// golden exposition test pins them.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.sortedSeries(r) {
+			switch f.kind {
+			case kindCounter:
+				writeSample(bw, f.name, s.labels, "", float64(s.counter.Value()))
+			case kindGauge:
+				writeSample(bw, f.name, s.labels, "", float64(s.gauge.Value()))
+			case kindGaugeFunc:
+				writeSample(bw, f.name, s.labels, "", s.gaugeFn())
+			case kindHistogram:
+				var cum uint64
+				for i := range s.hist.counts {
+					cum += s.hist.counts[i].Load()
+					le := "+Inf"
+					if i < len(f.bounds) {
+						le = formatFloat(float64(f.bounds[i]) * f.scale)
+					}
+					writeSample(bw, f.name+"_bucket", s.labels, `le="`+le+`"`, float64(cum))
+				}
+				writeSample(bw, f.name+"_sum", s.labels, "", float64(s.hist.Sum())*f.scale)
+				writeSample(bw, f.name+"_count", s.labels, "", float64(cum))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one exposition line, merging the series labels
+// with an extra label (the histogram le).
+func writeSample(w io.Writer, name, labels, extra string, v float64) {
+	switch {
+	case labels == "" && extra == "":
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+	case labels == "":
+		fmt.Fprintf(w, "%s{%s} %s\n", name, extra, formatFloat(v))
+	case extra == "":
+		fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatFloat(v))
+	default:
+		fmt.Fprintf(w, "%s{%s,%s} %s\n", name, labels, extra, formatFloat(v))
+	}
+}
+
+// escapeHelp applies the exposition escapes for HELP text.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
+// formatFloat renders a value the way Prometheus clients conventionally
+// do: whole numbers without an exponent or decimal point, everything
+// else in shortest-round-trip form.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenRegistry builds the fixed registry the exposition golden test
+// and benchmark share: every metric kind, labeled and unlabeled
+// series, and a histogram with observations in distinct buckets.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("hbbp_profiles_total", "Profiles by outcome.", "tenant", "acme", "outcome", "merged").Add(41)
+	r.Counter("hbbp_profiles_total", "Profiles by outcome.", "tenant", "acme", "outcome", "shed").Add(1)
+	r.Counter("hbbp_profiles_total", "Profiles by outcome.", "tenant", `we"ird\te nant`, "outcome", "merged").Add(2)
+	r.Counter("hbbp_connections_total", "Connections accepted.").Add(7)
+	r.Gauge("hbbp_queue_depth", "Ingest queue occupancy.").Set(3)
+	r.GaugeFunc("hbbp_queue_capacity", "Ingest queue bound.", func() float64 { return 64 })
+	h := r.Histogram("hbbp_ingest_seconds", "Ingest latency.", NanosToSeconds, DurationBuckets(), "frame", "profile")
+	h.Observe(int64(25 * time.Microsecond))
+	h.Observe(int64(25 * time.Microsecond))
+	h.Observe(int64(3 * time.Millisecond))
+	h.Observe(int64(2 * time.Second))
+	h.Observe(int64(90 * time.Second)) // +Inf bucket
+	r.Histogram("hbbp_batch_entries", "Entries per batch frame.", 1, CountBuckets()).Observe(16)
+	return r
+}
+
+// TestExpositionGolden pins the /metrics bytes to the committed
+// fixture: family and series order, float formatting, label escaping,
+// cumulative histogram layout — the whole exposition surface.
+func TestExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_metrics.prom")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden fixture: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition diverged from %s:\n--- got ---\n%s--- want ---\n%s", path, buf.String(), want)
+	}
+}
+
+// TestExpositionParses walks every exposition line through the
+// format's structural rules: samples belong to a family announced by
+// a preceding # TYPE, and every value parses as a float.
+func TestExpositionParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if problems := lintExposition(buf.Bytes()); len(problems) > 0 {
+		t.Fatalf("exposition does not parse: %v", problems)
+	}
+}
+
+// lintExposition is a minimal structural checker for the Prometheus
+// text format: every non-comment line must be NAME{LABELS} VALUE with
+// a parseable value, and every sample must follow a # TYPE for its
+// family (histograms admit the _bucket/_sum/_count suffixes). Returns
+// human-readable problems, empty when the input is well-formed.
+func lintExposition(data []byte) []string {
+	var problems []string
+	typed := map[string]string{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name && typed[trimmed] == "histogram" {
+				base = trimmed
+				break
+			}
+		}
+		if typed[base] == "" {
+			problems = append(problems, "no preceding # TYPE for: "+line)
+			continue
+		}
+		fields := strings.Fields(line)
+		val := fields[len(fields)-1]
+		if val != "+Inf" && val != "NaN" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				problems = append(problems, "unparseable value on: "+line)
+			}
+		}
+	}
+	return problems
+}

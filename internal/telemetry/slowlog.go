@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for [Registry.Slow]: an operation slower than 100ms is
+// worth a log entry, and the newest 128 entries are retained.
+const (
+	DefaultSlowThreshold = 100 * time.Millisecond
+	DefaultSlowCapacity  = 128
+)
+
+// SlowEvent is one recorded slow operation.
+type SlowEvent struct {
+	// Seq numbers events in record order, monotonically from 1, across
+	// ring evictions — gaps in a read tell the reader how much history
+	// the ring dropped.
+	Seq uint64
+	// Op names the operation class ("ingest", "fold", "collect").
+	Op string
+	// Detail is operation context rendered at record time (tenant,
+	// window span, frame type).
+	Detail string
+	// Duration is how long the operation took.
+	Duration time.Duration
+	// When is the completion time.
+	When time.Time
+}
+
+// SlowLog is a threshold-gated ring of slow operations: Observe
+// compares a duration against the threshold with one atomic load and
+// returns without allocating when the operation was fast — the only
+// cost the hot path ever pays. Slow operations (the rare case by
+// construction) take a lock, render their detail and enter the ring,
+// evicting the oldest entry when full.
+type SlowLog struct {
+	threshold atomic.Int64 // ns
+	total     atomic.Uint64
+
+	mu   sync.Mutex
+	ring []SlowEvent
+	next int // ring insertion cursor
+	seq  uint64
+}
+
+// NewSlowLog returns a log gated at threshold retaining up to capacity
+// events (minimum 1).
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	l := &SlowLog{ring: make([]SlowEvent, 0, capacity)}
+	l.threshold.Store(int64(threshold))
+	return l
+}
+
+// Threshold returns the current gate.
+func (l *SlowLog) Threshold() time.Duration {
+	return time.Duration(l.threshold.Load())
+}
+
+// SetThreshold replaces the gate; a non-positive d disables the log
+// (nothing is ever slow enough).
+func (l *SlowLog) SetThreshold(d time.Duration) {
+	if d <= 0 {
+		d = 1<<63 - 1
+	}
+	l.threshold.Store(int64(d))
+}
+
+// Observe records op if d reached the threshold, calling detail (which
+// may be nil) only then — the gate runs before any formatting work, so
+// fast operations pay one atomic load and one compare. Reports whether
+// the event was recorded.
+func (l *SlowLog) Observe(op string, d time.Duration, detail func() string) bool {
+	if int64(d) < l.threshold.Load() {
+		return false
+	}
+	l.total.Add(1)
+	var det string
+	if detail != nil {
+		det = detail()
+	}
+	ev := SlowEvent{Op: op, Detail: det, Duration: d, When: time.Now()}
+	l.mu.Lock()
+	l.seq++
+	ev.Seq = l.seq
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, ev)
+	} else {
+		l.ring[l.next] = ev
+		l.next = (l.next + 1) % len(l.ring)
+	}
+	l.mu.Unlock()
+	return true
+}
+
+// Total returns how many slow operations have been recorded since
+// creation, including ones the ring has since evicted.
+func (l *SlowLog) Total() uint64 { return l.total.Load() }
+
+// Events returns the retained events, oldest first.
+func (l *SlowLog) Events() []SlowEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEvent, 0, len(l.ring))
+	if len(l.ring) == cap(l.ring) {
+		out = append(out, l.ring[l.next:]...)
+		out = append(out, l.ring[:l.next]...)
+	} else {
+		out = append(out, l.ring...)
+	}
+	return out
+}
+
+// Render formats the retained events one per line, oldest first — the
+// /slowops admin view and the CLI summary form.
+func (l *SlowLog) Render() string {
+	evs := l.Events()
+	if len(evs) == 0 {
+		return fmt.Sprintf("no operations over %s\n", l.Threshold())
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d slow operations recorded (threshold %s), newest %d retained:\n",
+		l.Total(), l.Threshold(), len(evs))
+	for _, ev := range evs {
+		fmt.Fprintf(&b, "  #%-6d %-10s %12s  %s\n", ev.Seq, ev.Op, ev.Duration.Round(time.Microsecond), ev.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,282 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGetOrCreateSharesHandles pins the registration contract: the
+// same (name, labels) always resolves to the same handle, and label
+// order is part of the identity.
+func TestGetOrCreateSharesHandles(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", "k", "v")
+	b := r.Counter("x_total", "other help ignored", "k", "v")
+	if a != b {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("x_total", "help", "k", "w")
+	if a == c {
+		t.Error("distinct labels returned the same counter")
+	}
+	h1 := r.Histogram("h_seconds", "help", NanosToSeconds, DurationBuckets(), "k", "v")
+	h2 := r.Histogram("h_seconds", "help", NanosToSeconds, DurationBuckets(), "k", "v")
+	if h1 != h2 {
+		t.Error("same (name, labels) returned distinct histograms")
+	}
+}
+
+// TestKindConflictPanics pins that re-registering a name as a
+// different metric type is a loud programming error.
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering x_total as a gauge after a counter did not panic")
+		}
+	}()
+	r.Gauge("x_total", "help")
+}
+
+// TestCounterGaugeHistogramValues drives each type through its update
+// surface and checks the read-back.
+func TestCounterGaugeHistogramValues(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+	h := r.Histogram("h", "", 1, []int64{10, 100})
+	for _, v := range []int64{1, 10, 11, 1000, -5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("histogram count = %d, want 5", got)
+	}
+	// -5 clamps to 0.
+	if got := h.Sum(); got != 1+10+11+1000 {
+		t.Errorf("histogram sum = %d, want %d", got, 1+10+11+1000)
+	}
+	// Buckets: le=10 holds {1, 10, 0-clamped}, le=100 holds 11, +Inf holds 1000.
+	snap := r.Snapshot()
+	for _, m := range snap {
+		if m.Name != "h" {
+			continue
+		}
+		want := []uint64{3, 4, 5} // cumulative
+		for i, b := range m.Buckets {
+			if b.Count != want[i] {
+				t.Errorf("bucket %d cumulative = %d, want %d", i, b.Count, want[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentUpdatesAndSnapshots hammers one registry from many
+// goroutines — updates, registrations and snapshots interleaved — so
+// the race detector can pass judgment, and checks the totals add up.
+func TestConcurrentUpdatesAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Every worker resolves its own handles: get-or-create must
+			// converge on shared storage.
+			c := r.Counter("work_total", "")
+			h := r.Histogram("lat", "", 1, CountBuckets())
+			g := r.Gauge("depth", "")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(int64(i % 50))
+				g.Set(int64(i))
+				if i%1000 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("work_total", "").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("lat", "", 1, CountBuckets()).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestHotPathsAllocationFree is the ISSUE's allocation proof: the
+// update paths instrumenting the PR-9 hot loops must not allocate.
+func TestHotPathsAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", NanosToSeconds, DurationBuckets())
+	slow := r.Slow()
+	t0 := time.Now()
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Add", func() { c.Add(1) }},
+		{"Gauge.Set", func() { g.Set(42) }},
+		{"Histogram.Observe", func() { h.Observe(12345) }},
+		{"Histogram.ObserveSince", func() { h.ObserveSince(t0) }},
+		{"SlowLog.Observe(fast)", func() { slow.Observe("op", time.Microsecond, nil) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f times per op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestSnapshotStableOrder pins snapshot ordering: families by name,
+// series by label string, independent of registration order.
+func TestSnapshotStableOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz_total", "")
+	r.Counter("aaa_total", "", "t", "b")
+	r.Counter("aaa_total", "", "t", "a")
+	r.Gauge("mmm", "")
+	var got []string
+	for _, m := range r.Snapshot() {
+		key := m.Name
+		if m.Labels != "" {
+			key += "{" + m.Labels + "}"
+		}
+		got = append(got, key)
+	}
+	want := []string{`aaa_total{t="a"}`, `aaa_total{t="b"}`, "mmm", "zzz_total"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("snapshot order = %v, want %v", got, want)
+	}
+}
+
+// TestGaugeFuncSampledAtReadTime pins callback gauges: the value is
+// whatever the function says at snapshot time, and re-registration
+// replaces the callback.
+func TestGaugeFuncSampledAtReadTime(t *testing.T) {
+	r := NewRegistry()
+	v := 3.0
+	r.GaugeFunc("depth", "", func() float64 { return v })
+	if got := r.Snapshot()[0].Value; got != 3 {
+		t.Errorf("gauge func = %v, want 3", got)
+	}
+	v = 9
+	if got := r.Snapshot()[0].Value; got != 9 {
+		t.Errorf("gauge func = %v, want 9", got)
+	}
+	r.GaugeFunc("depth", "", func() float64 { return 100 })
+	if got := r.Snapshot()[0].Value; got != 100 {
+		t.Errorf("replaced gauge func = %v, want 100", got)
+	}
+}
+
+// TestSlowLogGateAndRing drives the slow log through its gate, ring
+// eviction and detail laziness.
+func TestSlowLogGateAndRing(t *testing.T) {
+	l := NewSlowLog(10*time.Millisecond, 3)
+	detailCalls := 0
+	detail := func() string { detailCalls++; return "ctx" }
+	if l.Observe("fast", time.Millisecond, detail) {
+		t.Error("fast op recorded")
+	}
+	if detailCalls != 0 {
+		t.Error("detail rendered for a fast op")
+	}
+	for i := 0; i < 5; i++ {
+		if !l.Observe("slow", time.Duration(i+10)*time.Millisecond, detail) {
+			t.Fatalf("slow op %d not recorded", i)
+		}
+	}
+	if detailCalls != 5 {
+		t.Errorf("detail calls = %d, want 5", detailCalls)
+	}
+	if l.Total() != 5 {
+		t.Errorf("total = %d, want 5", l.Total())
+	}
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained = %d, want 3 (ring capacity)", len(evs))
+	}
+	// Oldest-first with the two oldest evicted: seqs 3, 4, 5.
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+3) {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, i+3)
+		}
+		if ev.Detail != "ctx" {
+			t.Errorf("event %d detail = %q", i, ev.Detail)
+		}
+	}
+	if !strings.Contains(l.Render(), "5 slow operations") {
+		t.Errorf("render missing total:\n%s", l.Render())
+	}
+
+	// Threshold is adjustable; non-positive disables.
+	l.SetThreshold(0)
+	if l.Observe("slow", time.Hour, nil) {
+		t.Error("disabled log recorded an event")
+	}
+}
+
+// TestSlowLogConcurrent exercises the log under the race detector.
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(time.Millisecond, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Observe("op", 2*time.Millisecond, nil)
+				if i%100 == 0 {
+					l.Events()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Total() != 4000 {
+		t.Errorf("total = %d, want 4000", l.Total())
+	}
+	evs := l.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained = %d, want 8", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Errorf("events not in seq order: %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+}
+
+// TestRenderSkipsZeroSeries pins the summary form: untouched metrics
+// do not clutter the final snapshot print.
+func TestRenderSkipsZeroSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("used_total", "").Add(2)
+	r.Counter("unused_total", "")
+	r.Histogram("h", "", 1, CountBuckets()) // never observed
+	out := r.Snapshot().Render()
+	if !strings.Contains(out, "used_total") {
+		t.Errorf("render missing used_total:\n%s", out)
+	}
+	if strings.Contains(out, "unused_total") || strings.Contains(out, "h ") {
+		t.Errorf("render shows zero series:\n%s", out)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"hbbp/internal/profstore"
 )
@@ -117,7 +118,10 @@ func (s *Series) Downsample(r Retention, latest uint64) int {
 	if len(r.Levels) < 2 {
 		return 0
 	}
+	t0 := time.Now()
+	defer foldWall.ObserveSince(t0)
 	folds := 0
+	defer func() { retentionFolds.Add(uint64(folds)) }()
 	// horizon is the first epoch (inclusive) that must NOT fold into
 	// the level being processed: everything newer stays at finer
 	// widths. It starts one past the raw band and recedes by each

@@ -25,14 +25,16 @@
 // where a retention policy can be proven exact rather than estimated.
 //
 // Like the other storage-format packages, tsstore stays liftable: it
-// imports only the standard library and internal/profstore (whose
-// codec the on-disk layout reuses; see disk.go), enforced by the
-// repository's import-boundary test.
+// imports only the standard library, internal/profstore (whose codec
+// the on-disk layout reuses; see disk.go) and the stdlib-only
+// internal/telemetry counters, enforced by the repository's
+// import-boundary test.
 package tsstore
 
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"hbbp/internal/profstore"
 )
@@ -155,6 +157,7 @@ func (s *Series) AppendEpoch(e uint64, p *profstore.Profile) {
 	if p == nil {
 		return
 	}
+	epochAppends.Inc()
 	s.invalidate()
 	i, ok := s.locate(e)
 	if ok {
@@ -189,6 +192,9 @@ func (s *Series) Window(since, until uint64) (*profstore.Profile, []Span) {
 	if since > until {
 		return &profstore.Profile{}, nil
 	}
+	windowQueries.Inc()
+	t0 := time.Now()
+	defer windowWall.ObserveSince(t0)
 	i, _ := s.locate(since)
 	j := i
 	for j < len(s.windows) && s.windows[j].span.Start <= until {
@@ -197,6 +203,7 @@ func (s *Series) Window(since, until uint64) (*profstore.Profile, []Span) {
 	if i == j {
 		return &profstore.Profile{}, nil
 	}
+	windowSpans.Observe(int64(j - i))
 	spans := make([]Span, j-i)
 	for k := i; k < j; k++ {
 		spans[k-i] = s.windows[k].span
@@ -250,13 +257,16 @@ func (s *Series) cover(node, lo, hi, i, j int, out []*profstore.Profile) []*prof
 // len(s.windows) and both children always exist.
 func (s *Series) nodeProfile(node, lo, hi int) *profstore.Profile {
 	if p := s.tree[node]; p != nil {
+		treeCacheHits.Inc()
 		return p
 	}
+	treeCacheMisses.Inc()
 	var p *profstore.Profile
 	if hi-lo == 1 {
 		p = s.windows[lo].prof
 	} else {
 		mid := (lo + hi) / 2
+		treeCombines.Inc()
 		p = profstore.Merge(s.nodeProfile(2*node, lo, mid), s.nodeProfile(2*node+1, mid, hi))
 	}
 	s.tree[node] = p

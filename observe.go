@@ -1,0 +1,77 @@
+package hbbp
+
+import (
+	"io"
+	"time"
+
+	"hbbp/internal/telemetry"
+)
+
+// The observability layer: every instrumented subsystem — the fleet
+// ingest server and client, the time-series store, the profile merge
+// kernel, the experiment harness — counts what it does into a
+// telemetry registry. This file is the façade over that registry:
+// grab the process-wide one with DefaultTelemetry, snapshot it
+// programmatically with TelemetrySnapshot, serve it with
+// WriteMetricsText (the Prometheus text format hbbpd's /metrics
+// endpoint emits), and read the slow-operation log with SlowOps.
+// Update paths are allocation-free atomics, so leaving the
+// instrumentation on costs nothing measurable — the same premise the
+// paper applies to profiling itself.
+
+// Telemetry is a metrics registry: concurrency-safe counters, gauges
+// and fixed-bucket histograms with allocation-free update paths,
+// rendered in a stable order.
+type Telemetry = telemetry.Registry
+
+// MetricSnapshot is one time series in a telemetry snapshot.
+type MetricSnapshot = telemetry.Metric
+
+// MetricBucket is one cumulative histogram bucket in a MetricSnapshot.
+type MetricBucket = telemetry.Bucket
+
+// SlowOp is one recorded slow operation: what ran, how long it took,
+// and operation context rendered at record time.
+type SlowOp = telemetry.SlowEvent
+
+// NewTelemetry returns an empty, private registry — for embedders
+// that run several instrumented components side by side and want
+// separate expositions (FleetServerConfig.Telemetry accepts one).
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// DefaultTelemetry returns the process-wide registry: the one
+// package-level instrumentation (profile merges, time-series queries,
+// harness runs) always writes to, and the one a server or client
+// joins when its config leaves Telemetry nil (clients) or set to this
+// registry (servers).
+func DefaultTelemetry() *Telemetry { return telemetry.Default() }
+
+// TelemetrySnapshot reads every metric in the process-wide registry
+// in stable (name, labels) order. Each value is one atomic load; the
+// snapshot is not a cross-metric transaction.
+func TelemetrySnapshot() []MetricSnapshot { return telemetry.Default().Snapshot() }
+
+// RenderTelemetry formats a snapshot as aligned human-readable lines,
+// skipping zero-valued series — the final-summary form the example
+// programs print.
+func RenderTelemetry(snap []MetricSnapshot) string {
+	return telemetry.Snapshot(snap).Render()
+}
+
+// WriteMetricsText writes the process-wide registry to w in the
+// Prometheus text exposition format (version 0.0.4) — the bytes
+// hbbpd's /metrics endpoint serves.
+func WriteMetricsText(w io.Writer) error { return telemetry.Default().WriteProm(w) }
+
+// SlowOps returns the process-wide slow-operation log's retained
+// events, oldest first. Operations are recorded when they exceed the
+// threshold (default 100ms) — see SetSlowOpThreshold.
+func SlowOps() []SlowOp { return telemetry.Default().Slow().Events() }
+
+// RenderSlowOps formats the process-wide slow-op log one event per
+// line, oldest first — hbbpd's /slowops admin view.
+func RenderSlowOps() string { return telemetry.Default().Slow().Render() }
+
+// SetSlowOpThreshold replaces the process-wide slow-op gate; a
+// non-positive d disables recording.
+func SetSlowOpThreshold(d time.Duration) { telemetry.Default().Slow().SetThreshold(d) }
